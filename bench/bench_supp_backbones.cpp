@@ -1,0 +1,61 @@
+// Supplementary — backbone ablation (paper footnote 1).
+//
+// "We also evaluate our model by with VGGNet as the backbone, where we do
+// not observe a big drop." This bench trains YOLLO with a plain VGG-style
+// (non-residual) backbone under the Table-4 training budget and compares it
+// to the residual r50-lite model, expecting a modest (not catastrophic)
+// difference, plus the r101-lite depth variant for completeness.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace yollo;
+
+int main() {
+  const bench::BenchScale scale = bench::BenchScale::from_env();
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(bench::bench_dataset_config(0, scale),
+                                       vocab);
+
+  eval::TableReporter table(
+      {"Backbone", "Params", "val ACC@0.5", "val mIoU"});
+
+  struct Variant {
+    const char* label;
+    vision::BackboneConfig backbone;
+    const char* tag;
+    int64_t steps;
+  };
+  const bench::BenchScale& s = scale;
+  const Variant variants[] = {
+      // The main model reuses the shared Table-2 checkpoint; the others
+      // train at the ablation budget.
+      {"r50-lite (residual)", vision::BackboneConfig::r50_lite(),
+       "yollo_SynthRef", s.yollo_steps},
+      {"vgg-lite (plain convs)", vision::BackboneConfig::vgg_lite(),
+       "yollo_SynthRef_vgg", s.ablation_steps},
+      {"r101-lite (3x deeper)", vision::BackboneConfig::r101_lite(),
+       "yollo_SynthRef_r101", s.ablation_steps},
+  };
+
+  for (const Variant& variant : variants) {
+    core::YolloConfig cfg;
+    cfg.backbone = variant.backbone;
+    bench::TrainedYollo trained = bench::get_trained_yollo(
+        dataset, vocab, variant.tag, cfg, variant.steps, scale);
+    const auto preds =
+        bench::capped_eval_yollo(*trained.model, dataset.val(), scale);
+    table.add_row({variant.label,
+                   std::to_string(trained.model->parameter_count()),
+                   eval::fmt(100.0 * eval::accuracy_at(preds, 0.5f)),
+                   eval::fmt(eval::mean_iou(preds), 3)});
+  }
+
+  table.print("Supplementary — backbone variants on SynthRef");
+  table.write_csv(bench::cache_dir() + "/supp_backbones.csv");
+  std::printf(
+      "\nPaper footnote 1: switching ResNet -> VGG backbone shows no big\n"
+      "drop. Expected shape: vgg-lite within a modest margin of r50-lite\n"
+      "(note the vgg/r101 rows train at the smaller ablation budget).\n");
+  return 0;
+}

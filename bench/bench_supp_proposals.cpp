@@ -1,0 +1,76 @@
+// Supplementary — the two-stage recall/latency trade-off.
+//
+// The paper's related-work section notes that fast proposal models "have to
+// increase the number of proposals to improve the recall rate", and its
+// intro blames two-stage inaccuracy on the proposal recall ceiling and its
+// slowness on per-proposal matching. This bench quantifies both sides on
+// the trained stage-i proposer: target recall@0.5 and end-to-end listener
+// latency as the proposal budget grows. Expected shape: recall saturates
+// while latency keeps climbing roughly linearly — the trade-off YOLLO's
+// one-stage design removes.
+#include <cstdio>
+
+#include "common.h"
+#include "data/renderer.h"
+
+using namespace yollo;
+
+int main() {
+  const bench::BenchScale scale = bench::BenchScale::from_env();
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(bench::bench_dataset_config(0, scale),
+                                       vocab);
+  bench::TrainedTwoStage stack = bench::get_trained_two_stage(
+      dataset, vocab, "twostage_SynthRef", scale);
+  stack.rpn->set_training(false);
+  stack.listener->set_training(false);
+
+  // Recall of the target box among top-N proposals, over capped val.
+  const int64_t n_eval = std::min<int64_t>(
+      static_cast<int64_t>(dataset.val().size()), scale.eval_cap / 2);
+  const int64_t budgets[] = {1, 2, 4, 8, 16, 32};
+
+  eval::TableReporter table(
+      {"# proposals", "target recall@0.5", "listener ms/query"});
+  for (int64_t budget : budgets) {
+    int64_t hits = 0;
+    for (int64_t i = 0; i < n_eval; ++i) {
+      const data::GroundingSample& s =
+          dataset.val()[static_cast<size_t>(i)];
+      const Tensor image = data::render_scene(s.scene).reshape(
+          {1, 3, s.scene.height, s.scene.width});
+      for (const baseline::Proposal& p : stack.rpn->propose(image, budget)) {
+        if (vision::iou(p.box, s.target_box()) >= 0.5f) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    const double recall =
+        static_cast<double>(hits) / static_cast<double>(n_eval);
+
+    // Listener latency at this budget: score `budget` proposals per query.
+    const data::GroundingSample& probe = dataset.val().front();
+    const Tensor image = data::render_scene(probe.scene);
+    const Tensor batched =
+        image.reshape({1, 3, probe.scene.height, probe.scene.width});
+    const auto proposals = stack.rpn->propose(batched, budget);
+    const double seconds = eval::time_per_call(
+        [&] {
+          stack.listener->score_proposals(image, proposals, probe.tokens);
+        },
+        /*iters=*/5, /*warmup=*/1);
+
+    table.add_row({std::to_string(budget), eval::fmt(100.0 * recall),
+                   eval::fmt(seconds * 1e3)});
+  }
+
+  table.print(
+      "Supplementary — proposal budget vs recall ceiling vs matching cost");
+  table.write_csv(bench::cache_dir() + "/supp_proposals.csv");
+  std::printf(
+      "\nExpected shape: recall saturates well below 100%% while matching\n"
+      "latency grows ~linearly with the budget — the two-stage trade-off\n"
+      "the paper's one-stage design eliminates.\n");
+  return 0;
+}

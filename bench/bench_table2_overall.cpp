@@ -1,0 +1,102 @@
+// Table 2 — overall ACC@0.5 comparison and cross-dataset generalisation.
+//
+// Paper rows: two-stage baselines (MMI, CMN, speaker/listener/reinforcer
+// variants, ...) versus YOLLO on RefCOCO{,+,g} val/TestA/TestB, plus YOLLO
+// trained on one dataset and tested on the others. We reproduce the
+// *structure*: three two-stage pipelines (listener / speaker / ensemble on
+// trained RPN proposals) versus YOLLO on the three synthetic datasets, plus
+// the 3x3 generalisation block. The expected shape: YOLLO beats every
+// two-stage pipeline on its home dataset, and cross-dataset rows degrade
+// gracefully (most towards SynthRef+, whose queries avoid location words).
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+using namespace yollo;
+
+int main() {
+  const bench::BenchScale scale = bench::BenchScale::from_env();
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+
+  // Build the three datasets once.
+  std::vector<std::unique_ptr<data::GroundingDataset>> datasets;
+  for (int which = 0; which < 3; ++which) {
+    datasets.push_back(std::make_unique<data::GroundingDataset>(
+        bench::bench_dataset_config(which, scale), vocab));
+  }
+
+  eval::TableReporter table({"Method", "SynthRef val", "SynthRef TestA",
+                             "SynthRef TestB", "SynthRef+ val",
+                             "SynthRef+ TestA", "SynthRef+ TestB",
+                             "SynthRefG val"});
+
+  auto row_for = [&](const std::string& name,
+                     const std::function<std::vector<eval::Prediction>(
+                         const std::vector<data::GroundingSample>&,
+                         int64_t)>& eval_split) {
+    std::vector<std::string> cells = {name};
+    for (int which = 0; which < 3; ++which) {
+      const data::GroundingDataset& ds = *datasets[which];
+      std::vector<const std::vector<data::GroundingSample>*> splits;
+      if (which == 2) {
+        splits = {&ds.val()};
+      } else {
+        splits = {&ds.val(), &ds.test_a(), &ds.test_b()};
+      }
+      for (const auto* split : splits) {
+        const auto preds = eval_split(*split, ds.max_query_len());
+        cells.push_back(eval::fmt(100.0 * eval::accuracy_at(preds, 0.5f)));
+      }
+    }
+    table.add_row(cells);
+  };
+
+  // --- two-stage baselines (trained on SynthRef, like the paper's
+  // proposal-based baselines which all consume COCO-trained proposals).
+  bench::TrainedTwoStage two_stage = bench::get_trained_two_stage(
+      *datasets[0], vocab, "twostage_SynthRef", scale);
+  two_stage.rpn->set_training(false);
+  two_stage.listener->set_training(false);
+  two_stage.speaker->set_training(false);
+  for (baseline::MatchMode mode :
+       {baseline::MatchMode::kListener, baseline::MatchMode::kSpeaker,
+        baseline::MatchMode::kEnsemble}) {
+    baseline::TwoStagePipeline pipeline(*two_stage.rpn, *two_stage.listener,
+                                        *two_stage.speaker, mode);
+    row_for(std::string("two-stage ") + baseline::match_mode_name(mode),
+            [&](const std::vector<data::GroundingSample>& split,
+                int64_t max_len) {
+              return bench::capped_eval_two_stage(pipeline, split, max_len,
+                                                  scale);
+            });
+  }
+
+  // --- YOLLO trained on each dataset, evaluated everywhere (generalisation
+  // block included).
+  std::vector<bench::TrainedYollo> models;
+  for (int which = 0; which < 3; ++which) {
+    core::YolloConfig cfg;
+    models.push_back(bench::get_trained_yollo(
+        *datasets[which], vocab,
+        "yollo_" + bench::bench_dataset_name(which), cfg, scale.yollo_steps,
+        scale));
+  }
+  for (int trained_on = 0; trained_on < 3; ++trained_on) {
+    core::YolloModel& model = *models[static_cast<size_t>(trained_on)].model;
+    row_for("YOLLO (trained on " + bench::bench_dataset_name(trained_on) + ")",
+            [&](const std::vector<data::GroundingSample>& split, int64_t) {
+              return bench::capped_eval_yollo(model, split, scale);
+            });
+  }
+
+  table.print("Table 2 — ACC@0.5 (%), two-stage baselines vs YOLLO");
+  table.write_csv(bench::cache_dir() + "/table2.csv");
+  std::printf(
+      "\nExpected shape vs paper: YOLLO tops every column on its home\n"
+      "dataset (paper: 91.6/91.8/91.5 vs best two-stage 73.8); cross-dataset\n"
+      "rows remain competitive but lower (paper: e.g. 68.3 on RefCOCO when\n"
+      "trained on RefCOCO+).\nCSV written to %s/table2.csv\n",
+      bench::cache_dir().c_str());
+  return 0;
+}

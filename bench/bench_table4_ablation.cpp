@@ -1,0 +1,75 @@
+// Table 4 — Rel2Att ablations: full model vs no self-attention vs no
+// co-attention (the corresponding relation-map blocks are zeroed, exactly as
+// described in §4.4).
+//
+// Paper shape: full YOLLO ~91/91/90; removing self-attention costs ~30-40
+// points; removing co-attention is worst (~35 ACC@0.5) because the model
+// can no longer see the query at all — it falls back to dataset bias.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace yollo;
+
+int main() {
+  const bench::BenchScale scale = bench::BenchScale::from_env();
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+
+  eval::TableReporter table({"Method", "SynthRef val", "SynthRef TestA",
+                             "SynthRef TestB", "SynthRef+ val",
+                             "SynthRef+ TestA", "SynthRef+ TestB",
+                             "SynthRefG val"});
+
+  struct Variant {
+    const char* label;
+    const char* tag_suffix;
+    bool self_attention;
+    bool co_attention;
+    bool reuse_main;  // full model reuses the Table-2 checkpoints
+  };
+  const Variant variants[] = {
+      {"YOLLO", "", true, true, true},
+      {"YOLLO (no self-attention)", "_noself", false, true, false},
+      {"YOLLO (no co-attention)", "_noco", true, false, false},
+  };
+
+  for (const Variant& variant : variants) {
+    std::vector<std::string> cells = {variant.label};
+    for (int which = 0; which < 3; ++which) {
+      const data::GroundingDataset dataset(
+          bench::bench_dataset_config(which, scale), vocab);
+      core::YolloConfig cfg;
+      cfg.use_self_attention = variant.self_attention;
+      cfg.use_co_attention = variant.co_attention;
+      const std::string tag = "yollo_" + bench::bench_dataset_name(which) +
+                              variant.tag_suffix;
+      const int64_t steps =
+          variant.reuse_main ? scale.yollo_steps : scale.ablation_steps;
+      bench::TrainedYollo trained =
+          bench::get_trained_yollo(dataset, vocab, tag, cfg, steps, scale);
+
+      std::vector<const std::vector<data::GroundingSample>*> splits;
+      if (which == 2) {
+        splits = {&dataset.val()};
+      } else {
+        splits = {&dataset.val(), &dataset.test_a(), &dataset.test_b()};
+      }
+      for (const auto* split : splits) {
+        const auto preds =
+            bench::capped_eval_yollo(*trained.model, *split, scale);
+        cells.push_back(eval::fmt(100.0 * eval::accuracy_at(preds, 0.5f)));
+      }
+    }
+    table.add_row(cells);
+  }
+
+  table.print("Table 4 — Rel2Att ablations, ACC@0.5 (%)");
+  table.write_csv(bench::cache_dir() + "/table4.csv");
+  std::printf(
+      "\nPaper reference: full 91.6 / no-self ~60 / no-co ~35 on RefCOCO\n"
+      "val. Expected ordering here: full > no-self > no-co, with no-co\n"
+      "collapsing to query-independent (dataset-bias) grounding.\n"
+      "CSV written to %s/table4.csv\n",
+      bench::cache_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Table 5 — inference-speed comparison (google-benchmark).
+//
+// Paper rows: speaker 1.235s (+0.291 proposal time), listener 1.332
+// (+0.293), speaker+listener 1.547 (+0.289), YOLLO ResNet-50 0.065, YOLLO
+// ResNet-101 0.103 — i.e. one-stage is ~20-30x faster because the two-stage
+// pipeline runs a per-proposal matching network on top of the proposer.
+//
+// Here the same five pipelines are timed end-to-end per grounding query on
+// this machine (plus the stage-i proposal time separately, mirroring the
+// parenthesised column). Latency does not depend on the weights, so models
+// are timed as constructed; the summary at the end prints the speed-up
+// ratios that reproduce the paper's headline claim.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/matcher.h"
+#include "baseline/proposer.h"
+#include "core/yollo.h"
+#include "data/renderer.h"
+#include "data/vocab.h"
+
+namespace {
+
+using namespace yollo;
+
+constexpr int64_t kImgH = 48;
+constexpr int64_t kImgW = 72;
+constexpr int64_t kQueryLen = 8;
+
+struct Fixture {
+  data::Vocab vocab = data::Vocab::grounding_vocab();
+  Tensor image;                         // [3, H, W]
+  Tensor batched;                       // [1, 3, H, W]
+  std::vector<int64_t> tokens;
+
+  std::unique_ptr<core::YolloModel> yollo_r50;
+  std::unique_ptr<core::YolloModel> yollo_r101;
+  std::unique_ptr<baseline::RegionProposalNetwork> rpn;
+  std::unique_ptr<baseline::ListenerMatcher> listener;
+  std::unique_ptr<baseline::SpeakerMatcher> speaker;
+
+  Fixture() {
+    Rng rng(123);
+    data::SceneSamplerConfig scfg = data::SceneSamplerConfig::refcoco_style();
+    scfg.width = kImgW;
+    scfg.height = kImgH;
+    const data::Scene scene = data::sample_scene(scfg, rng);
+    image = data::render_scene(scene);
+    batched = image.reshape({1, 3, kImgH, kImgW});
+    tokens = data::pad_to(vocab.encode("the small red circle"), kQueryLen);
+
+    core::YolloConfig ycfg;
+    ycfg.img_h = kImgH;
+    ycfg.img_w = kImgW;
+    ycfg.max_query_len = kQueryLen;
+    yollo_r50 = std::make_unique<core::YolloModel>(ycfg, vocab.size(), rng);
+    yollo_r50->set_training(false);
+
+    core::YolloConfig ycfg101 = ycfg;
+    ycfg101.backbone = vision::BackboneConfig::r101_lite();
+    yollo_r101 =
+        std::make_unique<core::YolloModel>(ycfg101, vocab.size(), rng);
+    yollo_r101->set_training(false);
+
+    baseline::ProposerConfig pcfg;
+    pcfg.img_h = kImgH;
+    pcfg.img_w = kImgW;
+    rpn = std::make_unique<baseline::RegionProposalNetwork>(pcfg, rng);
+    rpn->set_training(false);
+
+    baseline::MatcherConfig mcfg;
+    mcfg.vocab_size = vocab.size();
+    listener = std::make_unique<baseline::ListenerMatcher>(mcfg, rng);
+    speaker = std::make_unique<baseline::SpeakerMatcher>(mcfg, rng);
+    listener->set_training(false);
+    speaker->set_training(false);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_TwoStage_ProposalStage(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.rpn->propose(f.batched));
+  }
+}
+BENCHMARK(BM_TwoStage_ProposalStage)->Unit(benchmark::kMillisecond);
+
+void run_two_stage(benchmark::State& state, baseline::MatchMode mode) {
+  Fixture& f = fixture();
+  baseline::TwoStagePipeline pipeline(*f.rpn, *f.listener, *f.speaker, mode);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.ground(f.image, f.tokens));
+  }
+}
+
+void BM_TwoStage_Listener(benchmark::State& state) {
+  run_two_stage(state, baseline::MatchMode::kListener);
+}
+BENCHMARK(BM_TwoStage_Listener)->Unit(benchmark::kMillisecond);
+
+void BM_TwoStage_Speaker(benchmark::State& state) {
+  run_two_stage(state, baseline::MatchMode::kSpeaker);
+}
+BENCHMARK(BM_TwoStage_Speaker)->Unit(benchmark::kMillisecond);
+
+void BM_TwoStage_SpeakerListener(benchmark::State& state) {
+  run_two_stage(state, baseline::MatchMode::kEnsemble);
+}
+BENCHMARK(BM_TwoStage_SpeakerListener)->Unit(benchmark::kMillisecond);
+
+void BM_YOLLO_R50Lite(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.yollo_r50->predict(f.batched, f.tokens));
+  }
+}
+BENCHMARK(BM_YOLLO_R50Lite)->Unit(benchmark::kMillisecond);
+
+void BM_YOLLO_R101Lite(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.yollo_r101->predict(f.batched, f.tokens));
+  }
+}
+BENCHMARK(BM_YOLLO_R101Lite)->Unit(benchmark::kMillisecond);
+
+// Summary mirroring the paper's table layout (seconds + speed-up ratios).
+void print_summary() {
+  Fixture& f = fixture();
+  auto time_of = [](const std::function<void()>& fn) {
+    return eval::time_per_call(fn, 5, 1);
+  };
+  const double proposal =
+      time_of([&] { f.rpn->propose(f.batched); });
+  baseline::TwoStagePipeline listener_pipe(*f.rpn, *f.listener, *f.speaker,
+                                           baseline::MatchMode::kListener);
+  baseline::TwoStagePipeline speaker_pipe(*f.rpn, *f.listener, *f.speaker,
+                                          baseline::MatchMode::kSpeaker);
+  baseline::TwoStagePipeline both_pipe(*f.rpn, *f.listener, *f.speaker,
+                                       baseline::MatchMode::kEnsemble);
+  const double listener_t =
+      time_of([&] { listener_pipe.ground(f.image, f.tokens); });
+  const double speaker_t =
+      time_of([&] { speaker_pipe.ground(f.image, f.tokens); });
+  const double both_t = time_of([&] { both_pipe.ground(f.image, f.tokens); });
+  const double y50 = time_of([&] { f.yollo_r50->predict(f.batched, f.tokens); });
+  const double y101 =
+      time_of([&] { f.yollo_r101->predict(f.batched, f.tokens); });
+
+  std::printf("\n== Table 5 — inference seconds per query ==\n");
+  std::printf("| %-28s | %-22s |\n", "Models", "Seconds");
+  std::printf("|------------------------------|------------------------|\n");
+  std::printf("| %-28s | %.4f (+%.4f)        |\n", "speaker",
+              speaker_t - proposal, proposal);
+  std::printf("| %-28s | %.4f (+%.4f)        |\n", "listener",
+              listener_t - proposal, proposal);
+  std::printf("| %-28s | %.4f (+%.4f)        |\n", "speaker+listener",
+              both_t - proposal, proposal);
+  std::printf("| %-28s | %.4f                 |\n", "YOLLO (r50-lite C4)",
+              y50);
+  std::printf("| %-28s | %.4f                 |\n", "YOLLO (r101-lite C4)",
+              y101);
+  std::printf(
+      "\nSpeed-ups over YOLLO r50-lite: speaker %.1fx, listener %.1fx,\n"
+      "speaker+listener %.1fx (paper reports ~20-30x).\n",
+      speaker_t / y50, listener_t / y50, both_t / y50);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,237 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace yollo::bench {
+
+BenchScale BenchScale::from_env() {
+  BenchScale scale;
+  const char* env = std::getenv("YOLLO_BENCH_SCALE");
+  if (env && std::string(env) == "quick") {
+    scale.quick = true;
+    scale.num_images = 200;
+    scale.yollo_steps = 250;
+    scale.ablation_steps = 150;
+    scale.rpn_steps = 120;
+    scale.matcher_steps = 300;
+    scale.eval_cap = 80;
+  }
+  return scale;
+}
+
+data::DatasetConfig bench_dataset_config(int which, const BenchScale& scale) {
+  data::DatasetConfig cfg;
+  switch (which) {
+    case 0:
+      cfg = data::DatasetConfig::synthref(scale.num_images, /*seed=*/1234);
+      break;
+    case 1:
+      cfg = data::DatasetConfig::synthref_plus(scale.num_images,
+                                               /*seed=*/2345);
+      break;
+    default:
+      cfg = data::DatasetConfig::synthrefg(scale.num_images, /*seed=*/3456);
+      break;
+  }
+  cfg.img_h = 48;
+  cfg.img_w = 72;
+  return cfg;
+}
+
+std::string bench_dataset_name(int which) {
+  switch (which) {
+    case 0:
+      return "SynthRef";
+    case 1:
+      return "SynthRef+";
+    default:
+      return "SynthRefG";
+  }
+}
+
+std::string cache_dir() {
+  const char* env = std::getenv("YOLLO_BENCH_CACHE");
+  std::string dir = env ? env : "bench_cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TrainedYollo get_trained_yollo(const data::GroundingDataset& dataset,
+                               const data::Vocab& vocab,
+                               const std::string& tag,
+                               core::YolloConfig config, int64_t max_steps,
+                               const BenchScale& scale) {
+  const std::string params_path = cache_dir() + "/" + tag + ".params";
+  const std::string curve_path = cache_dir() + "/" + tag + ".curve.csv";
+
+  core::BuildOptions options;
+  options.config = config;
+  options.corpus_scenes = scale.quick ? 60 : 150;
+  TrainedYollo out;
+  out.model = core::build_yollo(dataset, vocab, options);
+
+  if (std::filesystem::exists(params_path)) {
+    const bool had_buffers = nn::load_parameters(*out.model, params_path);
+    if (!had_buffers) {
+      // Legacy checkpoint without BatchNorm running statistics: rebuild
+      // them from a few training-mode passes before evaluating.
+      std::printf("[cache] %s: legacy file, recalibrating BatchNorm...\n",
+                  tag.c_str());
+      core::recalibrate_batchnorm(*out.model, dataset.train());
+      nn::save_parameters(*out.model, params_path);  // upgrade in place
+    }
+    out.curve = load_curve(curve_path);
+    out.from_cache = true;
+    std::printf("[cache] loaded %s\n", tag.c_str());
+    return out;
+  }
+
+  std::printf("[train] %s: %lld steps on %zu samples...\n", tag.c_str(),
+              static_cast<long long>(max_steps), dataset.train().size());
+  std::fflush(stdout);
+  core::TrainConfig tc;
+  tc.epochs = 10000;  // step-capped
+  tc.max_steps = max_steps;
+  tc.batch_size = 16;
+  tc.lr = 6e-3f;
+  tc.log_every = 10;
+  tc.seed = 99;
+  const core::TrainResult result =
+      core::train_yollo(*out.model, dataset.train(), tc);
+  std::printf("[train] %s done in %.0f s\n", tag.c_str(), result.seconds);
+  std::fflush(stdout);
+  out.curve = result.curve;
+  nn::save_parameters(*out.model, params_path);
+  save_curve(result.curve, curve_path);
+  return out;
+}
+
+TrainedTwoStage get_trained_two_stage(const data::GroundingDataset& dataset,
+                                      const data::Vocab& vocab,
+                                      const std::string& tag,
+                                      const BenchScale& scale) {
+  const std::string rpn_path = cache_dir() + "/" + tag + "_rpn.params";
+  const std::string listener_path =
+      cache_dir() + "/" + tag + "_listener.params";
+  const std::string speaker_path = cache_dir() + "/" + tag + "_speaker.params";
+
+  TrainedTwoStage out;
+  baseline::ProposerConfig pcfg;
+  pcfg.img_h = dataset.config().img_h;
+  pcfg.img_w = dataset.config().img_w;
+  baseline::MatcherConfig mcfg;
+  mcfg.vocab_size = vocab.size();
+  Rng rng(17);
+  out.rpn = std::make_unique<baseline::RegionProposalNetwork>(pcfg, rng);
+  out.listener = std::make_unique<baseline::ListenerMatcher>(mcfg, rng);
+  out.speaker = std::make_unique<baseline::SpeakerMatcher>(mcfg, rng);
+
+  if (std::filesystem::exists(rpn_path) &&
+      std::filesystem::exists(listener_path) &&
+      std::filesystem::exists(speaker_path)) {
+    const bool had_buffers = nn::load_parameters(*out.rpn, rpn_path);
+    nn::load_parameters(*out.listener, listener_path);
+    nn::load_parameters(*out.speaker, speaker_path);
+    if (!had_buffers) {
+      std::printf("[cache] %s: legacy file, recalibrating RPN BatchNorm...\n",
+                  tag.c_str());
+      baseline::recalibrate_rpn(*out.rpn, dataset.train());
+      nn::save_parameters(*out.rpn, rpn_path);
+    }
+    out.from_cache = true;
+    std::printf("[cache] loaded %s (rpn + matchers)\n", tag.c_str());
+    return out;
+  }
+
+  std::printf("[train] %s: RPN (%lld steps)...\n", tag.c_str(),
+              static_cast<long long>(scale.rpn_steps));
+  std::fflush(stdout);
+  baseline::RpnTrainConfig rtc;
+  rtc.epochs = 10000;
+  rtc.max_steps = scale.rpn_steps;
+  rtc.batch_size = 16;
+  baseline::train_rpn(*out.rpn, dataset.train(), rtc);
+  std::printf("  proposal recall@0.5: %.3f\n",
+              baseline::proposal_recall(
+                  *out.rpn, dataset.val(),
+                  0.5f));
+  std::fflush(stdout);
+
+  std::printf("[train] %s: listener (%lld samples)...\n", tag.c_str(),
+              static_cast<long long>(scale.matcher_steps));
+  std::fflush(stdout);
+  baseline::MatcherTrainConfig ltc;
+  ltc.epochs = 10000;
+  ltc.max_steps = scale.matcher_steps;
+  baseline::train_listener(*out.listener, *out.rpn, dataset.train(), ltc);
+
+  std::printf("[train] %s: speaker (%lld samples)...\n", tag.c_str(),
+              static_cast<long long>(scale.matcher_steps));
+  std::fflush(stdout);
+  baseline::MatcherTrainConfig stc;
+  stc.epochs = 10000;
+  stc.max_steps = scale.matcher_steps;
+  baseline::train_speaker(*out.speaker, dataset.train(), stc);
+
+  nn::save_parameters(*out.rpn, rpn_path);
+  nn::save_parameters(*out.listener, listener_path);
+  nn::save_parameters(*out.speaker, speaker_path);
+  return out;
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> cap(const std::vector<T>& v, int64_t n) {
+  if (static_cast<int64_t>(v.size()) <= n) return v;
+  return std::vector<T>(v.begin(), v.begin() + n);
+}
+
+}  // namespace
+
+std::vector<eval::Prediction> capped_eval_yollo(
+    core::YolloModel& model, const std::vector<data::GroundingSample>& split,
+    const BenchScale& scale) {
+  return core::evaluate_yollo(model, cap(split, scale.eval_cap));
+}
+
+std::vector<eval::Prediction> capped_eval_two_stage(
+    baseline::TwoStagePipeline& pipeline,
+    const std::vector<data::GroundingSample>& split, int64_t max_query_len,
+    const BenchScale& scale) {
+  return baseline::evaluate_two_stage(pipeline, cap(split, scale.eval_cap),
+                                      max_query_len);
+}
+
+void save_curve(const std::vector<core::CurvePoint>& curve,
+                const std::string& path) {
+  std::ofstream out(path);
+  out << "step,total,att,cls,reg\n";
+  for (const core::CurvePoint& p : curve) {
+    out << p.step << ',' << p.total << ',' << p.att << ',' << p.cls << ','
+        << p.reg << '\n';
+  }
+}
+
+std::vector<core::CurvePoint> load_curve(const std::string& path) {
+  std::vector<core::CurvePoint> curve;
+  std::ifstream in(path);
+  if (!in) return curve;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    core::CurvePoint p;
+    std::istringstream row(line);
+    char comma;
+    row >> p.step >> comma >> p.total >> comma >> p.att >> comma >> p.cls >>
+        comma >> p.reg;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+}  // namespace yollo::bench

@@ -1,0 +1,87 @@
+// Shared infrastructure for the per-table/per-figure benchmark binaries.
+//
+// Every bench binary is standalone-runnable; trained models and training
+// curves are cached on disk (default ./bench_cache) so that the full bench
+// suite (`for b in build/bench/*; do $b; done`) trains each model exactly
+// once no matter which binary runs first.
+//
+// Scale: set YOLLO_BENCH_SCALE=quick for a fast smoke run (smaller datasets,
+// fewer steps); the default "full" scale produces the EXPERIMENTS.md
+// numbers.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baseline/matcher.h"
+#include "baseline/proposer.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace yollo::bench {
+
+struct BenchScale {
+  bool quick = false;
+  int64_t num_images = 1600;      // images per dataset
+  int64_t yollo_steps = 1200;     // main training budget
+  int64_t ablation_steps = 450;   // Table-4 variants
+  int64_t rpn_steps = 300;        // stage-i proposer
+  int64_t matcher_steps = 800;    // listener / speaker (per-sample steps)
+  int64_t eval_cap = 200;         // max samples evaluated per split
+
+  static BenchScale from_env();
+};
+
+// The three benchmark datasets (SynthRef / SynthRef+ / SynthRefG) at bench
+// scale: 48x72 canvases, fixed seeds.
+data::DatasetConfig bench_dataset_config(int which, const BenchScale& scale);
+std::string bench_dataset_name(int which);
+
+// Cache directory (created on demand); override with YOLLO_BENCH_CACHE.
+std::string cache_dir();
+
+// --- train-or-load ------------------------------------------------------------
+
+struct TrainedYollo {
+  std::unique_ptr<core::YolloModel> model;
+  std::vector<core::CurvePoint> curve;  // empty when loaded without curve
+  bool from_cache = false;
+};
+
+// Train (or load from cache) a YOLLO model for `dataset`, tagged by `tag`
+// (e.g. "yollo_SynthRef", "yollo_SynthRef_noself"). The YolloConfig ablation
+// switches come from `config`; geometry fields are filled from the dataset.
+TrainedYollo get_trained_yollo(const data::GroundingDataset& dataset,
+                               const data::Vocab& vocab,
+                               const std::string& tag,
+                               core::YolloConfig config, int64_t max_steps,
+                               const BenchScale& scale);
+
+struct TrainedTwoStage {
+  std::unique_ptr<baseline::RegionProposalNetwork> rpn;
+  std::unique_ptr<baseline::ListenerMatcher> listener;
+  std::unique_ptr<baseline::SpeakerMatcher> speaker;
+  bool from_cache = false;
+};
+
+// Train (or load) the full two-stage baseline stack on `dataset`.
+TrainedTwoStage get_trained_two_stage(const data::GroundingDataset& dataset,
+                                      const data::Vocab& vocab,
+                                      const std::string& tag,
+                                      const BenchScale& scale);
+
+// Evaluate with the split capped at scale.eval_cap samples.
+std::vector<eval::Prediction> capped_eval_yollo(
+    core::YolloModel& model, const std::vector<data::GroundingSample>& split,
+    const BenchScale& scale);
+std::vector<eval::Prediction> capped_eval_two_stage(
+    baseline::TwoStagePipeline& pipeline,
+    const std::vector<data::GroundingSample>& split, int64_t max_query_len,
+    const BenchScale& scale);
+
+// Write / read a training curve CSV (step,total,att,cls,reg).
+void save_curve(const std::vector<core::CurvePoint>& curve,
+                const std::string& path);
+std::vector<core::CurvePoint> load_curve(const std::string& path);
+
+}  // namespace yollo::bench

@@ -1,0 +1,61 @@
+// Shared helper for the example programs: obtain a trained YOLLO model,
+// preferring the benchmark suite's cached checkpoint when one is present
+// and compatible, and training a fresh model otherwise.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace yollo::examples {
+
+// Try to load `bench_cache/yollo_SynthRef.params`. The checkpoint's
+// positional-embedding table fixes the query padding length, which may
+// differ from `dataset`'s; probe a small range of lengths until the
+// parameter shapes line up. Returns nullptr when no compatible checkpoint
+// exists.
+inline std::unique_ptr<core::YolloModel> try_load_cached(
+    const data::GroundingDataset& dataset, const data::Vocab& vocab) {
+  const std::string cached = "bench_cache/yollo_SynthRef.params";
+  if (!std::filesystem::exists(cached)) return nullptr;
+  for (int64_t len = 4; len <= 24; ++len) {
+    core::BuildOptions options;
+    options.pretrain_embeddings = false;  // weights come from the file
+    options.config.max_query_len = len;
+    options.config.img_h = dataset.config().img_h;
+    options.config.img_w = dataset.config().img_w;
+    Rng rng(options.config.seed);
+    auto model = std::make_unique<core::YolloModel>(options.config,
+                                                    vocab.size(), rng);
+    try {
+      nn::load_parameters(*model, cached);
+      std::printf("Loaded trained model from %s (query length %lld)\n",
+                  cached.c_str(), static_cast<long long>(len));
+      return model;
+    } catch (const std::exception&) {
+      // Wrong padding length; try the next one.
+    }
+  }
+  return nullptr;
+}
+
+// Cached model if compatible, else a freshly trained one.
+inline std::unique_ptr<core::YolloModel> load_or_train(
+    const data::GroundingDataset& dataset, const data::Vocab& vocab,
+    int64_t epochs) {
+  if (auto cached = try_load_cached(dataset, vocab)) return cached;
+  core::BuildOptions options;
+  auto model = core::build_yollo(dataset, vocab, options);
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 16;
+  std::printf("Training the grounding model (%lld epochs)...\n",
+              static_cast<long long>(epochs));
+  core::train_yollo(*model, dataset.train(), tc);
+  return model;
+}
+
+}  // namespace yollo::examples

@@ -1,0 +1,81 @@
+// Home-robot scenario — one of the applications the paper's introduction
+// motivates ("human-computer interaction systems of new generation
+// intelligence devices, such as home robots").
+//
+// A simulated tabletop scene is observed by the robot's camera (the
+// renderer); the user issues a sequence of natural-language fetch commands;
+// the robot grounds each command with YOLLO and reports the grasp point
+// (box centre). Re-running the model per command demonstrates the paper's
+// key property: grounding is a single forward pass, fast enough for
+// interactive use.
+//
+//   ./examples/home_robot [num_images] [epochs]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/trainer.h"
+#include "example_util.h"
+#include "data/renderer.h"
+#include "eval/metrics.h"
+
+using namespace yollo;
+
+int main(int argc, char** argv) {
+  const int64_t num_images = argc > 1 ? std::atoll(argv[1]) : 200;
+  const int64_t epochs = argc > 2 ? std::atoll(argv[2]) : 10;
+
+  std::printf("== home robot: 'fetch me the ...' ==\n");
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  data::DatasetConfig dc = data::DatasetConfig::synthref(num_images);
+  dc.img_h = 48;
+  dc.img_w = 72;
+  const data::GroundingDataset dataset(dc, vocab);
+
+  auto model = examples::load_or_train(dataset, vocab, epochs);
+  model->set_training(false);
+
+  // The robot's tabletop: a fresh scene it has never seen.
+  Rng rng(2026);
+  data::SceneSamplerConfig scfg = data::SceneSamplerConfig::refcoco_style();
+  scfg.width = dc.img_w;
+  scfg.height = dc.img_h;
+  const data::Scene table = data::sample_scene(scfg, rng);
+  Tensor camera = data::render_scene(table);
+  std::printf("\nTabletop contains %zu objects:\n", table.objects.size());
+  for (const data::SceneObject& obj : table.objects) {
+    std::printf("  - %s %s %s at (%.0f, %.0f)\n",
+                data::size_name(obj.size).c_str(),
+                data::color_name(obj.color).c_str(),
+                data::shape_name(obj.shape).c_str(), obj.box.cx(),
+                obj.box.cy());
+  }
+
+  // Issue one command per object, built from its own attributes.
+  int correct = 0;
+  eval::Stopwatch total;
+  for (const data::SceneObject& obj : table.objects) {
+    const std::string command = data::color_name(obj.color) + " " +
+                                data::shape_name(obj.shape);
+    const auto tokens =
+        data::pad_to(vocab.encode(command), model->config().max_query_len);
+    eval::Stopwatch per_command;
+    const vision::Box grasp =
+        model->predict(camera.reshape({1, 3, dc.img_h, dc.img_w}), tokens)[0];
+    const double ms = per_command.elapsed_seconds() * 1e3;
+    const bool hit = vision::iou(grasp, obj.box) > 0.5f;
+    correct += hit;
+    std::printf("robot <- \"fetch the %s\": grasp at (%.0f, %.0f) in %.0f ms %s\n",
+                command.c_str(), grasp.cx(), grasp.cy(), ms,
+                hit ? "[correct object]" : "[missed]");
+  }
+  std::printf("\nGrounded %d/%zu commands correctly; %.0f ms/command "
+              "average (single forward pass, no proposal stage).\n",
+              correct, table.objects.size(),
+              total.elapsed_seconds() * 1e3 /
+                  static_cast<double>(table.objects.size()));
+
+  data::write_ppm(camera, "home_robot_tabletop.ppm");
+  std::printf("Wrote home_robot_tabletop.ppm\n");
+  return 0;
+}

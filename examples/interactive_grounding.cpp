@@ -1,0 +1,117 @@
+// Interactive grounding console — the paper's "virtual assistant" pitch as
+// a REPL.
+//
+// Trains (or loads from ./bench_cache, when present) a YOLLO model, shows
+// a scene as ASCII art, then grounds every line typed on stdin, printing
+// the predicted box, the attention map, and the matched object. Type
+// "next" for a fresh scene, "quit" to exit. Non-interactive runs (stdin at
+// EOF, e.g. in CI) fall back to a scripted demo of three queries.
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/trainer.h"
+#include "example_util.h"
+#include "data/renderer.h"
+
+using namespace yollo;
+
+namespace {
+
+// Coarse ASCII rendering of the scene with object letters.
+void print_scene(const data::Scene& scene) {
+  const int64_t cols = 48, rows = 16;
+  std::vector<std::string> canvas(rows, std::string(cols, '.'));
+  char label = 'A';
+  for (const data::SceneObject& obj : scene.objects) {
+    const int64_t cx = static_cast<int64_t>(obj.box.cx() * cols /
+                                            static_cast<float>(scene.width));
+    const int64_t cy = static_cast<int64_t>(obj.box.cy() * rows /
+                                            static_cast<float>(scene.height));
+    canvas[static_cast<size_t>(std::clamp<int64_t>(cy, 0, rows - 1))]
+          [static_cast<size_t>(std::clamp<int64_t>(cx, 0, cols - 1))] = label;
+    std::printf("  %c: %s %s %s\n", label, data::size_name(obj.size).c_str(),
+                data::color_name(obj.color).c_str(),
+                data::shape_name(obj.shape).c_str());
+    ++label;
+  }
+  for (const std::string& row : canvas) std::printf("  %s\n", row.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t num_images = argc > 1 ? std::atoll(argv[1]) : 200;
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  data::DatasetConfig dc = data::DatasetConfig::synthref(num_images);
+  dc.img_h = 48;
+  dc.img_w = 72;
+  const data::GroundingDataset dataset(dc, vocab);
+
+  auto model = examples::load_or_train(dataset, vocab, /*epochs=*/8);
+  model->set_training(false);
+
+  Rng rng(31337);
+  data::SceneSamplerConfig scfg = data::SceneSamplerConfig::refcoco_style();
+  scfg.width = dc.img_w;
+  scfg.height = dc.img_h;
+  data::Scene scene = data::sample_scene(scfg, rng);
+  std::printf("\nScene:\n");
+  print_scene(scene);
+  std::printf(
+      "\nDescribe an object (e.g. \"red circle\", \"small square left\");\n"
+      "\"next\" = new scene, \"quit\" = exit.\n");
+
+  auto ground_and_report = [&](const std::string& query) {
+    const Tensor image =
+        data::render_scene(scene).reshape({1, 3, dc.img_h, dc.img_w});
+    const auto tokens =
+        data::pad_to(vocab.encode(query), model->config().max_query_len);
+    const vision::Box box = model->predict(image, tokens)[0];
+    // Which object did we hit?
+    float best = 0.0f;
+    const data::SceneObject* hit = nullptr;
+    for (const data::SceneObject& obj : scene.objects) {
+      const float overlap = vision::iou(box, obj.box);
+      if (overlap > best) {
+        best = overlap;
+        hit = &obj;
+      }
+    }
+    std::printf("-> box (%.0f, %.0f, %.0f, %.0f)", box.x, box.y, box.w,
+                box.h);
+    if (hit && best > 0.3f) {
+      std::printf("  = the %s %s %s (IoU %.2f)\n",
+                  data::size_name(hit->size).c_str(),
+                  data::color_name(hit->color).c_str(),
+                  data::shape_name(hit->shape).c_str(), best);
+    } else {
+      std::printf("  (no clear object match)\n");
+    }
+  };
+
+  std::string line;
+  bool interactive = false;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    interactive = true;
+    if (line == "quit" || line == "exit") break;
+    if (line == "next") {
+      scene = data::sample_scene(scfg, rng);
+      std::printf("\nScene:\n");
+      print_scene(scene);
+      continue;
+    }
+    if (line.empty()) continue;
+    ground_and_report(line);
+  }
+
+  if (!interactive) {
+    std::printf("(stdin closed — running scripted demo)\n");
+    for (const char* q : {"red circle", "large square", "blue ring left"}) {
+      std::printf("> %s\n", q);
+      ground_and_report(q);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,569 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace yollo::ag {
+namespace {
+
+using NodePtr = std::shared_ptr<Node>;
+
+// Accumulate into a parent only when it participates in differentiation;
+// avoids computing reductions whose result would be discarded.
+void feed(const NodePtr& parent, const Tensor& g) {
+  if (parent->requires_grad) accumulate_grad(*parent, g);
+}
+
+void feed_reduced(const NodePtr& parent, const Tensor& g, const Shape& shape) {
+  if (parent->requires_grad) {
+    accumulate_grad(*parent, reduce_to_shape(g, shape));
+  }
+}
+
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return Variable::make_op(
+      yollo::add(a.value(), b.value()), {a, b},
+      [an, bn](const Tensor& g) {
+        feed_reduced(an, g, an->data.shape());
+        feed_reduced(bn, g, bn->data.shape());
+      },
+      "add");
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return Variable::make_op(
+      yollo::sub(a.value(), b.value()), {a, b},
+      [an, bn](const Tensor& g) {
+        feed_reduced(an, g, an->data.shape());
+        feed_reduced(bn, yollo::neg(g), bn->data.shape());
+      },
+      "sub");
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return Variable::make_op(
+      yollo::mul(a.value(), b.value()), {a, b},
+      [an, bn](const Tensor& g) {
+        feed_reduced(an, yollo::mul(g, bn->data.broadcast_to(g.shape())),
+                     an->data.shape());
+        feed_reduced(bn, yollo::mul(g, an->data.broadcast_to(g.shape())),
+                     bn->data.shape());
+      },
+      "mul");
+}
+
+Variable div(const Variable& a, const Variable& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return Variable::make_op(
+      yollo::div(a.value(), b.value()), {a, b},
+      [an, bn](const Tensor& g) {
+        const Tensor bb = bn->data.broadcast_to(g.shape());
+        feed_reduced(an, yollo::div(g, bb), an->data.shape());
+        if (bn->requires_grad) {
+          const Tensor ab = an->data.broadcast_to(g.shape());
+          // d/db (a/b) = -a / b^2
+          Tensor gb = yollo::neg(yollo::div(yollo::mul(g, ab),
+                                            yollo::mul(bb, bb)));
+          feed_reduced(bn, gb, bn->data.shape());
+        }
+      },
+      "div");
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  NodePtr an = a.node();
+  return Variable::make_op(
+      yollo::add_scalar(a.value(), s), {a},
+      [an](const Tensor& g) { feed(an, g); }, "add_scalar");
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  NodePtr an = a.node();
+  return Variable::make_op(
+      yollo::mul_scalar(a.value(), s), {a},
+      [an, s](const Tensor& g) { feed(an, yollo::mul_scalar(g, s)); },
+      "mul_scalar");
+}
+
+Variable pow_scalar(const Variable& a, float exponent) {
+  NodePtr an = a.node();
+  Tensor out = yollo::pow(a.value(), exponent);
+  return Variable::make_op(
+      std::move(out), {a},
+      [an, exponent](const Tensor& g) {
+        if (!an->requires_grad) return;
+        // d/dx x^p = p * x^(p-1)
+        Tensor d = yollo::pow(an->data, exponent - 1.0f);
+        feed(an, yollo::mul(g, yollo::mul_scalar(d, exponent)));
+      },
+      "pow_scalar");
+}
+
+Variable relu(const Variable& a) {
+  NodePtr an = a.node();
+  return Variable::make_op(
+      yollo::relu(a.value()), {a},
+      [an](const Tensor& g) {
+        if (!an->requires_grad) return;
+        Tensor d(g.shape());
+        const float* x = an->data.data();
+        const float* gp = g.data();
+        float* dp = d.data();
+        for (int64_t i = 0; i < g.numel(); ++i) {
+          dp[i] = x[i] > 0.0f ? gp[i] : 0.0f;
+        }
+        feed(an, d);
+      },
+      "relu");
+}
+
+Variable tanh(const Variable& a) {
+  NodePtr an = a.node();
+  Tensor y = yollo::tanh(a.value());
+  return Variable::make_op(
+      y, {a},
+      [an, y](const Tensor& g) {
+        // d tanh = 1 - y^2
+        Tensor one_minus = yollo::sub(Tensor::ones(y.shape()), yollo::mul(y, y));
+        feed(an, yollo::mul(g, one_minus));
+      },
+      "tanh");
+}
+
+Variable sigmoid(const Variable& a) {
+  NodePtr an = a.node();
+  Tensor y = yollo::sigmoid(a.value());
+  return Variable::make_op(
+      y, {a},
+      [an, y](const Tensor& g) {
+        Tensor d = yollo::mul(y, yollo::sub(Tensor::ones(y.shape()), y));
+        feed(an, yollo::mul(g, d));
+      },
+      "sigmoid");
+}
+
+Variable exp(const Variable& a) {
+  NodePtr an = a.node();
+  Tensor y = yollo::exp(a.value());
+  return Variable::make_op(
+      y, {a}, [an, y](const Tensor& g) { feed(an, yollo::mul(g, y)); }, "exp");
+}
+
+Variable log(const Variable& a) {
+  NodePtr an = a.node();
+  return Variable::make_op(
+      yollo::log(a.value()), {a},
+      [an](const Tensor& g) {
+        if (!an->requires_grad) return;
+        Tensor d(g.shape());
+        const float* x = an->data.data();
+        const float* gp = g.data();
+        float* dp = d.data();
+        for (int64_t i = 0; i < g.numel(); ++i) {
+          dp[i] = gp[i] / std::max(x[i], 1e-12f);
+        }
+        feed(an, d);
+      },
+      "log");
+}
+
+Variable sqrt(const Variable& a) {
+  NodePtr an = a.node();
+  Tensor y = yollo::sqrt(yollo::clamp(a.value(), 0.0f,
+                                      std::numeric_limits<float>::max()));
+  return Variable::make_op(
+      y, {a},
+      [an, y](const Tensor& g) {
+        if (!an->requires_grad) return;
+        Tensor d(g.shape());
+        const float* yp = y.data();
+        const float* gp = g.data();
+        float* dp = d.data();
+        for (int64_t i = 0; i < g.numel(); ++i) {
+          dp[i] = gp[i] * 0.5f / std::max(yp[i], 1e-6f);
+        }
+        feed(an, d);
+      },
+      "sqrt");
+}
+
+Variable square(const Variable& a) {
+  NodePtr an = a.node();
+  return Variable::make_op(
+      yollo::mul(a.value(), a.value()), {a},
+      [an](const Tensor& g) {
+        if (!an->requires_grad) return;
+        feed(an, yollo::mul_scalar(yollo::mul(g, an->data), 2.0f));
+      },
+      "square");
+}
+
+Variable reshape(const Variable& a, Shape new_shape) {
+  NodePtr an = a.node();
+  const Shape old_shape = a.shape();
+  return Variable::make_op(
+      a.value().reshape(std::move(new_shape)), {a},
+      [an, old_shape](const Tensor& g) { feed(an, g.reshape(old_shape)); },
+      "reshape");
+}
+
+Variable transpose(const Variable& a, int64_t d0, int64_t d1) {
+  NodePtr an = a.node();
+  return Variable::make_op(
+      a.value().transpose(d0, d1), {a},
+      [an, d0, d1](const Tensor& g) { feed(an, g.transpose(d0, d1)); },
+      "transpose");
+}
+
+Variable narrow(const Variable& a, int64_t axis, int64_t start,
+                int64_t length) {
+  NodePtr an = a.node();
+  const Shape in_shape = a.shape();
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  return Variable::make_op(
+      a.value().narrow(ax, start, length), {a},
+      [an, in_shape, ax, start, length](const Tensor& g) {
+        if (!an->requires_grad) return;
+        // Scatter the slice gradient back into a zero tensor.
+        Tensor full(in_shape);
+        int64_t outer = 1;
+        for (int64_t i = 0; i < ax; ++i) outer *= in_shape[static_cast<size_t>(i)];
+        int64_t inner = 1;
+        for (size_t i = static_cast<size_t>(ax) + 1; i < in_shape.size(); ++i) {
+          inner *= in_shape[i];
+        }
+        const int64_t extent = in_shape[static_cast<size_t>(ax)];
+        const float* src = g.data();
+        float* dst = full.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          std::copy(src + o * length * inner, src + (o + 1) * length * inner,
+                    dst + (o * extent + start) * inner);
+        }
+        feed(an, full);
+      },
+      "narrow");
+}
+
+Variable concat(const std::vector<Variable>& parts, int64_t axis) {
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Variable& p : parts) values.push_back(p.value());
+  Tensor out = yollo::concat(values, axis);
+  const int64_t ax = normalize_axis(axis, parts[0].ndim());
+
+  std::vector<NodePtr> nodes;
+  std::vector<int64_t> extents;
+  nodes.reserve(parts.size());
+  for (const Variable& p : parts) {
+    nodes.push_back(p.node());
+    extents.push_back(p.size(ax));
+  }
+  return Variable::make_op(
+      std::move(out), parts,
+      [nodes, extents, ax](const Tensor& g) {
+        int64_t offset = 0;
+        for (size_t i = 0; i < nodes.size(); ++i) {
+          if (nodes[i]->requires_grad) {
+            accumulate_grad(*nodes[i], g.narrow(ax, offset, extents[i]));
+          }
+          offset += extents[i];
+        }
+      },
+      "concat");
+}
+
+Variable unsqueeze(const Variable& a, int64_t axis) {
+  Shape s = a.shape();
+  const int64_t rank = a.ndim() + 1;
+  const int64_t ax = axis < 0 ? axis + rank : axis;
+  s.insert(s.begin() + ax, 1);
+  return reshape(a, std::move(s));
+}
+
+Variable broadcast_to(const Variable& a, const Shape& target) {
+  NodePtr an = a.node();
+  const Shape from = a.shape();
+  return Variable::make_op(
+      a.value().broadcast_to(target), {a},
+      [an, from](const Tensor& g) {
+        feed(an, reduce_to_shape(g, from));
+      },
+      "broadcast_to");
+}
+
+Variable select_rows(const Variable& a, std::vector<int64_t> indices) {
+  NodePtr an = a.node();
+  const Shape in_shape = a.shape();
+  Tensor out = a.value().index_select(0, indices);
+  return Variable::make_op(
+      std::move(out), {a},
+      [an, in_shape, indices = std::move(indices)](const Tensor& g) {
+        if (!an->requires_grad) return;
+        Tensor full(in_shape);
+        int64_t inner = 1;
+        for (size_t i = 1; i < in_shape.size(); ++i) inner *= in_shape[i];
+        const float* src = g.data();
+        float* dst = full.data();
+        for (size_t j = 0; j < indices.size(); ++j) {
+          float* row = dst + indices[j] * inner;
+          const float* grow = src + static_cast<int64_t>(j) * inner;
+          for (int64_t i = 0; i < inner; ++i) row[i] += grow[i];
+        }
+        feed(an, full);
+      },
+      "select_rows");
+}
+
+Variable gather_flat(const Variable& a, std::vector<int64_t> indices) {
+  NodePtr an = a.node();
+  const Shape in_shape = a.shape();
+  Tensor out({static_cast<int64_t>(indices.size())});
+  const float* src = a.value().data();
+  float* dst = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) dst[i] = src[indices[i]];
+  return Variable::make_op(
+      std::move(out), {a},
+      [an, in_shape, indices = std::move(indices)](const Tensor& g) {
+        if (!an->requires_grad) return;
+        Tensor full(in_shape);
+        float* dst = full.data();
+        const float* gp = g.data();
+        for (size_t i = 0; i < indices.size(); ++i) {
+          dst[indices[i]] += gp[i];
+        }
+        feed(an, full);
+      },
+      "gather_flat");
+}
+
+Variable embedding(const Variable& weight, const std::vector<int64_t>& ids) {
+  return select_rows(weight, ids);
+}
+
+Variable matmul(const Variable& a, const Variable& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return Variable::make_op(
+      yollo::matmul(a.value(), b.value()), {a, b},
+      [an, bn](const Tensor& g) {
+        const int64_t rank = an->data.ndim();
+        const int64_t last = rank - 1;
+        const int64_t second_last = rank - 2;
+        if (an->requires_grad) {
+          feed(an, yollo::matmul(g, bn->data.transpose(second_last, last)));
+        }
+        if (bn->requires_grad) {
+          feed(bn, yollo::matmul(an->data.transpose(second_last, last), g));
+        }
+      },
+      "matmul");
+}
+
+Variable sum(const Variable& a) {
+  NodePtr an = a.node();
+  const Shape in_shape = a.shape();
+  return Variable::make_op(
+      yollo::sum(a.value()), {a},
+      [an, in_shape](const Tensor& g) {
+        feed(an, Tensor::full(in_shape, g.item()));
+      },
+      "sum");
+}
+
+Variable sum(const Variable& a, int64_t axis, bool keepdim) {
+  NodePtr an = a.node();
+  const Shape in_shape = a.shape();
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  return Variable::make_op(
+      yollo::sum(a.value(), ax, keepdim), {a},
+      [an, in_shape, ax, keepdim](const Tensor& g) {
+        if (!an->requires_grad) return;
+        Tensor gk = g;
+        if (!keepdim) {
+          Shape kshape = in_shape;
+          kshape[static_cast<size_t>(ax)] = 1;
+          gk = g.reshape(kshape);
+        }
+        feed(an, gk.broadcast_to(in_shape));
+      },
+      "sum_axis");
+}
+
+Variable mean(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(std::max<int64_t>(a.numel(), 1));
+  return mul_scalar(sum(a), inv);
+}
+
+Variable mean(const Variable& a, int64_t axis, bool keepdim) {
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  const float inv = 1.0f / static_cast<float>(a.size(ax));
+  return mul_scalar(sum(a, ax, keepdim), inv);
+}
+
+Variable softmax(const Variable& a, int64_t axis) {
+  NodePtr an = a.node();
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  Tensor y = yollo::softmax(a.value(), ax);
+  return Variable::make_op(
+      y, {a},
+      [an, y, ax](const Tensor& g) {
+        if (!an->requires_grad) return;
+        // dx = y * (g - sum(g * y, axis, keepdim))
+        Tensor gy = yollo::mul(g, y);
+        Tensor s = yollo::sum(gy, ax, /*keepdim=*/true);
+        feed(an, yollo::mul(y, yollo::sub(g, s.broadcast_to(g.shape()))));
+      },
+      "softmax");
+}
+
+Variable log_softmax(const Variable& a, int64_t axis) {
+  NodePtr an = a.node();
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  Tensor y = yollo::log_softmax(a.value(), ax);
+  return Variable::make_op(
+      y, {a},
+      [an, y, ax](const Tensor& g) {
+        if (!an->requires_grad) return;
+        // dx = g - softmax(x) * sum(g, axis, keepdim)
+        Tensor sm = yollo::exp(y);
+        Tensor s = yollo::sum(g, ax, /*keepdim=*/true);
+        feed(an, yollo::sub(g, yollo::mul(sm, s.broadcast_to(g.shape()))));
+      },
+      "log_softmax");
+}
+
+Variable smooth_l1(const Variable& pred, const Tensor& target) {
+  if (pred.shape() != target.shape()) {
+    throw std::invalid_argument("smooth_l1: shape mismatch " +
+                                shape_to_string(pred.shape()) + " vs " +
+                                shape_to_string(target.shape()));
+  }
+  NodePtr pn = pred.node();
+  Tensor out(Shape{});
+  const float* p = pred.value().data();
+  const float* t = target.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    const float d = p[i] - t[i];
+    const float a = std::fabs(d);
+    acc += a < 1.0f ? 0.5f * d * d : a - 0.5f;
+  }
+  out[0] = static_cast<float>(acc);
+  return Variable::make_op(
+      std::move(out), {pred},
+      [pn, target](const Tensor& g) {
+        if (!pn->requires_grad) return;
+        const float gs = g.item();
+        Tensor d(pn->data.shape());
+        const float* p = pn->data.data();
+        const float* t = target.data();
+        float* dp = d.data();
+        for (int64_t i = 0; i < d.numel(); ++i) {
+          const float diff = p[i] - t[i];
+          dp[i] = gs * (std::fabs(diff) < 1.0f
+                            ? diff
+                            : (diff > 0.0f ? 1.0f : -1.0f));
+        }
+        feed(pn, d);
+      },
+      "smooth_l1");
+}
+
+Variable bce_with_logits(const Variable& logits, const Tensor& targets) {
+  if (logits.shape() != targets.shape()) {
+    throw std::invalid_argument("bce_with_logits: shape mismatch");
+  }
+  NodePtr ln = logits.node();
+  const int64_t n = logits.numel();
+  Tensor out(Shape{});
+  const float* x = logits.value().data();
+  const float* t = targets.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    // Stable form: max(x,0) - x*t + log(1 + exp(-|x|)).
+    acc += std::max(x[i], 0.0f) - x[i] * t[i] +
+           std::log1p(std::exp(-std::fabs(x[i])));
+  }
+  out[0] = static_cast<float>(acc / static_cast<double>(std::max<int64_t>(n, 1)));
+  return Variable::make_op(
+      std::move(out), {logits},
+      [ln, targets, n](const Tensor& g) {
+        if (!ln->requires_grad) return;
+        const float gs = g.item() / static_cast<float>(std::max<int64_t>(n, 1));
+        Tensor d(ln->data.shape());
+        const float* x = ln->data.data();
+        const float* t = targets.data();
+        float* dp = d.data();
+        for (int64_t i = 0; i < n; ++i) {
+          const float s = 1.0f / (1.0f + std::exp(-x[i]));
+          dp[i] = gs * (s - t[i]);
+        }
+        feed(ln, d);
+      },
+      "bce_with_logits");
+}
+
+Variable conv2d(const Variable& input, const Variable& weight,
+                const Variable& bias, const Conv2dSpec& spec) {
+  NodePtr in = input.node(), wn = weight.node();
+  NodePtr bn = bias.defined() ? bias.node() : nullptr;
+  Tensor out = conv2d_forward(input.value(), weight.value(),
+                              bias.defined() ? bias.value() : Tensor(), spec);
+  std::vector<Variable> parents{input, weight};
+  if (bias.defined()) parents.push_back(bias);
+  return Variable::make_op(
+      std::move(out), std::move(parents),
+      [in, wn, bn, spec](const Tensor& g) {
+        const Conv2dGrads grads =
+            conv2d_backward(in->data, wn->data, bn != nullptr, g, spec);
+        feed(in, grads.grad_input);
+        feed(wn, grads.grad_weight);
+        if (bn) feed(bn, grads.grad_bias);
+      },
+      "conv2d");
+}
+
+Variable max_pool2x2(const Variable& input) {
+  NodePtr in = input.node();
+  MaxPoolResult res = max_pool2x2_forward(input.value());
+  const Shape in_shape = input.shape();
+  return Variable::make_op(
+      std::move(res.output), {input},
+      [in, in_shape, argmax = std::move(res.argmax)](const Tensor& g) {
+        if (!in->requires_grad) return;
+        feed(in, max_pool2x2_backward(g, argmax, in_shape));
+      },
+      "max_pool2x2");
+}
+
+Variable global_avg_pool(const Variable& input) {
+  NodePtr in = input.node();
+  const Shape in_shape = input.shape();
+  return Variable::make_op(
+      global_avg_pool_forward(input.value()), {input},
+      [in, in_shape](const Tensor& g) {
+        if (!in->requires_grad) return;
+        feed(in, global_avg_pool_backward(g, in_shape));
+      },
+      "global_avg_pool");
+}
+
+Variable dropout(const Variable& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  Tensor mask(a.shape());
+  const float scale = 1.0f / (1.0f - p);
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = rng.bernoulli(p) ? 0.0f : scale;
+  }
+  return mul(a, Variable::constant(mask));
+}
+
+}  // namespace yollo::ag

@@ -1,0 +1,102 @@
+// Differentiable operations over ag::Variable.
+//
+// Every function builds the forward value eagerly with the tensor kernels
+// and registers a backward closure. Binary elementwise ops broadcast, and
+// their backward passes sum gradients back down to the operand shapes.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/conv.h"
+
+namespace yollo::ag {
+
+// --- elementwise binary (broadcasting) --------------------------------------
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable div(const Variable& a, const Variable& b);
+
+inline Variable operator+(const Variable& a, const Variable& b) {
+  return add(a, b);
+}
+inline Variable operator-(const Variable& a, const Variable& b) {
+  return sub(a, b);
+}
+inline Variable operator*(const Variable& a, const Variable& b) {
+  return mul(a, b);
+}
+inline Variable operator/(const Variable& a, const Variable& b) {
+  return div(a, b);
+}
+
+// --- scalar ------------------------------------------------------------------
+Variable add_scalar(const Variable& a, float s);
+Variable mul_scalar(const Variable& a, float s);
+Variable pow_scalar(const Variable& a, float exponent);  // requires a > 0 when
+                                                         // exponent non-integer
+inline Variable operator+(const Variable& a, float s) { return add_scalar(a, s); }
+inline Variable operator-(const Variable& a, float s) { return add_scalar(a, -s); }
+inline Variable operator*(const Variable& a, float s) { return mul_scalar(a, s); }
+inline Variable operator/(const Variable& a, float s) {
+  return mul_scalar(a, 1.0f / s);
+}
+inline Variable operator-(const Variable& a) { return mul_scalar(a, -1.0f); }
+
+// --- unary --------------------------------------------------------------------
+Variable relu(const Variable& a);
+Variable tanh(const Variable& a);
+Variable sigmoid(const Variable& a);
+Variable exp(const Variable& a);
+Variable log(const Variable& a);    // input clamped to >= 1e-12
+Variable sqrt(const Variable& a);   // input clamped to >= 0
+Variable square(const Variable& a);
+
+// --- shape ---------------------------------------------------------------------
+Variable reshape(const Variable& a, Shape new_shape);
+Variable transpose(const Variable& a, int64_t d0, int64_t d1);
+Variable narrow(const Variable& a, int64_t axis, int64_t start, int64_t length);
+Variable concat(const std::vector<Variable>& parts, int64_t axis);
+Variable unsqueeze(const Variable& a, int64_t axis);
+Variable broadcast_to(const Variable& a, const Shape& target);
+
+// --- gather / scatter ------------------------------------------------------------
+// Rows of axis-0 selected by indices: a[indices, ...].
+Variable select_rows(const Variable& a, std::vector<int64_t> indices);
+// Arbitrary flat elements gathered into a rank-1 Variable.
+Variable gather_flat(const Variable& a, std::vector<int64_t> indices);
+// Embedding lookup: weight [V, d] gathered by token ids -> [n, d].
+Variable embedding(const Variable& weight, const std::vector<int64_t>& ids);
+
+// --- linear algebra ---------------------------------------------------------------
+Variable matmul(const Variable& a, const Variable& b);  // 2-D or batched 3-D
+
+// --- reductions --------------------------------------------------------------------
+Variable sum(const Variable& a);                       // -> rank-0
+Variable sum(const Variable& a, int64_t axis, bool keepdim = false);
+Variable mean(const Variable& a);                      // -> rank-0
+Variable mean(const Variable& a, int64_t axis, bool keepdim = false);
+
+// --- softmax family ------------------------------------------------------------------
+Variable softmax(const Variable& a, int64_t axis);
+Variable log_softmax(const Variable& a, int64_t axis);
+
+// --- losses ----------------------------------------------------------------------------
+// Smooth-L1 (Huber, beta = 1) summed over all elements: the Fast R-CNN
+// regression loss (paper eq. 8 uses it per coordinate).
+Variable smooth_l1(const Variable& pred, const Tensor& target);
+// Binary cross entropy on logits against {0,1} targets, mean over elements.
+Variable bce_with_logits(const Variable& logits, const Tensor& targets);
+
+// --- convolution / pooling ----------------------------------------------------------------
+Variable conv2d(const Variable& input, const Variable& weight,
+                const Variable& bias, const Conv2dSpec& spec);
+Variable max_pool2x2(const Variable& input);
+Variable global_avg_pool(const Variable& input);
+
+// --- regularisation --------------------------------------------------------------------------
+// Inverted dropout; identity when `training` is false or p == 0.
+Variable dropout(const Variable& a, float p, Rng& rng, bool training);
+
+}  // namespace yollo::ag

@@ -1,0 +1,112 @@
+#include "autograd/variable.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace yollo::ag {
+
+void accumulate_grad(Node& node, const Tensor& g) {
+  if (!node.requires_grad) return;
+  if (!node.grad.defined()) {
+    node.grad = Tensor(node.data.shape());
+  }
+  add_inplace(node.grad, g);
+}
+
+Variable::Variable(Tensor data, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  node_->data = std::move(data);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::param(Tensor data) {
+  return Variable(std::move(data), /*requires_grad=*/true);
+}
+
+Variable Variable::constant(Tensor data) {
+  return Variable(std::move(data), /*requires_grad=*/false);
+}
+
+void Variable::zero_grad() {
+  if (node_) node_->grad = Tensor();
+}
+
+Variable Variable::detach() const {
+  return Variable(node_->data, /*requires_grad=*/false);
+}
+
+Variable Variable::make_op(Tensor data, std::vector<Variable> parents,
+                           std::function<void(const Tensor&)> backward_fn,
+                           const char* op_name) {
+  bool needs = false;
+  for (const Variable& p : parents) needs = needs || p.requires_grad();
+  Variable out(std::move(data), needs);
+  if (needs) {
+    out.node_->backward_fn = std::move(backward_fn);
+    out.node_->parents.reserve(parents.size());
+    for (Variable& p : parents) out.node_->parents.push_back(p.node());
+  }
+  out.node_->op_name = op_name;
+  return out;
+}
+
+namespace {
+
+void topo_sort(Node* node, std::unordered_set<Node*>& visited,
+               std::vector<Node*>& order) {
+  // Iterative DFS: deep chains (one node per timestep/layer) would overflow
+  // the stack with a recursive formulation.
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(node).second) stack.push_back({node, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Variable::backward() const {
+  if (!node_) throw std::logic_error("backward: undefined Variable");
+  if (node_->data.numel() != 1) {
+    throw std::logic_error("backward: root must hold a single element, has " +
+                           shape_to_string(node_->data.shape()));
+  }
+  if (!node_->requires_grad) return;
+
+  std::unordered_set<Node*> visited;
+  std::vector<Node*> order;  // parents before children (post-order)
+  topo_sort(node_.get(), visited, order);
+
+  accumulate_grad(*node_, Tensor::ones(node_->data.shape()));
+
+  // Children first: walk post-order in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad.defined()) {
+      n->backward_fn(n->grad);
+    }
+  }
+}
+
+int64_t graph_size(const Variable& root) {
+  if (!root.defined()) return 0;
+  std::unordered_set<Node*> visited;
+  std::vector<Node*> order;
+  topo_sort(root.node().get(), visited, order);
+  return static_cast<int64_t>(order.size());
+}
+
+}  // namespace yollo::ag

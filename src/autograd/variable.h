@@ -1,0 +1,87 @@
+// Reverse-mode automatic differentiation over yollo::Tensor.
+//
+// A Variable is a value-semantic handle to a graph Node holding the forward
+// value, an optional gradient buffer, and a backward closure that routes the
+// node's gradient to its parents. Calling backward() on a scalar Variable
+// runs the tape in reverse topological order.
+//
+// Ownership: a Node owns shared_ptrs to its parents, so a Variable keeps its
+// whole upstream graph alive. Backward closures capture raw Node* for the
+// parents (kept alive by that same parents vector) plus any saved forward
+// tensors by value, which avoids shared_ptr reference cycles.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace yollo::ag {
+
+struct Node {
+  Tensor data;
+  Tensor grad;  // lazily allocated; undefined until first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Receives this node's output gradient; must accumulate into parents.
+  std::function<void(const Tensor& grad_out)> backward_fn;
+  const char* op_name = "leaf";
+};
+
+// Accumulate `g` into the node's gradient buffer (no-op when the node does
+// not require grad). Exposed for custom op authors.
+void accumulate_grad(Node& node, const Tensor& g);
+
+class Variable {
+ public:
+  Variable() = default;
+
+  // Wrap a tensor as a graph leaf.
+  explicit Variable(Tensor data, bool requires_grad = false);
+
+  // A trainable parameter (leaf with requires_grad = true).
+  static Variable param(Tensor data);
+
+  // A non-differentiable constant.
+  static Variable constant(Tensor data);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->data; }
+  Tensor& value() { return node_->data; }
+  const Tensor& grad() const { return node_->grad; }
+  bool has_grad() const { return node_->grad.defined(); }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  const Shape& shape() const { return node_->data.shape(); }
+  int64_t ndim() const { return node_->data.ndim(); }
+  int64_t size(int64_t axis) const { return node_->data.size(axis); }
+  int64_t numel() const { return node_->data.numel(); }
+
+  // Drop (free) the gradient buffer.
+  void zero_grad();
+
+  // Run reverse-mode differentiation from this Variable, which must hold a
+  // single element. Seeds the output gradient with 1.
+  void backward() const;
+
+  // Detach from the graph: same data, new leaf, no gradient flow.
+  Variable detach() const;
+
+  std::shared_ptr<Node>& node() { return node_; }
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+  // Construct an interior (op result) node. For use by op implementations.
+  static Variable make_op(Tensor data, std::vector<Variable> parents,
+                          std::function<void(const Tensor&)> backward_fn,
+                          const char* op_name);
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// Number of nodes reachable from `root` (diagnostics / tests).
+int64_t graph_size(const Variable& root);
+
+}  // namespace yollo::ag

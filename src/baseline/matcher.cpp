@@ -1,0 +1,314 @@
+#include "baseline/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "data/renderer.h"
+#include "optim/optim.h"
+
+namespace yollo::baseline {
+
+Tensor crop_resize(const Tensor& image, const vision::Box& box, int64_t size) {
+  const int64_t h = image.size(1);
+  const int64_t w = image.size(2);
+  Tensor out({1, 3, size, size});
+  const vision::Box b = vision::clip_box(box, static_cast<float>(w),
+                                         static_cast<float>(h));
+  const float bw = std::max(b.w, 1.0f);
+  const float bh = std::max(b.h, 1.0f);
+  const float* src = image.data();
+  float* dst = out.data();
+  for (int64_t c = 0; c < 3; ++c) {
+    const float* plane = src + c * h * w;
+    float* oplane = dst + c * size * size;
+    for (int64_t oy = 0; oy < size; ++oy) {
+      // Sample the box interior bilinearly.
+      const float sy = b.y + (static_cast<float>(oy) + 0.5f) * bh /
+                                 static_cast<float>(size) - 0.5f;
+      const float cy = std::clamp(sy, 0.0f, static_cast<float>(h - 1));
+      const int64_t y0 = static_cast<int64_t>(cy);
+      const int64_t y1 = std::min<int64_t>(y0 + 1, h - 1);
+      const float fy = cy - static_cast<float>(y0);
+      for (int64_t ox = 0; ox < size; ++ox) {
+        const float sx = b.x + (static_cast<float>(ox) + 0.5f) * bw /
+                                   static_cast<float>(size) - 0.5f;
+        const float cx = std::clamp(sx, 0.0f, static_cast<float>(w - 1));
+        const int64_t x0 = static_cast<int64_t>(cx);
+        const int64_t x1 = std::min<int64_t>(x0 + 1, w - 1);
+        const float fx = cx - static_cast<float>(x0);
+        const float top = plane[y0 * w + x0] * (1.0f - fx) +
+                          plane[y0 * w + x1] * fx;
+        const float bottom = plane[y1 * w + x0] * (1.0f - fx) +
+                             plane[y1 * w + x1] * fx;
+        oplane[oy * size + ox] = top * (1.0f - fy) + bottom * fy;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor box_geometry(const vision::Box& box, float img_w, float img_h) {
+  return Tensor({5}, {box.cx() / img_w, box.cy() / img_h, box.w / img_w,
+                      box.h / img_h, box.area() / (img_w * img_h)});
+}
+
+ProposalEncoder::ProposalEncoder(const MatcherConfig& config, Rng& rng)
+    : cnn_(vision::BackboneConfig::r50_lite(), rng),
+      fc_(vision::BackboneConfig::r50_lite().out_channels(), config.emb_dim,
+          rng),
+      geo_fc_(5, config.emb_dim, rng) {
+  register_module("cnn", cnn_);
+  register_module("fc", fc_);
+  register_module("geo_fc", geo_fc_);
+}
+
+ag::Variable ProposalEncoder::forward(const Tensor& patch,
+                                      const Tensor& geometry) {
+  ag::Variable h = cnn_.forward(ag::Variable::constant(patch));
+  ag::Variable pooled = ag::global_avg_pool(h);  // [1, C]
+  ag::Variable visual = fc_.forward(pooled);
+  ag::Variable geo = geo_fc_.forward(
+      ag::Variable::constant(geometry.reshape({1, 5})));
+  return ag::tanh(ag::add(visual, geo));
+}
+
+ListenerMatcher::ListenerMatcher(const MatcherConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config, rng),
+      word_emb_(config.vocab_size, config.word_dim, rng),
+      query_fc1_(config.word_dim, config.emb_dim, rng),
+      query_fc2_(config.emb_dim, config.emb_dim, rng) {
+  register_module("encoder", encoder_);
+  register_module("word_emb", word_emb_);
+  register_module("query_fc1", query_fc1_);
+  register_module("query_fc2", query_fc2_);
+}
+
+ag::Variable ListenerMatcher::encode_query(
+    const std::vector<int64_t>& tokens) {
+  // Drop padding, embed, mean-pool, two-layer MLP.
+  std::vector<int64_t> real;
+  for (int64_t id : tokens) {
+    if (id != data::Vocab::kPad) real.push_back(id);
+  }
+  if (real.empty()) real.push_back(data::Vocab::kUnk);
+  ag::Variable emb = word_emb_.forward(real);           // [n, d]
+  ag::Variable pooled = ag::mean(emb, 0, /*keepdim=*/true);  // [1, d]
+  return ag::tanh(query_fc2_.forward(ag::relu(query_fc1_.forward(pooled))));
+}
+
+ag::Variable ListenerMatcher::score_proposals(
+    const Tensor& image, const std::vector<Proposal>& proposals,
+    const std::vector<int64_t>& tokens) {
+  const float img_w = static_cast<float>(image.size(2));
+  const float img_h = static_cast<float>(image.size(1));
+  ag::Variable query = encode_query(tokens);  // [1, emb]
+
+  // One encoder pass per proposal: the cost the paper's Table 5 measures.
+  std::vector<ag::Variable> scores;
+  scores.reserve(proposals.size());
+  for (const Proposal& p : proposals) {
+    const Tensor patch = crop_resize(image, p.box, config_.patch);
+    ag::Variable obj =
+        encoder_.forward(patch, box_geometry(p.box, img_w, img_h));
+    // Dot-product compatibility in the joint space.
+    ag::Variable dot = ag::sum(ag::mul(obj, query));
+    scores.push_back(ag::reshape(dot, {1}));
+  }
+  return ag::concat(scores, 0);  // [P]
+}
+
+SpeakerMatcher::SpeakerMatcher(const MatcherConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config, rng),
+      vocab_head_(config.emb_dim, config.vocab_size, rng) {
+  register_module("encoder", encoder_);
+  register_module("vocab_head", vocab_head_);
+}
+
+ag::Variable SpeakerMatcher::query_log_likelihood(
+    const Tensor& image, const vision::Box& box,
+    const std::vector<int64_t>& tokens) {
+  const float img_w = static_cast<float>(image.size(2));
+  const float img_h = static_cast<float>(image.size(1));
+  const Tensor patch = crop_resize(image, box, config_.patch);
+  ag::Variable emb = encoder_.forward(patch, box_geometry(box, img_w, img_h));
+  ag::Variable logits = vocab_head_.forward(emb);        // [1, V]
+  ag::Variable logp = ag::log_softmax(logits, 1);
+
+  std::vector<int64_t> ids;
+  for (int64_t id : tokens) {
+    if (id != data::Vocab::kPad) ids.push_back(id);
+  }
+  if (ids.empty()) ids.push_back(data::Vocab::kUnk);
+  ag::Variable word_logps = ag::gather_flat(logp, ids);  // [n]
+  return ag::mean(word_logps);  // mean log-likelihood per word
+}
+
+ag::Variable SpeakerMatcher::score_proposals(
+    const Tensor& image, const std::vector<Proposal>& proposals,
+    const std::vector<int64_t>& tokens) {
+  std::vector<ag::Variable> scores;
+  scores.reserve(proposals.size());
+  for (const Proposal& p : proposals) {
+    scores.push_back(
+        ag::reshape(query_log_likelihood(image, p.box, tokens), {1}));
+  }
+  return ag::concat(scores, 0);
+}
+
+const char* match_mode_name(MatchMode mode) {
+  switch (mode) {
+    case MatchMode::kListener:
+      return "listener";
+    case MatchMode::kSpeaker:
+      return "speaker";
+    case MatchMode::kEnsemble:
+      return "speaker+listener";
+  }
+  return "?";
+}
+
+TwoStagePipeline::TwoStagePipeline(RegionProposalNetwork& rpn,
+                                   ListenerMatcher& listener,
+                                   SpeakerMatcher& speaker, MatchMode mode)
+    : rpn_(&rpn), listener_(&listener), speaker_(&speaker), mode_(mode) {}
+
+vision::Box TwoStagePipeline::ground(const Tensor& image,
+                                     const std::vector<int64_t>& tokens) {
+  // Stage-i: query-agnostic proposals.
+  const Tensor batched =
+      image.reshape({1, 3, image.size(1), image.size(2)});
+  const std::vector<Proposal> proposals = rpn_->propose(batched);
+  if (proposals.empty()) {
+    return vision::Box{0, 0, static_cast<float>(image.size(2)),
+                       static_cast<float>(image.size(1))};
+  }
+
+  // Stage-ii: score every proposal against the query, take the argmax.
+  auto normalised = [](const Tensor& t) {
+    // z-score so listener and speaker scores are commensurable.
+    const float mu = mean(t).item();
+    Tensor centered = add_scalar(t, -mu);
+    const float sd =
+        std::sqrt(std::max(mean(mul(centered, centered)).item(), 1e-8f));
+    return mul_scalar(centered, 1.0f / sd);
+  };
+
+  Tensor total(Shape{static_cast<int64_t>(proposals.size())});
+  if (mode_ == MatchMode::kListener || mode_ == MatchMode::kEnsemble) {
+    add_inplace(total, normalised(listener_->score_proposals(image, proposals,
+                                                             tokens)
+                                      .value()));
+  }
+  if (mode_ == MatchMode::kSpeaker || mode_ == MatchMode::kEnsemble) {
+    add_inplace(total, normalised(speaker_->score_proposals(image, proposals,
+                                                            tokens)
+                                      .value()));
+  }
+  return proposals[static_cast<size_t>(argmax_flat(total))].box;
+}
+
+void train_listener(ListenerMatcher& listener, RegionProposalNetwork& rpn,
+                    const std::vector<data::GroundingSample>& samples,
+                    const MatcherTrainConfig& config) {
+  Rng rng(config.seed);
+  listener.set_training(true);
+  rpn.set_training(false);
+  auto params = listener.parameters();
+  optim::Adam adam(params, config.lr);
+
+  // Pre-compute proposals once per distinct image (stage-i is frozen).
+  int64_t step = 0;
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (size_t si : order) {
+      const data::GroundingSample& s = samples[si];
+      const Tensor image = data::render_scene(s.scene);
+      std::vector<Proposal> proposals = rpn.propose(
+          image.reshape({1, 3, s.scene.height, s.scene.width}));
+      // Find the proposal that best covers the target; skip the sample when
+      // stage-i missed it (the recall ceiling in action).
+      int64_t best = -1;
+      float best_iou = 0.5f;
+      for (size_t p = 0; p < proposals.size(); ++p) {
+        const float overlap =
+            vision::iou(proposals[p].box, s.target_box());
+        if (overlap >= best_iou) {
+          best_iou = overlap;
+          best = static_cast<int64_t>(p);
+        }
+      }
+      if (best < 0) continue;
+
+      adam.zero_grad();
+      ag::Variable logits =
+          listener.score_proposals(image, proposals, s.tokens);
+      ag::Variable logp = ag::log_softmax(logits, 0);
+      ag::Variable loss =
+          ag::mul_scalar(ag::gather_flat(logp, {best}), -1.0f);
+      ag::sum(loss).backward();
+      adam.clip_grad_norm(config.grad_clip);
+      adam.step();
+      ++step;
+      if (config.verbose && step % 50 == 0) {
+        std::printf("listener step %5lld  loss %.4f\n",
+                    static_cast<long long>(step), loss.value()[0]);
+        std::fflush(stdout);
+      }
+      if (config.max_steps > 0 && step >= config.max_steps) return;
+    }
+  }
+}
+
+void train_speaker(SpeakerMatcher& speaker,
+                   const std::vector<data::GroundingSample>& samples,
+                   const MatcherTrainConfig& config) {
+  Rng rng(config.seed);
+  speaker.set_training(true);
+  auto params = speaker.parameters();
+  optim::Adam adam(params, config.lr);
+  int64_t step = 0;
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (size_t si : order) {
+      const data::GroundingSample& s = samples[si];
+      const Tensor image = data::render_scene(s.scene);
+      adam.zero_grad();
+      ag::Variable ll =
+          speaker.query_log_likelihood(image, s.target_box(), s.tokens);
+      ag::mul_scalar(ll, -1.0f).backward();
+      adam.clip_grad_norm(config.grad_clip);
+      adam.step();
+      ++step;
+      if (config.verbose && step % 50 == 0) {
+        std::printf("speaker step %5lld  nll %.4f\n",
+                    static_cast<long long>(step), -ll.value().item());
+        std::fflush(stdout);
+      }
+      if (config.max_steps > 0 && step >= config.max_steps) return;
+    }
+  }
+}
+
+std::vector<eval::Prediction> evaluate_two_stage(
+    TwoStagePipeline& pipeline,
+    const std::vector<data::GroundingSample>& samples,
+    int64_t max_query_len) {
+  std::vector<eval::Prediction> preds;
+  preds.reserve(samples.size());
+  for (const data::GroundingSample& s : samples) {
+    const Tensor image = data::render_scene(s.scene);
+    const std::vector<int64_t> tokens = data::pad_to(s.tokens, max_query_len);
+    preds.push_back({pipeline.ground(image, tokens), s.target_box()});
+  }
+  return preds;
+}
+
+}  // namespace yollo::baseline

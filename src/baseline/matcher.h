@@ -1,0 +1,158 @@
+// Stage-ii matching models for the two-stage baseline pipeline.
+//
+// These reproduce the structure (and, deliberately, the cost profile) of the
+// speaker/listener baselines the paper compares against (§4.5, Table 5,
+// ref [42]): every proposal from stage-i is cropped, resized, embedded by a
+// CNN, and scored against the query — tens of per-proposal network passes
+// per grounding query, versus YOLLO's single pass.
+//
+//  - ListenerMatcher: embeds proposal and query into a joint space and
+//    scores their compatibility (the "listener" of [42]).
+//  - SpeakerMatcher:  scores P(query | proposal) with a bag-of-words
+//    generative head over the proposal embedding (the "speaker" of [42],
+//    i.e. grounding-by-reconstruction).
+//  - score_ensemble:  the speaker+listener combination.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/proposer.h"
+#include "data/vocab.h"
+#include "eval/metrics.h"
+#include "nn/layers.h"
+
+namespace yollo::baseline {
+
+struct MatcherConfig {
+  // Proposals are cropped + resized to patch x patch and passed through a
+  // full backbone-scale CNN, mirroring [42] where every proposal crop is
+  // resized to the model's input resolution (224x224) and embedded by a
+  // complete network — the per-proposal cost that makes two-stage methods
+  // 20-30x slower than YOLLO (paper Table 5).
+  int64_t patch = 48;
+  int64_t emb_dim = 48;   // joint embedding width
+  int64_t word_dim = 48;
+  int64_t vocab_size = 0;
+  uint64_t seed = 51;
+};
+
+// Bilinear crop-and-resize of `box` from image [3, H, W] to [3, S, S].
+Tensor crop_resize(const Tensor& image, const vision::Box& box, int64_t size);
+
+// Normalised 5-d geometry descriptor (cx, cy, w, h, area) of a box.
+Tensor box_geometry(const vision::Box& box, float img_w, float img_h);
+
+// Shared proposal encoder: a backbone-scale CNN on the cropped patch plus
+// the geometry descriptor -> emb_dim vector. Each call processes ONE
+// proposal (that per-proposal full-CNN cost is the point of the baseline).
+class ProposalEncoder : public nn::Module {
+ public:
+  ProposalEncoder(const MatcherConfig& config, Rng& rng);
+
+  // patch: [1, 3, S, S]; geometry: [5] -> [1, emb_dim]
+  ag::Variable forward(const Tensor& patch, const Tensor& geometry);
+
+ private:
+  vision::Backbone cnn_;  // same family as the grounding models' backbone
+  nn::Linear fc_;
+  nn::Linear geo_fc_;
+};
+
+class ListenerMatcher : public nn::Module {
+ public:
+  ListenerMatcher(const MatcherConfig& config, Rng& rng);
+
+  const MatcherConfig& config() const { return config_; }
+
+  // Compatibility logits of each proposal against the query.
+  // image: [3, H, W]; returns [num_proposals] logits Variable.
+  ag::Variable score_proposals(const Tensor& image,
+                               const std::vector<Proposal>& proposals,
+                               const std::vector<int64_t>& tokens);
+
+ private:
+  MatcherConfig config_;
+  ProposalEncoder encoder_;
+  nn::Embedding word_emb_;
+  nn::Linear query_fc1_;
+  nn::Linear query_fc2_;
+
+  ag::Variable encode_query(const std::vector<int64_t>& tokens);
+};
+
+class SpeakerMatcher : public nn::Module {
+ public:
+  SpeakerMatcher(const MatcherConfig& config, Rng& rng);
+
+  const MatcherConfig& config() const { return config_; }
+
+  // Log-likelihood of the query under each proposal's bag-of-words
+  // distribution; returns [num_proposals] Variable.
+  ag::Variable score_proposals(const Tensor& image,
+                               const std::vector<Proposal>& proposals,
+                               const std::vector<int64_t>& tokens);
+
+  // Log-likelihood of the query for one box (training objective).
+  ag::Variable query_log_likelihood(const Tensor& image,
+                                    const vision::Box& box,
+                                    const std::vector<int64_t>& tokens);
+
+ private:
+  MatcherConfig config_;
+  ProposalEncoder encoder_;
+  nn::Linear vocab_head_;
+};
+
+// Which matcher drives the final ranking in the two-stage pipeline.
+enum class MatchMode { kListener, kSpeaker, kEnsemble };
+const char* match_mode_name(MatchMode mode);
+
+// The full two-stage pipeline of Fig. 1 (left): stage-i proposals, stage-ii
+// per-proposal scoring, argmax. Owns nothing; borrows trained components.
+class TwoStagePipeline {
+ public:
+  TwoStagePipeline(RegionProposalNetwork& rpn, ListenerMatcher& listener,
+                   SpeakerMatcher& speaker, MatchMode mode);
+
+  // Grounding prediction for one image + query.
+  vision::Box ground(const Tensor& image, const std::vector<int64_t>& tokens);
+
+  MatchMode mode() const { return mode_; }
+
+ private:
+  RegionProposalNetwork* rpn_;
+  ListenerMatcher* listener_;
+  SpeakerMatcher* speaker_;
+  MatchMode mode_;
+};
+
+// --- training ---------------------------------------------------------------
+
+struct MatcherTrainConfig {
+  int64_t epochs = 6;
+  float lr = 2e-3f;
+  float grad_clip = 10.0f;
+  int64_t max_steps = -1;  // samples processed (one sample = one step)
+  uint64_t seed = 61;
+  bool verbose = false;
+};
+
+// Train the listener with softmax cross-entropy over RPN proposals (the
+// proposal best overlapping the target is the positive; samples whose
+// proposals all miss the target are skipped — the two-stage recall ceiling).
+void train_listener(ListenerMatcher& listener, RegionProposalNetwork& rpn,
+                    const std::vector<data::GroundingSample>& samples,
+                    const MatcherTrainConfig& config);
+
+// Train the speaker to maximise query likelihood given the ground-truth box.
+void train_speaker(SpeakerMatcher& speaker,
+                   const std::vector<data::GroundingSample>& samples,
+                   const MatcherTrainConfig& config);
+
+// Evaluate a two-stage pipeline over a split.
+std::vector<eval::Prediction> evaluate_two_stage(
+    TwoStagePipeline& pipeline,
+    const std::vector<data::GroundingSample>& samples, int64_t max_query_len);
+
+}  // namespace yollo::baseline

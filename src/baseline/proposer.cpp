@@ -1,0 +1,250 @@
+#include "baseline/proposer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "autograd/ops.h"
+#include "data/renderer.h"
+#include "optim/optim.h"
+
+namespace yollo::baseline {
+namespace {
+
+// Label anchors against multiple ground-truth boxes: positive when the best
+// IoU over objects clears rho_high, negative when below rho_low.
+vision::AnchorLabels label_anchors_multi(
+    const std::vector<vision::Box>& anchors,
+    const std::vector<data::SceneObject>& objects, float rho_high,
+    float rho_low, std::vector<int64_t>* matched_object) {
+  vision::AnchorLabels labels;
+  matched_object->assign(anchors.size(), -1);
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    float best = 0.0f;
+    int64_t best_obj = -1;
+    for (size_t o = 0; o < objects.size(); ++o) {
+      const float overlap = vision::iou(anchors[i], objects[o].box);
+      if (overlap > best) {
+        best = overlap;
+        best_obj = static_cast<int64_t>(o);
+      }
+    }
+    if (best >= rho_high) {
+      labels.positive.push_back(static_cast<int64_t>(i));
+      (*matched_object)[i] = best_obj;
+    } else if (best <= rho_low) {
+      labels.negative.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+RegionProposalNetwork::RegionProposalNetwork(const ProposerConfig& config,
+                                             Rng& rng)
+    : config_(config),
+      backbone_(config.backbone, rng),
+      conv_(config.backbone.out_channels(), config.backbone.out_channels(), 3,
+            1, 1, rng),
+      cls_(config.backbone.out_channels(),
+           config.anchors.anchors_per_cell(), 1, 1, 0, rng),
+      reg_(config.backbone.out_channels(),
+           4 * config.anchors.anchors_per_cell(), 1, 1, 0, rng),
+      anchors_(vision::generate_anchors(config.anchors, config.grid_h(),
+                                        config.grid_w())) {
+  register_module("backbone", backbone_);
+  register_module("conv", conv_);
+  register_module("cls", cls_);
+  register_module("reg", reg_);
+}
+
+RegionProposalNetwork::Output RegionProposalNetwork::forward(
+    const Tensor& images) {
+  const int64_t b = images.size(0);
+  const int64_t cells = config_.grid_h() * config_.grid_w();
+  const int64_t k = config_.anchors.anchors_per_cell();
+
+  ag::Variable h =
+      ag::relu(conv_.forward(backbone_.forward(ag::Variable::constant(images))));
+
+  ag::Variable scores = cls_.forward(h);
+  scores = ag::transpose(ag::reshape(scores, {b, k, cells}), 1, 2);
+  Output out;
+  out.scores = ag::reshape(scores, {b, cells * k});
+
+  ag::Variable deltas = reg_.forward(h);
+  deltas = ag::reshape(deltas, {b, k, 4, cells});
+  deltas = ag::transpose(deltas, 1, 3);
+  deltas = ag::transpose(deltas, 2, 3);
+  out.deltas = ag::reshape(deltas, {b, cells * k, 4});
+  return out;
+}
+
+ag::Variable RegionProposalNetwork::compute_loss(
+    const Output& out, const std::vector<const data::Scene*>& scenes,
+    Rng& rng) {
+  const int64_t b = out.scores.size(0);
+  const int64_t a = out.scores.size(1);
+
+  std::vector<int64_t> cls_indices;
+  std::vector<float> cls_labels;
+  std::vector<int64_t> reg_indices;
+  std::vector<float> reg_targets;
+
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const data::Scene& scene = *scenes[static_cast<size_t>(bi)];
+    std::vector<int64_t> matched;
+    vision::AnchorLabels labels =
+        label_anchors_multi(anchors_, scene.objects, config_.rho_high,
+                            config_.rho_low, &matched);
+    const int64_t max_pos = config_.anchor_batch / 2;
+    std::shuffle(labels.positive.begin(), labels.positive.end(), rng.engine());
+    if (static_cast<int64_t>(labels.positive.size()) > max_pos) {
+      labels.positive.resize(static_cast<size_t>(max_pos));
+    }
+    const int64_t num_neg =
+        config_.anchor_batch - static_cast<int64_t>(labels.positive.size());
+    std::shuffle(labels.negative.begin(), labels.negative.end(), rng.engine());
+    if (static_cast<int64_t>(labels.negative.size()) > num_neg) {
+      labels.negative.resize(static_cast<size_t>(num_neg));
+    }
+
+    for (int64_t idx : labels.positive) {
+      cls_indices.push_back(bi * a + idx);
+      cls_labels.push_back(1.0f);
+      const vision::Box& gt =
+          scene.objects[static_cast<size_t>(matched[static_cast<size_t>(idx)])]
+              .box;
+      const vision::BoxDelta d =
+          vision::encode_delta(anchors_[static_cast<size_t>(idx)], gt);
+      const int64_t base = (bi * a + idx) * 4;
+      reg_indices.insert(reg_indices.end(),
+                         {base, base + 1, base + 2, base + 3});
+      reg_targets.insert(reg_targets.end(), {d.dx, d.dy, d.dw, d.dh});
+    }
+    for (int64_t idx : labels.negative) {
+      cls_indices.push_back(bi * a + idx);
+      cls_labels.push_back(0.0f);
+    }
+  }
+
+  ag::Variable cls_loss = ag::bce_with_logits(
+      ag::gather_flat(out.scores, cls_indices),
+      Tensor({static_cast<int64_t>(cls_labels.size())}, cls_labels));
+  if (reg_indices.empty()) return cls_loss;
+  const float inv_n =
+      1.0f / static_cast<float>(std::max<size_t>(cls_indices.size(), 1));
+  ag::Variable reg_loss = ag::mul_scalar(
+      ag::smooth_l1(ag::gather_flat(out.deltas, reg_indices),
+                    Tensor({static_cast<int64_t>(reg_targets.size())},
+                           reg_targets)),
+      inv_n);
+  return ag::add(cls_loss, reg_loss);
+}
+
+std::vector<Proposal> RegionProposalNetwork::propose(
+    const Tensor& image, int64_t max_proposals_override) {
+  const Output out = forward(image);
+  const int64_t a = out.scores.size(1);
+  const float* scores = out.scores.value().data();
+  const float* deltas = out.deltas.value().data();
+
+  std::vector<vision::Box> boxes;
+  std::vector<float> objectness;
+  boxes.reserve(static_cast<size_t>(a));
+  for (int64_t i = 0; i < a; ++i) {
+    const float* d = deltas + i * 4;
+    const vision::Box decoded = vision::decode_delta(
+        anchors_[static_cast<size_t>(i)],
+        vision::BoxDelta{d[0], d[1], d[2], d[3]});
+    boxes.push_back(vision::clip_box(decoded,
+                                     static_cast<float>(config_.img_w),
+                                     static_cast<float>(config_.img_h)));
+    objectness.push_back(scores[i]);
+  }
+  const int64_t budget = max_proposals_override > 0 ? max_proposals_override
+                                                    : config_.max_proposals;
+  const std::vector<int64_t> keep =
+      vision::nms(boxes, objectness, config_.nms_iou, budget);
+  std::vector<Proposal> proposals;
+  proposals.reserve(keep.size());
+  for (int64_t idx : keep) {
+    proposals.push_back({boxes[static_cast<size_t>(idx)],
+                         objectness[static_cast<size_t>(idx)]});
+  }
+  return proposals;
+}
+
+void train_rpn(RegionProposalNetwork& rpn,
+               const std::vector<data::GroundingSample>& samples,
+               const RpnTrainConfig& config) {
+  Rng rng(config.seed);
+  rpn.set_training(true);
+  auto params = rpn.parameters();
+  optim::Adam adam(params, config.lr);
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto batches = data::make_batches(
+        static_cast<int64_t>(samples.size()), config.batch_size, rng);
+    for (const std::vector<int64_t>& batch : batches) {
+      const Tensor images = data::render_batch(samples, batch);
+      std::vector<const data::Scene*> scenes;
+      scenes.reserve(batch.size());
+      for (int64_t idx : batch) {
+        scenes.push_back(&samples[static_cast<size_t>(idx)].scene);
+      }
+      adam.zero_grad();
+      const auto out = rpn.forward(images);
+      ag::Variable loss = rpn.compute_loss(out, scenes, rng);
+      loss.backward();
+      adam.clip_grad_norm(config.grad_clip);
+      adam.step();
+      ++step;
+      if (config.verbose && step % 10 == 0) {
+        std::printf("rpn step %5lld  loss %.4f\n",
+                    static_cast<long long>(step), loss.value().item());
+        std::fflush(stdout);
+      }
+      if (config.max_steps > 0 && step >= config.max_steps) return;
+    }
+  }
+}
+
+void recalibrate_rpn(RegionProposalNetwork& rpn,
+                     const std::vector<data::GroundingSample>& samples,
+                     int64_t batches, int64_t batch_size) {
+  Rng rng(4242);
+  rpn.set_training(true);
+  const auto batch_lists = data::make_batches(
+      static_cast<int64_t>(samples.size()), batch_size, rng);
+  const int64_t n = std::min<int64_t>(batches,
+                                      static_cast<int64_t>(batch_lists.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    rpn.forward(data::render_batch(samples, batch_lists[i]));
+  }
+  rpn.set_training(false);
+}
+
+double proposal_recall(RegionProposalNetwork& rpn,
+                       const std::vector<data::GroundingSample>& samples,
+                       float eta) {
+  rpn.set_training(false);
+  int64_t hits = 0;
+  for (const data::GroundingSample& s : samples) {
+    const Tensor image = data::render_scene(s.scene).reshape(
+        {1, 3, s.scene.height, s.scene.width});
+    const auto proposals = rpn.propose(image);
+    for (const Proposal& p : proposals) {
+      if (vision::iou(p.box, s.target_box()) >= eta) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  rpn.set_training(true);
+  return samples.empty()
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(samples.size());
+}
+
+}  // namespace yollo::baseline

@@ -1,0 +1,104 @@
+// Stand-alone class-agnostic region proposal network — stage-i of the
+// conventional two-stage visual-grounding pipeline the paper compares
+// against (Fig. 1 left, §4.5).
+//
+// The paper's baselines consume pre-computed Faster-RCNN proposals; this
+// substrate trains the equivalent proposer on the synthetic scenes: a
+// backbone + RPN head detecting *all* objects (no classes), followed by NMS
+// to produce the proposal list handed to the matching stage. Crucially, it
+// is query-agnostic — exactly the property the paper criticises.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "data/dataset.h"
+#include "nn/layers.h"
+#include "vision/anchors.h"
+#include "vision/backbone.h"
+
+namespace yollo::baseline {
+
+struct ProposerConfig {
+  int64_t img_h = 64;
+  int64_t img_w = 96;
+  vision::BackboneConfig backbone = vision::BackboneConfig::r50_lite();
+  vision::AnchorConfig anchors;
+  float rho_high = 0.5f;
+  float rho_low = 0.25f;
+  int64_t anchor_batch = 96;
+  float nms_iou = 0.4f;
+  int64_t max_proposals = 16;  // proposals handed to the matching stage
+  uint64_t seed = 31;
+
+  int64_t grid_h() const { return img_h / backbone.stride(); }
+  int64_t grid_w() const { return img_w / backbone.stride(); }
+};
+
+// A scored proposal from stage-i.
+struct Proposal {
+  vision::Box box;
+  float objectness = 0.0f;
+};
+
+class RegionProposalNetwork : public nn::Module {
+ public:
+  RegionProposalNetwork(const ProposerConfig& config, Rng& rng);
+
+  const ProposerConfig& config() const { return config_; }
+
+  struct Output {
+    ag::Variable scores;  // [B, A]
+    ag::Variable deltas;  // [B, A, 4]
+  };
+  Output forward(const Tensor& images);
+
+  // Class-agnostic training loss against all objects in each scene.
+  ag::Variable compute_loss(const Output& out,
+                            const std::vector<const data::Scene*>& scenes,
+                            Rng& rng);
+
+  // Stage-i inference: decode, NMS, return the top proposals for one image.
+  // `max_proposals_override` (when > 0) replaces the configured budget —
+  // used by the proposal-count sweep bench.
+  std::vector<Proposal> propose(const Tensor& image,
+                                int64_t max_proposals_override = -1);
+
+ private:
+  ProposerConfig config_;
+  vision::Backbone backbone_;
+  nn::Conv2d conv_;
+  nn::Conv2d cls_;
+  nn::Conv2d reg_;
+  std::vector<vision::Box> anchors_;
+};
+
+struct RpnTrainConfig {
+  int64_t epochs = 6;
+  int64_t batch_size = 8;
+  float lr = 2e-3f;
+  float grad_clip = 10.0f;
+  int64_t max_steps = -1;
+  uint64_t seed = 41;
+  bool verbose = false;
+};
+
+// Train the proposer on the scenes of a sample list (targets = all objects).
+void train_rpn(RegionProposalNetwork& rpn,
+               const std::vector<data::GroundingSample>& samples,
+               const RpnTrainConfig& config);
+
+// Rebuild the proposer backbone's BatchNorm running statistics with
+// training-mode forward passes (after loading a legacy checkpoint).
+void recalibrate_rpn(RegionProposalNetwork& rpn,
+                     const std::vector<data::GroundingSample>& samples,
+                     int64_t batches = 16, int64_t batch_size = 16);
+
+// Recall of the proposal list: fraction of samples whose target box is
+// covered by some proposal with IoU >= eta. The paper's "low accuracy"
+// critique of two-stage methods is exactly a recall ceiling.
+double proposal_recall(RegionProposalNetwork& rpn,
+                       const std::vector<data::GroundingSample>& samples,
+                       float eta = 0.5f);
+
+}  // namespace yollo::baseline

@@ -1,0 +1,56 @@
+// Configuration for the YOLLO one-stage visual grounding model.
+//
+// Hyper-parameters follow the paper (§3, §4.2) with sizes scaled to this
+// machine: the paper's 400x600 inputs / 512-d features / ResNet-50 C4 become
+// 64x96 inputs / 48-d features / a residual mini-backbone. Structural
+// constants that define the method (3x Rel2Att stack, K anchors per cell,
+// rho_high = 0.5, rho_low = 0.25, lambda = 1) are kept verbatim.
+#pragma once
+
+#include <cstdint>
+
+#include "vision/anchors.h"
+#include "vision/backbone.h"
+
+namespace yollo::core {
+
+struct YolloConfig {
+  // Input geometry (2:3 aspect like the paper's 400x600).
+  int64_t img_h = 64;
+  int64_t img_w = 96;
+
+  vision::BackboneConfig backbone = vision::BackboneConfig::r50_lite();
+
+  // Text encoder.
+  int64_t word_dim = 48;       // paper: 512-d Word2Vec embeddings
+  int64_t max_query_len = 16;  // paper: per-dataset max (24-46); set from data
+
+  // Rel2Att stack (§3.2).
+  int64_t d_rel = 48;          // paper example: 512
+  int64_t ffn_hidden = 64;     // hidden width of the two-layer FFNs
+  int64_t num_rel2att = 3;     // paper: stacked 3 times
+  bool use_self_attention = true;  // ablation switch (Table 4)
+  bool use_co_attention = true;    // ablation switch (Table 4)
+
+  // Target detection network (§3.3).
+  vision::AnchorConfig anchors;
+  int64_t head_channels = 48;
+  float rho_high = 0.5f;
+  float rho_low = 0.25f;
+  // Anchors sampled per image for the classification loss. The paper uses
+  // 256 of ~17k anchors; we keep the same positive:negative balance against
+  // our 864 anchors.
+  int64_t anchor_batch = 96;
+  float lambda_reg = 1.0f;  // paper: lambda = 1
+
+  uint64_t seed = 7;
+
+  int64_t grid_h() const { return img_h / backbone.stride(); }
+  int64_t grid_w() const { return img_w / backbone.stride(); }
+  int64_t num_regions() const { return grid_h() * grid_w(); }  // m
+  int64_t num_anchors() const {
+    return num_regions() * anchors.anchors_per_cell();
+  }
+};
+
+}  // namespace yollo::core

@@ -1,0 +1,171 @@
+#include "core/detection_head.h"
+
+#include <algorithm>
+
+namespace yollo::core {
+
+DetectionHead::DetectionHead(const YolloConfig& config, int64_t in_channels,
+                             Rng& rng)
+    : config_(&config),
+      conv1_(in_channels, config.head_channels, 3, 1, 1, rng),
+      conv2_(config.head_channels, config.head_channels, 3, 1, 1, rng),
+      cls_(config.head_channels, config.anchors.anchors_per_cell(), 1, 1, 0,
+           rng),
+      reg_(config.head_channels, 4 * config.anchors.anchors_per_cell(), 1, 1,
+           0, rng),
+      anchors_(vision::generate_anchors(config.anchors, config.grid_h(),
+                                        config.grid_w())) {
+  register_module("conv1", conv1_);
+  register_module("conv2", conv2_);
+  register_module("cls", cls_);
+  register_module("reg", reg_);
+}
+
+DetectionHead::Output DetectionHead::forward(const ag::Variable& feature_map) {
+  const int64_t b = feature_map.size(0);
+  const int64_t gh = feature_map.size(2);
+  const int64_t gw = feature_map.size(3);
+  const int64_t cells = gh * gw;
+  const int64_t k = config_->anchors.anchors_per_cell();
+
+  ag::Variable h = ag::relu(conv1_.forward(feature_map));
+  h = ag::relu(conv2_.forward(h));
+
+  // Scores: [B, K, gh, gw] -> [B, cells, K] -> [B, A] with
+  // a = cell * K + k, matching the anchor generator's ordering.
+  ag::Variable scores = cls_.forward(h);                       // [B,K,gh,gw]
+  scores = ag::reshape(scores, {b, k, cells});                 // [B,K,cells]
+  scores = ag::transpose(scores, 1, 2);                        // [B,cells,K]
+  Output out;
+  out.scores = ag::reshape(scores, {b, cells * k});            // [B, A]
+
+  // Deltas: [B, 4K, gh, gw], channel 4*anchor + coord ->
+  // [B, K, 4, cells] -> [B, cells, K, 4] -> [B, A, 4].
+  ag::Variable deltas = reg_.forward(h);
+  deltas = ag::reshape(deltas, {b, k, 4, cells});
+  deltas = ag::transpose(deltas, 1, 3);  // [B, cells, 4, K]
+  deltas = ag::transpose(deltas, 2, 3);  // [B, cells, K, 4]
+  out.deltas = ag::reshape(deltas, {b, cells * k, 4});
+  return out;
+}
+
+DetectionLoss detection_loss(const DetectionHead::Output& out,
+                             const std::vector<vision::Box>& anchors,
+                             const std::vector<vision::Box>& targets,
+                             const YolloConfig& config, Rng& rng) {
+  const int64_t b = out.scores.size(0);
+  const int64_t a = out.scores.size(1);
+
+  // Collect the sampled anchor batch across all images: global flat indices
+  // into [B*A] for classification, plus the positive subset (with encoded
+  // regression targets) for the smooth-L1 term.
+  std::vector<int64_t> cls_indices;
+  std::vector<float> cls_labels;
+  std::vector<int64_t> reg_indices;  // flat into [B*A*4], 4 per positive
+  std::vector<float> reg_targets;
+
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const vision::Box& target = targets[static_cast<size_t>(bi)];
+    vision::AnchorLabels labels =
+        vision::label_anchors(anchors, target, config.rho_high, config.rho_low);
+
+    // Sample a balanced anchor batch per image: all positives (they are
+    // few — one target object) plus ~3 negatives per positive, at least 16,
+    // capped by anchor_batch. Faster R-CNN's 1:1-to-1:3 balancing rule; a
+    // negative-flooded batch lets the classifier collapse to "background
+    // everywhere" and the top-1 selection at inference becomes noise.
+    const int64_t max_pos = config.anchor_batch / 2;
+    std::shuffle(labels.positive.begin(), labels.positive.end(), rng.engine());
+    if (static_cast<int64_t>(labels.positive.size()) > max_pos) {
+      labels.positive.resize(static_cast<size_t>(max_pos));
+    }
+    const int64_t num_neg = std::min<int64_t>(
+        config.anchor_batch - static_cast<int64_t>(labels.positive.size()),
+        std::max<int64_t>(3 * static_cast<int64_t>(labels.positive.size()),
+                          16));
+    if (static_cast<int64_t>(labels.negative.size()) > num_neg) {
+      // Online hard-negative mining: half the negative budget goes to the
+      // currently highest-scoring negatives (typically anchors on distractor
+      // objects — exactly the ones the top-1 selection must learn to
+      // demote), the rest is random for coverage.
+      const float* score_row = out.scores.value().data() + bi * a;
+      const int64_t num_hard = num_neg / 2;
+      std::partial_sort(labels.negative.begin(),
+                        labels.negative.begin() + num_hard,
+                        labels.negative.end(),
+                        [score_row](int64_t x, int64_t y) {
+                          return score_row[x] > score_row[y];
+                        });
+      std::shuffle(labels.negative.begin() + num_hard, labels.negative.end(),
+                   rng.engine());
+      labels.negative.resize(static_cast<size_t>(num_neg));
+    } else {
+      std::shuffle(labels.negative.begin(), labels.negative.end(),
+                   rng.engine());
+    }
+
+    for (int64_t idx : labels.positive) {
+      cls_indices.push_back(bi * a + idx);
+      cls_labels.push_back(1.0f);
+      const vision::BoxDelta d =
+          vision::encode_delta(anchors[static_cast<size_t>(idx)], target);
+      const int64_t base = (bi * a + idx) * 4;
+      reg_indices.insert(reg_indices.end(),
+                         {base, base + 1, base + 2, base + 3});
+      reg_targets.insert(reg_targets.end(), {d.dx, d.dy, d.dw, d.dh});
+    }
+    for (int64_t idx : labels.negative) {
+      cls_indices.push_back(bi * a + idx);
+      cls_labels.push_back(0.0f);
+    }
+  }
+
+  DetectionLoss loss;
+  ag::Variable sampled_scores = ag::gather_flat(out.scores, cls_indices);
+  loss.cls = ag::bce_with_logits(
+      sampled_scores,
+      Tensor({static_cast<int64_t>(cls_labels.size())}, cls_labels));
+
+  if (reg_indices.empty()) {
+    loss.reg = ag::Variable::constant(Tensor::scalar(0.0f));
+  } else {
+    ag::Variable sampled_deltas = ag::gather_flat(out.deltas, reg_indices);
+    // Normalise by the sampled batch size as in eq. (8)'s 1/N.
+    const float inv_n = 1.0f / static_cast<float>(std::max<size_t>(
+                                   cls_indices.size(), 1));
+    loss.reg = ag::mul_scalar(
+        ag::smooth_l1(sampled_deltas,
+                      Tensor({static_cast<int64_t>(reg_targets.size())},
+                             reg_targets)),
+        inv_n);
+  }
+  return loss;
+}
+
+std::vector<vision::Box> decode_top1(const DetectionHead::Output& out,
+                                     const std::vector<vision::Box>& anchors,
+                                     const YolloConfig& config) {
+  const int64_t b = out.scores.size(0);
+  const int64_t a = out.scores.size(1);
+  std::vector<vision::Box> boxes;
+  boxes.reserve(static_cast<size_t>(b));
+  const float* scores = out.scores.value().data();
+  const float* deltas = out.deltas.value().data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* row = scores + bi * a;
+    int64_t best = 0;
+    for (int64_t i = 1; i < a; ++i) {
+      if (row[i] > row[best]) best = i;
+    }
+    const float* d = deltas + (bi * a + best) * 4;
+    const vision::Box decoded = vision::decode_delta(
+        anchors[static_cast<size_t>(best)],
+        vision::BoxDelta{d[0], d[1], d[2], d[3]});
+    boxes.push_back(vision::clip_box(decoded,
+                                     static_cast<float>(config.img_w),
+                                     static_cast<float>(config.img_h)));
+  }
+  return boxes;
+}
+
+}  // namespace yollo::core

@@ -1,0 +1,64 @@
+// The RPN-like target detection network (paper §3.3).
+//
+// Two 3x3 convolutions map the attended feature map to a lower-dimensional
+// space, followed by two sibling 1x1-conv heads: a binary confidence score
+// per anchor and a 4-value box-offset regression per anchor. K anchors per
+// cell follow the paper's Faster-RCNN-style configuration. Inference picks
+// the top-1 scored anchor and decodes its refined box; no NMS, no proposal
+// list, no second stage.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "nn/layers.h"
+#include "vision/anchors.h"
+
+namespace yollo::core {
+
+class DetectionHead : public nn::Module {
+ public:
+  DetectionHead(const YolloConfig& config, int64_t in_channels, Rng& rng);
+
+  struct Output {
+    ag::Variable scores;  // [B, A]     confidence logit per anchor
+    ag::Variable deltas;  // [B, A, 4]  (dx, dy, dw, dh) per anchor
+  };
+
+  // feature_map: [B, C, grid_h, grid_w] -> per-anchor predictions, anchor
+  // index a = (cell_y * grid_w + cell_x) * K + k, matching
+  // vision::generate_anchors ordering.
+  Output forward(const ag::Variable& feature_map);
+
+  const std::vector<vision::Box>& anchors() const { return anchors_; }
+
+ private:
+  const YolloConfig* config_;
+  nn::Conv2d conv1_;
+  nn::Conv2d conv2_;
+  nn::Conv2d cls_;  // 1x1 -> K channels
+  nn::Conv2d reg_;  // 1x1 -> 4K channels
+  std::vector<vision::Box> anchors_;
+};
+
+// Training target assembly + losses for the head (eqs. 7-8).
+struct DetectionLoss {
+  ag::Variable cls;  // binary cross-entropy over the sampled anchor batch
+  ag::Variable reg;  // smooth-L1 over positive anchors
+};
+
+// Computes L_cls and L_reg for a batch. For each image, anchors are labelled
+// against the target box (rho_high / rho_low), then up to anchor_batch
+// anchors are sampled (positives capped at half), as in Faster R-CNN.
+DetectionLoss detection_loss(const DetectionHead::Output& out,
+                             const std::vector<vision::Box>& anchors,
+                             const std::vector<vision::Box>& targets,
+                             const YolloConfig& config, Rng& rng);
+
+// Inference: decode the top-1 scored anchor of each batch element into a
+// final box, clipped to the image.
+std::vector<vision::Box> decode_top1(const DetectionHead::Output& out,
+                                     const std::vector<vision::Box>& anchors,
+                                     const YolloConfig& config);
+
+}  // namespace yollo::core

@@ -1,0 +1,83 @@
+// The Relation-to-Attention (Rel2Att) module — the paper's §3.2 and Fig 2(b).
+//
+// Given image features V [B, m, c] and query features T [B, n, d], four
+// two-layer FFNs produce V1, V2, T1, T2 in a shared d_rel space (eqs. 1-2).
+// X1 = [V1;T1] and X2 = [V2;T2] form the dense relation map
+// R = X1 X2^T / sqrt(d_rel) (eq. 3), whose k x k entries split into
+// self-attention blocks (R_vv, R_tt) and co-attention blocks (R_vt, R_tv).
+// Averaging R over rows and over columns and summing the two gives one
+// attention vector att, split into att_v (first m) and att_t (rest n), which
+// re-weight V and T elementwise (eqs. 4-5). Shortcut connections add the
+// module input back to its output.
+//
+// The Table-4 ablations are implemented by masking the corresponding blocks
+// of R to zero before the averaging.
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "nn/layers.h"
+
+namespace yollo::core {
+
+class Rel2Att : public nn::Module {
+ public:
+  // in_v = image channel width c, in_t = word feature width d.
+  Rel2Att(const YolloConfig& config, int64_t in_v, int64_t in_t, Rng& rng);
+
+  struct Output {
+    ag::Variable v;      // [B, m, c]  re-weighted image features
+    ag::Variable t;      // [B, n, d]  re-weighted query features
+    ag::Variable att_v;  // [B, m]     raw image attention (pre-softmax)
+    ag::Variable att_t;  // [B, n]     raw query attention
+  };
+
+  // pair_mask: optional constant [B, k, k] validity mask applied to the
+  // relation map (1 where both positions are real, 0 where either is a PAD
+  // token). Padded words otherwise dominate the text-block averages with
+  // noise, drowning the co-attention signal. Pass an undefined Tensor to
+  // skip masking.
+  Output forward(const ag::Variable& v, const ag::Variable& t,
+                 const Tensor& pair_mask);
+
+  // Build the [B, k, k] pair-validity mask from per-token validity
+  // (row-major [B * n], 1 = real token, 0 = PAD); image regions are always
+  // valid.
+  static Tensor make_pair_mask(const std::vector<float>& text_valid,
+                               int64_t batch, int64_t m, int64_t n);
+
+ private:
+  const YolloConfig* config_;
+  nn::FFN ffn_v1_;
+  nn::FFN ffn_v2_;
+  nn::FFN ffn_t1_;
+  nn::FFN ffn_t2_;
+  Tensor relation_mask_;  // [k, k] ablation mask; undefined when full
+  // Learnable scalar gains for the four relation-map blocks
+  // (vv, vt, tv, tt). With m ~ 10x n, the co-attention blocks contribute
+  // only a small fraction of the row/column averages; gains initialised in
+  // their favour give the query pathway usable signal from step one (see
+  // DESIGN.md "known divergences").
+  ag::Variable gain_vv_;
+  ag::Variable gain_vt_;
+  ag::Variable gain_tv_;
+  ag::Variable gain_tt_;
+  Tensor mask_vv_, mask_vt_, mask_tv_, mask_tt_;  // [k, k] block indicators
+};
+
+// The attention-mask loss of eq. (6): softmax att_v over regions, then
+// cross-entropy against the ground-truth mask (uniform mass inside the
+// target box scaled down to the feature grid, zero outside). Batched mean.
+//
+// gt_masks is a constant tensor [B, m] produced by make_gt_mask below.
+ag::Variable attention_loss(const ag::Variable& att_v, const Tensor& gt_masks);
+
+// Build the ground-truth attention mask row for one target box (pixel
+// coordinates) on a grid_h x grid_w grid with the given stride. Cells whose
+// centre falls inside the scaled box share mass uniformly (1/count); if the
+// box covers no cell centre, the nearest cell takes all the mass.
+Tensor make_gt_mask(const vision::Box& target, int64_t grid_h, int64_t grid_w,
+                    int64_t stride);
+
+}  // namespace yollo::core

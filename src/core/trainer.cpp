@@ -1,0 +1,149 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "optim/optim.h"
+#include "word2vec/word2vec.h"
+
+namespace yollo::core {
+
+TrainResult train_yollo(YolloModel& model,
+                        const std::vector<data::GroundingSample>& samples,
+                        const TrainConfig& config) {
+  if (samples.empty()) {
+    throw std::invalid_argument("train_yollo: empty sample list");
+  }
+  Rng rng(config.seed);
+  model.set_training(true);
+  auto params = model.parameters();
+  optim::Adam adam(params, config.lr);
+
+  // Cosine decay with a short warmup over the planned step budget.
+  const int64_t steps_per_epoch =
+      (static_cast<int64_t>(samples.size()) + config.batch_size - 1) /
+      config.batch_size;
+  int64_t total_steps = config.epochs * steps_per_epoch;
+  if (config.max_steps > 0) total_steps = std::min(total_steps, config.max_steps);
+  const optim::CosineSchedule schedule(config.lr,
+                                       std::min<int64_t>(20, total_steps / 10),
+                                       total_steps);
+
+  TrainResult result;
+  eval::Stopwatch watch;
+  int64_t step = 0;
+  bool done = false;
+  for (int64_t epoch = 0; epoch < config.epochs && !done; ++epoch) {
+    const auto batches = data::make_batches(
+        static_cast<int64_t>(samples.size()), config.batch_size, rng);
+    for (const std::vector<int64_t>& batch : batches) {
+      const Tensor images = data::render_batch(samples, batch);
+      const std::vector<int64_t> tokens = data::batch_tokens(
+          samples, batch, model.config().max_query_len);
+      std::vector<vision::Box> targets;
+      targets.reserve(batch.size());
+      for (int64_t idx : batch) {
+        targets.push_back(samples[static_cast<size_t>(idx)].target_box());
+      }
+
+      adam.zero_grad();
+      adam.set_lr(schedule.lr_at(step));
+      const YolloModel::Output out = model.forward(images, tokens);
+      const YolloModel::Losses losses =
+          model.compute_loss(out, targets, rng);
+      losses.total.backward();
+      adam.clip_grad_norm(config.grad_clip);
+      adam.step();
+      ++step;
+
+      if (step % config.log_every == 0 || step == 1) {
+        CurvePoint point;
+        point.step = step;
+        point.total = losses.total.value().item();
+        point.att = losses.att.value().item();
+        point.cls = losses.cls.value().item();
+        point.reg = losses.reg.value().item();
+        result.curve.push_back(point);
+        if (config.verbose) {
+          std::printf(
+              "step %5lld  total %.4f  att %.4f  cls %.4f  reg %.4f\n",
+              static_cast<long long>(step), point.total, point.att, point.cls,
+              point.reg);
+          std::fflush(stdout);
+        }
+      }
+      if (config.max_steps > 0 && step >= config.max_steps) {
+        done = true;
+        break;
+      }
+    }
+  }
+  result.seconds = watch.elapsed_seconds();
+  result.steps = step;
+  return result;
+}
+
+std::vector<eval::Prediction> evaluate_yollo(
+    YolloModel& model, const std::vector<data::GroundingSample>& samples,
+    int64_t batch_size) {
+  model.set_training(false);
+  std::vector<eval::Prediction> preds;
+  preds.reserve(samples.size());
+  const int64_t n = static_cast<int64_t>(samples.size());
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min(n, start + batch_size);
+    std::vector<int64_t> indices;
+    for (int64_t i = start; i < end; ++i) indices.push_back(i);
+    const Tensor images = data::render_batch(samples, indices);
+    const std::vector<int64_t> tokens = data::batch_tokens(
+        samples, indices, model.config().max_query_len);
+    const std::vector<vision::Box> boxes = model.predict(images, tokens);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      preds.push_back(
+          {boxes[i],
+           samples[static_cast<size_t>(indices[i])].target_box()});
+    }
+  }
+  model.set_training(true);
+  return preds;
+}
+
+void recalibrate_batchnorm(YolloModel& model,
+                           const std::vector<data::GroundingSample>& samples,
+                           int64_t batches, int64_t batch_size) {
+  Rng rng(4242);
+  model.set_training(true);
+  const auto batch_lists = data::make_batches(
+      static_cast<int64_t>(samples.size()), batch_size, rng);
+  const int64_t n = std::min<int64_t>(batches,
+                                      static_cast<int64_t>(batch_lists.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    const Tensor images = data::render_batch(samples, batch_lists[i]);
+    const std::vector<int64_t> tokens = data::batch_tokens(
+        samples, batch_lists[i], model.config().max_query_len);
+    model.forward(images, tokens);  // training-mode pass updates BN stats
+  }
+  model.set_training(false);
+}
+
+std::unique_ptr<YolloModel> build_yollo(const data::GroundingDataset& dataset,
+                                        const data::Vocab& vocab,
+                                        BuildOptions options) {
+  options.config.max_query_len = dataset.max_query_len();
+  options.config.img_h = dataset.config().img_h;
+  options.config.img_w = dataset.config().img_w;
+  Rng rng(options.config.seed);
+  auto model =
+      std::make_unique<YolloModel>(options.config, vocab.size(), rng);
+  if (options.pretrain_embeddings) {
+    word2vec::Word2VecConfig w2v;
+    w2v.dim = options.config.word_dim;
+    w2v.seed = options.config.seed ^ 0xabcdefULL;
+    model->init_word_embeddings(word2vec::pretrain_grounding_embeddings(
+        vocab, w2v, options.corpus_scenes));
+  }
+  return model;
+}
+
+}  // namespace yollo::core

@@ -1,0 +1,73 @@
+// End-to-end training and evaluation harness for YOLLO.
+//
+// Mirrors the paper's §4.2 recipe: Adam, end-to-end fine-tuning of the
+// backbone and the word embeddings together with everything else, word
+// vectors initialised from Word2Vec. Learning rate and step counts are
+// scaled to this machine (the paper trains 30 epochs on 8 GPUs).
+#pragma once
+
+#include <vector>
+
+#include "core/yollo.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace yollo::core {
+
+struct TrainConfig {
+  int64_t epochs = 8;
+  int64_t batch_size = 8;
+  float lr = 3e-3f;
+  float grad_clip = 10.0f;
+  int64_t max_steps = -1;  // cap total optimiser steps (quick runs); -1 = off
+  int64_t log_every = 5;   // curve sampling period in steps
+  uint64_t seed = 99;
+  bool verbose = false;
+};
+
+// One point of the Figure-4 training curve.
+struct CurvePoint {
+  int64_t step = 0;
+  float total = 0.0f;
+  float att = 0.0f;
+  float cls = 0.0f;
+  float reg = 0.0f;
+};
+
+struct TrainResult {
+  std::vector<CurvePoint> curve;
+  double seconds = 0.0;
+  int64_t steps = 0;
+};
+
+// Train the model on a sample list (typically dataset.train()).
+TrainResult train_yollo(YolloModel& model,
+                        const std::vector<data::GroundingSample>& samples,
+                        const TrainConfig& config);
+
+// Run inference over a split and pair each prediction with its ground truth.
+// Queries are padded/truncated to the model's own max_query_len, which makes
+// cross-dataset evaluation (Table 2's generalisation rows) well-defined.
+std::vector<eval::Prediction> evaluate_yollo(
+    YolloModel& model, const std::vector<data::GroundingSample>& samples,
+    int64_t batch_size = 16);
+
+// Rebuild BatchNorm running statistics by streaming `batches` training-mode
+// forward passes (no optimiser). Needed after loading a legacy checkpoint
+// that predates buffer serialisation; harmless otherwise.
+void recalibrate_batchnorm(YolloModel& model,
+                           const std::vector<data::GroundingSample>& samples,
+                           int64_t batches = 16, int64_t batch_size = 16);
+
+// Convenience used by several benches: build a model for a dataset (vocab +
+// max query length), optionally with Word2Vec-initialised embeddings.
+struct BuildOptions {
+  YolloConfig config;
+  bool pretrain_embeddings = true;
+  int64_t corpus_scenes = 150;  // Word2Vec corpus size
+};
+std::unique_ptr<YolloModel> build_yollo(const data::GroundingDataset& dataset,
+                                        const data::Vocab& vocab,
+                                        BuildOptions options);
+
+}  // namespace yollo::core

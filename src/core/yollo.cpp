@@ -1,0 +1,181 @@
+#include "core/yollo.h"
+
+#include <stdexcept>
+
+namespace yollo::core {
+
+namespace {
+
+// The backbone consumes RGB + 2 CoordConv channels (see forward()).
+vision::BackboneConfig with_coord_channels(vision::BackboneConfig cfg) {
+  cfg.in_channels = 5;
+  return cfg;
+}
+
+}  // namespace
+
+YolloModel::YolloModel(const YolloConfig& config, int64_t vocab_size, Rng& rng)
+    : config_(config),
+      backbone_(with_coord_channels(config.backbone), rng),
+      word_emb_(vocab_size, config.word_dim, rng),
+      text_norm_(config.word_dim),
+      // +1: the softmaxed attention map rides along as an explicit channel
+      // (Fig. 3: the head "simply assigns a larger confidence score to the
+      // anchor with larger grid values").
+      head_(config_, config.backbone.out_channels() + 1, rng) {
+  register_module("backbone", backbone_);
+  register_module("word_emb", word_emb_);
+  register_module("text_norm", text_norm_);
+  pos_emb_ = ag::Variable::param(nn::embedding_init(
+      {config.max_query_len, config.word_dim}, rng, 0.05f));
+  register_parameter("pos_emb", pos_emb_);
+  for (int64_t i = 0; i < config.num_rel2att; ++i) {
+    rel2att_.push_back(std::make_unique<Rel2Att>(
+        config_, config.backbone.out_channels(), config.word_dim, rng));
+    register_module("rel2att" + std::to_string(i), *rel2att_.back());
+  }
+  register_module("head", head_);
+}
+
+void YolloModel::init_word_embeddings(const Tensor& embeddings) {
+  if (embeddings.shape() != word_emb_.weight.shape()) {
+    throw std::invalid_argument(
+        "init_word_embeddings: shape mismatch, expected " +
+        shape_to_string(word_emb_.weight.shape()) + " got " +
+        shape_to_string(embeddings.shape()));
+  }
+  word_emb_.weight.value().copy_from(embeddings);
+}
+
+YolloModel::Output YolloModel::forward(const Tensor& images,
+                                       const std::vector<int64_t>& tokens) {
+  const int64_t b = images.size(0);
+  const int64_t n = config_.max_query_len;
+  if (static_cast<int64_t>(tokens.size()) != b * n) {
+    throw std::invalid_argument("YolloModel::forward: token count " +
+                                std::to_string(tokens.size()) + " != B*n = " +
+                                std::to_string(b * n));
+  }
+  const int64_t m = config_.num_regions();
+  const int64_t c = config_.backbone.out_channels();
+
+  // §3.1 feature encoder — image side: dense grid features. Two normalised
+  // coordinate channels ride along with the RGB input (CoordConv): location
+  // words ("left", "top") are frequent in the queries, and a shallow
+  // scratch-trained backbone otherwise carries almost no absolute-position
+  // signal (the paper's deep pretrained C4 features get it from context).
+  const int64_t ih = images.size(2);
+  const int64_t iw = images.size(3);
+  Tensor with_coords({b, 5, ih, iw});
+  {
+    const int64_t plane = ih * iw;
+    const float* src = images.data();
+    float* dst = with_coords.data();
+    for (int64_t bi = 0; bi < b; ++bi) {
+      std::copy(src + bi * 3 * plane, src + (bi + 1) * 3 * plane,
+                dst + bi * 5 * plane);
+      float* xs = dst + (bi * 5 + 3) * plane;
+      float* ys = dst + (bi * 5 + 4) * plane;
+      for (int64_t y = 0; y < ih; ++y) {
+        const float yv = static_cast<float>(y) / static_cast<float>(ih - 1);
+        for (int64_t x = 0; x < iw; ++x) {
+          xs[y * iw + x] = static_cast<float>(x) / static_cast<float>(iw - 1);
+          ys[y * iw + x] = yv;
+        }
+      }
+    }
+  }
+  ag::Variable feat = backbone_.forward(ag::Variable::constant(with_coords));
+  ag::Variable v = ag::transpose(ag::reshape(feat, {b, c, m}), 1, 2);
+
+  // §3.1 feature encoder — text side: word + absolute position embeddings.
+  ag::Variable words = word_emb_.forward(tokens);               // [B*n, d]
+  words = ag::reshape(words, {b, n, config_.word_dim});
+  ag::Variable t =
+      text_norm_.forward(ag::add(words, pos_emb_));  // pos broadcasts over batch
+
+  // PAD-validity mask shared by the whole Rel2Att stack.
+  std::vector<float> text_valid(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    text_valid[i] = tokens[i] == 0 ? 0.0f : 1.0f;  // 0 == Vocab::kPad
+  }
+  const Tensor pair_mask = Rel2Att::make_pair_mask(text_valid, b, m, n);
+
+  // §3.2: stacked Rel2Att modules.
+  Output out;
+  for (size_t i = 0; i < rel2att_.size(); ++i) {
+    Rel2Att::Output r = rel2att_[i]->forward(v, t, pair_mask);
+    v = r.v;
+    t = r.t;
+    out.att_v = r.att_v;  // the last module's image attention
+    out.att_v_all.push_back(r.att_v);
+  }
+
+  // Reconstruct the attended feature map M~, append the softmaxed attention
+  // as one extra channel, and run the detection network.
+  ag::Variable m_tilde =
+      ag::reshape(ag::transpose(v, 1, 2), {b, c, config_.grid_h(),
+                                           config_.grid_w()});
+  ag::Variable att_plane = ag::reshape(
+      ag::mul_scalar(ag::softmax(out.att_v, 1), static_cast<float>(m)),
+      {b, 1, config_.grid_h(), config_.grid_w()});
+  m_tilde = ag::concat({m_tilde, att_plane}, 1);
+  DetectionHead::Output head_out = head_.forward(m_tilde);
+  out.scores = head_out.scores;
+  out.deltas = head_out.deltas;
+  return out;
+}
+
+YolloModel::Losses YolloModel::compute_loss(
+    const Output& out, const std::vector<vision::Box>& targets, Rng& rng) {
+  const int64_t b = out.scores.size(0);
+  const int64_t m = config_.num_regions();
+
+  // Eq. (6): attention-mask loss against the scaled ground-truth box.
+  Tensor gt_masks({b, m});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const Tensor row =
+        make_gt_mask(targets[static_cast<size_t>(bi)], config_.grid_h(),
+                     config_.grid_w(), config_.backbone.stride());
+    std::copy(row.data(), row.data() + m, gt_masks.data() + bi * m);
+  }
+
+  // Eq. (6) applied to every stacked module's attention (deep supervision).
+  Losses losses;
+  losses.att = attention_loss(out.att_v_all[0], gt_masks);
+  for (size_t i = 1; i < out.att_v_all.size(); ++i) {
+    losses.att = ag::add(losses.att, attention_loss(out.att_v_all[i], gt_masks));
+  }
+  losses.att = ag::mul_scalar(
+      losses.att, 1.0f / static_cast<float>(out.att_v_all.size()));
+
+  // Eqs. (7)-(8): detection losses over sampled anchors.
+  DetectionHead::Output head_out{out.scores, out.deltas};
+  const DetectionLoss det =
+      detection_loss(head_out, head_.anchors(), targets, config_, rng);
+  losses.cls = det.cls;
+  losses.reg = det.reg;
+
+  // Eq. (9): L = L_att + L_cls + lambda * L_reg.
+  losses.total = ag::add(
+      losses.att,
+      ag::add(losses.cls, ag::mul_scalar(losses.reg, config_.lambda_reg)));
+  return losses;
+}
+
+std::vector<vision::Box> YolloModel::predict(
+    const Tensor& images, const std::vector<int64_t>& tokens) {
+  const Output out = forward(images, tokens);
+  DetectionHead::Output head_out{out.scores, out.deltas};
+  return decode_top1(head_out, head_.anchors(), config_);
+}
+
+Tensor YolloModel::attention_map(const Output& out,
+                                 int64_t batch_index) const {
+  const int64_t m = config_.num_regions();
+  const Tensor att =
+      out.att_v.value().narrow(0, batch_index, 1).reshape({m});
+  return softmax(att, 0).reshape({config_.grid_h(), config_.grid_w()});
+}
+
+}  // namespace yollo::core

@@ -1,0 +1,77 @@
+// YOLLO — "You Only Look & Listen Once": the paper's one-stage visual
+// grounding model (§3, Fig. 2a).
+//
+// Pipeline: feature encoder (backbone grid features + word embeddings with
+// learned absolute positional embeddings, §3.1) -> stacked Rel2Att modules
+// (§3.2) -> RPN-like target detection network over the attended feature map
+// (§3.3). Trained end-to-end with L = L_att + L_cls + lambda * L_reg
+// (eq. 9); inference takes the single top-scored anchor's refined box.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/detection_head.h"
+#include "core/rel2att.h"
+#include "nn/layers.h"
+#include "vision/backbone.h"
+
+namespace yollo::core {
+
+class YolloModel : public nn::Module {
+ public:
+  YolloModel(const YolloConfig& config, int64_t vocab_size, Rng& rng);
+
+  const YolloConfig& config() const { return config_; }
+
+  // Copy pre-trained Word2Vec vectors into the embedding table (the paper
+  // initialises from Word2Vec and fine-tunes end-to-end, §4.2).
+  void init_word_embeddings(const Tensor& embeddings);
+
+  struct Output {
+    ag::Variable scores;  // [B, A]
+    ag::Variable deltas;  // [B, A, 4]
+    ag::Variable att_v;   // [B, m] raw image attention from the last Rel2Att
+    // att_v from every module in the stack; the attention loss supervises
+    // all of them (deep supervision — each stacked module is pushed toward
+    // the target region, which speeds up convergence markedly).
+    std::vector<ag::Variable> att_v_all;
+  };
+
+  // images: [B, 3, img_h, img_w]; tokens: row-major [B * max_query_len].
+  Output forward(const Tensor& images, const std::vector<int64_t>& tokens);
+
+  struct Losses {
+    ag::Variable total;
+    ag::Variable att;
+    ag::Variable cls;
+    ag::Variable reg;
+  };
+  Losses compute_loss(const Output& out,
+                      const std::vector<vision::Box>& targets, Rng& rng);
+
+  // Top-1 box per batch element (call with the module in eval mode for
+  // deterministic batch-norm behaviour).
+  std::vector<vision::Box> predict(const Tensor& images,
+                                   const std::vector<int64_t>& tokens);
+
+  // Softmax image-attention map of one batch element as [grid_h, grid_w]
+  // (the masks visualised in the paper's Figure 5).
+  Tensor attention_map(const Output& out, int64_t batch_index) const;
+
+  const std::vector<vision::Box>& anchors() const { return head_.anchors(); }
+
+ private:
+  YolloConfig config_;
+  vision::Backbone backbone_;
+  nn::Embedding word_emb_;
+  ag::Variable pos_emb_;  // [max_query_len, word_dim]
+  // Normalises text features to the same O(1) scale as the batch-normalised
+  // backbone features; without it the text pathway is gradient-starved and
+  // the model degenerates to query-independent grounding.
+  nn::LayerNorm text_norm_;
+  std::vector<std::unique_ptr<Rel2Att>> rel2att_;
+  DetectionHead head_;
+};
+
+}  // namespace yollo::core

@@ -1,0 +1,189 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "data/renderer.h"
+
+namespace yollo::data {
+
+DatasetConfig DatasetConfig::synthref(int64_t num_images, uint64_t seed) {
+  DatasetConfig cfg;
+  cfg.name = "SynthRef";
+  cfg.style = QueryStyle::kRefCoco;
+  cfg.num_images = num_images;
+  cfg.seed = seed;
+  return cfg;
+}
+
+DatasetConfig DatasetConfig::synthref_plus(int64_t num_images, uint64_t seed) {
+  DatasetConfig cfg;
+  cfg.name = "SynthRef+";
+  cfg.style = QueryStyle::kRefCocoPlus;
+  cfg.num_images = num_images;
+  cfg.seed = seed;
+  return cfg;
+}
+
+DatasetConfig DatasetConfig::synthrefg(int64_t num_images, uint64_t seed) {
+  DatasetConfig cfg;
+  cfg.name = "SynthRefG";
+  cfg.style = QueryStyle::kRefCocoG;
+  cfg.num_images = num_images;
+  cfg.seed = seed;
+  cfg.has_test_splits = false;  // RefCOCOg ships train + val only
+  return cfg;
+}
+
+GroundingDataset::GroundingDataset(DatasetConfig config, const Vocab& vocab)
+    : config_(std::move(config)) {
+  Rng rng(config_.seed);
+  SceneSamplerConfig scene_cfg = config_.style == QueryStyle::kRefCocoG
+                                     ? SceneSamplerConfig::refcocog_style()
+                                     : SceneSamplerConfig::refcoco_style();
+  scene_cfg.width = config_.img_w;
+  scene_cfg.height = config_.img_h;
+
+  std::vector<GroundingSample> all;
+  for (int64_t img = 0; img < config_.num_images; ++img) {
+    // Resample until the scene admits at least one unambiguous query.
+    for (int scene_try = 0; scene_try < 20; ++scene_try) {
+      const Scene scene = sample_scene(scene_cfg, rng);
+      std::vector<GroundingSample> scene_samples;
+      std::vector<size_t> order(scene.objects.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::shuffle(order.begin(), order.end(), rng.engine());
+      for (size_t t : order) {
+        if (static_cast<int64_t>(scene_samples.size()) >=
+            config_.max_queries_per_image) {
+          break;
+        }
+        auto text = generate_query(scene, t, config_.style, rng);
+        if (!text) continue;
+        GroundingSample sample;
+        sample.scene = scene;
+        sample.query_text = *text;
+        sample.tokens = vocab.encode(*text);
+        sample.target_index = t;
+        sample.image_id = img;
+        scene_samples.push_back(std::move(sample));
+      }
+      if (!scene_samples.empty()) {
+        for (GroundingSample& s : scene_samples) all.push_back(std::move(s));
+        break;
+      }
+    }
+  }
+  if (all.empty()) {
+    throw std::runtime_error("GroundingDataset: no samples generated");
+  }
+
+  for (const GroundingSample& s : all) {
+    max_query_len_ =
+        std::max(max_query_len_, static_cast<int64_t>(s.tokens.size()));
+  }
+
+  // Split by image id so no image leaks across splits.
+  std::vector<int64_t> image_ids(static_cast<size_t>(config_.num_images));
+  std::iota(image_ids.begin(), image_ids.end(), 0);
+  std::shuffle(image_ids.begin(), image_ids.end(), rng.engine());
+  const int64_t n_val = static_cast<int64_t>(
+      static_cast<float>(config_.num_images) * config_.val_fraction);
+  const int64_t n_test =
+      config_.has_test_splits
+          ? static_cast<int64_t>(static_cast<float>(config_.num_images) *
+                                 config_.test_fraction)
+          : 0;
+  std::unordered_set<int64_t> val_ids(image_ids.begin(),
+                                      image_ids.begin() + n_val);
+  std::unordered_set<int64_t> test_ids(image_ids.begin() + n_val,
+                                       image_ids.begin() + n_val + n_test);
+
+  for (GroundingSample& s : all) {
+    if (val_ids.count(s.image_id)) {
+      val_.push_back(std::move(s));
+    } else if (test_ids.count(s.image_id)) {
+      // TestA: targets of the "person"-analogue category; TestB: the rest,
+      // mirroring the paper's people / non-people test split.
+      if (s.target_shape() == ShapeType::kCircle) {
+        test_a_.push_back(std::move(s));
+      } else {
+        test_b_.push_back(std::move(s));
+      }
+    } else {
+      train_.push_back(std::move(s));
+    }
+  }
+}
+
+DatasetStats GroundingDataset::stats() const {
+  DatasetStats st;
+  std::unordered_set<int64_t> images;
+  std::unordered_set<int64_t> targets;  // image_id * 64 + object index
+  double len_sum = 0.0;
+  double same_sum = 0.0;
+  for (const std::vector<GroundingSample>* split :
+       {&train_, &val_, &test_a_, &test_b_}) {
+    for (const GroundingSample& s : *split) {
+      ++st.num_queries;
+      images.insert(s.image_id);
+      targets.insert(s.image_id * 64 + static_cast<int64_t>(s.target_index));
+      len_sum += static_cast<double>(s.tokens.size());
+      same_sum += static_cast<double>(
+          s.scene.same_type_count(s.scene.objects[s.target_index]));
+    }
+  }
+  st.num_images = static_cast<int64_t>(images.size());
+  st.num_targets = static_cast<int64_t>(targets.size());
+  if (st.num_queries > 0) {
+    st.avg_query_len = len_sum / static_cast<double>(st.num_queries);
+    st.avg_same_type = same_sum / static_cast<double>(st.num_queries);
+  }
+  return st;
+}
+
+std::vector<std::vector<int64_t>> make_batches(int64_t n, int64_t batch_size,
+                                               Rng& rng) {
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+Tensor render_batch(const std::vector<GroundingSample>& samples,
+                    const std::vector<int64_t>& indices) {
+  if (indices.empty()) throw std::invalid_argument("render_batch: empty");
+  const Scene& first = samples[static_cast<size_t>(indices[0])].scene;
+  Tensor batch({static_cast<int64_t>(indices.size()), 3, first.height,
+                first.width});
+  const int64_t plane = 3 * first.height * first.width;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const Tensor img =
+        render_scene(samples[static_cast<size_t>(indices[i])].scene);
+    std::copy(img.data(), img.data() + plane,
+              batch.data() + static_cast<int64_t>(i) * plane);
+  }
+  return batch;
+}
+
+std::vector<int64_t> batch_tokens(const std::vector<GroundingSample>& samples,
+                                  const std::vector<int64_t>& indices,
+                                  int64_t pad_len) {
+  std::vector<int64_t> out;
+  out.reserve(indices.size() * static_cast<size_t>(pad_len));
+  for (int64_t idx : indices) {
+    const std::vector<int64_t> padded =
+        pad_to(samples[static_cast<size_t>(idx)].tokens, pad_len);
+    out.insert(out.end(), padded.begin(), padded.end());
+  }
+  return out;
+}
+
+}  // namespace yollo::data

@@ -1,0 +1,102 @@
+// Synthetic visual-grounding datasets: SynthRef / SynthRef+ / SynthRefG.
+//
+// These replace RefCOCO / RefCOCO+ / RefCOCOg (paper §4.1) per the
+// substitution table in DESIGN.md. Each dataset holds scenes, queries, and
+// target boxes, with train/val/TestA/TestB splits. Following the paper,
+// TestA holds samples whose target is the "person" analogue (kCircle) and
+// TestB holds everything else; SynthRefG, like RefCOCOg, has only a
+// validation split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/grammar.h"
+#include "data/scene.h"
+#include "data/vocab.h"
+#include "tensor/tensor.h"
+#include "vision/box.h"
+
+namespace yollo::data {
+
+struct GroundingSample {
+  Scene scene;
+  std::string query_text;
+  std::vector<int64_t> tokens;  // unpadded token ids
+  size_t target_index = 0;      // index into scene.objects
+  int64_t image_id = 0;
+
+  const vision::Box& target_box() const {
+    return scene.objects[target_index].box;
+  }
+  ShapeType target_shape() const { return scene.objects[target_index].shape; }
+};
+
+struct DatasetConfig {
+  std::string name = "SynthRef";
+  QueryStyle style = QueryStyle::kRefCoco;
+  int64_t num_images = 300;
+  // Scene canvas in pixels (2:3 aspect mirroring the paper's 400x600).
+  int64_t img_h = 64;
+  int64_t img_w = 96;
+  int64_t max_queries_per_image = 3;  // several queries can share an image
+  uint64_t seed = 1234;
+  // Fractions of samples assigned to val and test (rest is train).
+  float val_fraction = 0.15f;
+  float test_fraction = 0.20f;
+  bool has_test_splits = true;  // false for SynthRefG (val only)
+
+  static DatasetConfig synthref(int64_t num_images, uint64_t seed = 1234);
+  static DatasetConfig synthref_plus(int64_t num_images, uint64_t seed = 2345);
+  static DatasetConfig synthrefg(int64_t num_images, uint64_t seed = 3456);
+};
+
+// Aggregate statistics, printed by the Table-1 bench.
+struct DatasetStats {
+  int64_t num_images = 0;
+  int64_t num_queries = 0;
+  int64_t num_targets = 0;  // distinct (image, object) pairs
+  double avg_query_len = 0.0;
+  double avg_same_type = 0.0;  // objects sharing the target's category
+};
+
+class GroundingDataset {
+ public:
+  GroundingDataset(DatasetConfig config, const Vocab& vocab);
+
+  const DatasetConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+
+  const std::vector<GroundingSample>& train() const { return train_; }
+  const std::vector<GroundingSample>& val() const { return val_; }
+  const std::vector<GroundingSample>& test_a() const { return test_a_; }
+  const std::vector<GroundingSample>& test_b() const { return test_b_; }
+
+  // Longest query (in tokens) across all splits; batches pad to this.
+  int64_t max_query_len() const { return max_query_len_; }
+
+  DatasetStats stats() const;
+
+ private:
+  DatasetConfig config_;
+  std::vector<GroundingSample> train_;
+  std::vector<GroundingSample> val_;
+  std::vector<GroundingSample> test_a_;
+  std::vector<GroundingSample> test_b_;
+  int64_t max_query_len_ = 0;
+};
+
+// Shuffled mini-batch index lists covering [0, n).
+std::vector<std::vector<int64_t>> make_batches(int64_t n, int64_t batch_size,
+                                               Rng& rng);
+
+// Render a batch of samples into one [B, 3, H, W] tensor.
+Tensor render_batch(const std::vector<GroundingSample>& samples,
+                    const std::vector<int64_t>& indices);
+
+// Pad and flatten the token ids of a batch into row-major [B * pad_len].
+std::vector<int64_t> batch_tokens(const std::vector<GroundingSample>& samples,
+                                  const std::vector<int64_t>& indices,
+                                  int64_t pad_len);
+
+}  // namespace yollo::data

@@ -1,0 +1,278 @@
+#include "data/grammar.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace yollo::data {
+namespace {
+
+const std::array<std::string, 3> kStyleNames = {"SynthRef", "SynthRef+",
+                                                "SynthRefG"};
+
+std::string h_word(HBucket h) {
+  switch (h) {
+    case HBucket::kLeft:
+      return "left";
+    case HBucket::kCenter:
+      return "middle";
+    case HBucket::kRight:
+      return "right";
+  }
+  return "";
+}
+
+std::string v_word(VBucket v) {
+  switch (v) {
+    case VBucket::kTop:
+      return "top";
+    case VBucket::kMiddle:
+      return "middle";
+    case VBucket::kBottom:
+      return "bottom";
+  }
+  return "";
+}
+
+// Surface realisation of a descriptor as a short phrase:
+// [loc_h] [size] [color] shape [loc_v-suffix].
+std::string realize_phrase(const Descriptor& d, Rng& rng) {
+  std::string out;
+  if (rng.bernoulli(0.35f)) out += "the ";
+  if (d.h) out += h_word(*d.h) + " ";
+  if (d.size) out += size_name(*d.size) + " ";
+  if (d.color) out += color_name(*d.color) + " ";
+  out += d.shape ? shape_name(*d.shape) : "object";
+  if (d.v && *d.v != VBucket::kMiddle) {
+    out += rng.bernoulli(0.5f) ? " at " + v_word(*d.v) : " " + v_word(*d.v);
+  } else if (d.v) {
+    out += " in the middle";
+  }
+  return out;
+}
+
+// Relations for the RefCOCOg-style clauses.
+enum class Relation { kLeftOf, kRightOf, kAbove, kBelow };
+
+std::string relation_words(Relation r) {
+  switch (r) {
+    case Relation::kLeftOf:
+      return "to the left of";
+    case Relation::kRightOf:
+      return "to the right of";
+    case Relation::kAbove:
+      return "above";
+    case Relation::kBelow:
+      return "below";
+  }
+  return "";
+}
+
+bool relation_holds(Relation r, const SceneObject& subject,
+                    const SceneObject& ref) {
+  constexpr float kMargin = 2.0f;
+  switch (r) {
+    case Relation::kLeftOf:
+      return subject.box.cx() < ref.box.cx() - kMargin;
+    case Relation::kRightOf:
+      return subject.box.cx() > ref.box.cx() + kMargin;
+    case Relation::kAbove:
+      return subject.box.cy() < ref.box.cy() - kMargin;
+    case Relation::kBelow:
+      return subject.box.cy() > ref.box.cy() + kMargin;
+  }
+  return false;
+}
+
+// The relation naturally describing subject vs. ref (dominant axis).
+std::optional<Relation> dominant_relation(const SceneObject& subject,
+                                          const SceneObject& ref) {
+  const float dx = subject.box.cx() - ref.box.cx();
+  const float dy = subject.box.cy() - ref.box.cy();
+  if (std::max(std::fabs(dx), std::fabs(dy)) < 4.0f) return std::nullopt;
+  if (std::fabs(dx) >= std::fabs(dy)) {
+    return dx < 0 ? Relation::kLeftOf : Relation::kRightOf;
+  }
+  return dy < 0 ? Relation::kAbove : Relation::kBelow;
+}
+
+// Candidate attribute templates for short phrases, ordered roughly from
+// simple to specific. Location-bearing templates are skipped for
+// kRefCocoPlus.
+struct TemplateSpec {
+  bool color, size, h, v;
+};
+
+constexpr std::array<TemplateSpec, 12> kTemplates = {{
+    {false, false, false, false},  // shape
+    {true, false, false, false},   // color shape
+    {false, false, true, false},   // loc_h shape
+    {false, false, false, true},   // shape loc_v
+    {false, true, false, false},   // size shape
+    {true, false, true, false},    // loc_h color shape
+    {true, false, false, true},    // color shape loc_v
+    {true, true, false, false},    // size color shape
+    {false, true, true, false},    // loc_h size shape
+    {true, true, true, false},     // loc_h size color shape
+    {true, true, false, true},     // size color shape loc_v
+    {true, true, true, true},      // everything
+}};
+
+Descriptor build_descriptor(const SceneObject& target, const Scene& scene,
+                            const TemplateSpec& t) {
+  Descriptor d;
+  d.shape = target.shape;
+  if (t.color) d.color = target.color;
+  if (t.size) d.size = target.size;
+  if (t.h) d.h = h_bucket(target, scene);
+  if (t.v) d.v = v_bucket(target, scene);
+  return d;
+}
+
+std::optional<std::string> generate_short_phrase(const Scene& scene,
+                                                 size_t target,
+                                                 bool allow_location,
+                                                 Rng& rng) {
+  const SceneObject& obj = scene.objects[target];
+  // Walk templates from simple to specific; within equal complexity the
+  // order is fixed, but the realisation adds surface variety.
+  for (const TemplateSpec& t : kTemplates) {
+    if (!allow_location && (t.h || t.v)) continue;
+    const Descriptor d = build_descriptor(obj, scene, t);
+    if (count_matches(d, scene) == 1) {
+      return realize_phrase(d, rng);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> generate_sentence(const Scene& scene, size_t target,
+                                             Rng& rng) {
+  const SceneObject& obj = scene.objects[target];
+
+  // Subject noun phrase: color (+ size when needed for flavour).
+  Descriptor subject;
+  subject.shape = obj.shape;
+  subject.color = obj.color;
+  if (rng.bernoulli(0.5f)) subject.size = obj.size;
+
+  // Try relational clauses against each other object usable as a reference:
+  // the reference must itself be unique under (color, shape) so the clause
+  // is well-defined.
+  std::vector<size_t> ref_order;
+  for (size_t i = 0; i < scene.objects.size(); ++i) {
+    if (i != target) ref_order.push_back(i);
+  }
+  std::shuffle(ref_order.begin(), ref_order.end(), rng.engine());
+
+  for (size_t ref_idx : ref_order) {
+    const SceneObject& ref = scene.objects[ref_idx];
+    Descriptor ref_d;
+    ref_d.shape = ref.shape;
+    ref_d.color = ref.color;
+    if (count_matches(ref_d, scene) != 1) continue;
+    const std::optional<Relation> rel = dominant_relation(obj, ref);
+    if (!rel) continue;
+
+    // The full predicate: subject attributes AND relation to ref must pick
+    // out exactly the target.
+    int64_t matches_count = 0;
+    for (const SceneObject& candidate : scene.objects) {
+      if (matches(subject, candidate, scene) &&
+          relation_holds(*rel, candidate, ref)) {
+        ++matches_count;
+      }
+    }
+    if (matches_count != 1 || !relation_holds(*rel, obj, ref)) continue;
+
+    std::string out = "the ";
+    if (subject.size) out += size_name(*subject.size) + " ";
+    out += color_name(*subject.color) + " " + shape_name(*subject.shape);
+    out += rng.bernoulli(0.5f) ? " that is " : " which is ";
+    out += relation_words(*rel) + " the " + color_name(ref.color) + " " +
+           shape_name(ref.shape);
+    if (rng.bernoulli(0.4f)) {
+      out += rng.bernoulli(0.5f) ? " in the picture" : " in the image";
+    }
+    return out;
+  }
+
+  // Fall back to an attribute-only sentence with filler words when the
+  // attributes alone are unambiguous.
+  std::optional<std::string> phrase =
+      generate_short_phrase(scene, target, /*allow_location=*/true, rng);
+  if (!phrase) return std::nullopt;
+  return "the " + *phrase + (rng.bernoulli(0.5f) ? " in the picture"
+                                                 : " in the scene");
+}
+
+}  // namespace
+
+const std::string& query_style_name(QueryStyle s) {
+  return kStyleNames[static_cast<size_t>(s)];
+}
+
+HBucket h_bucket(const SceneObject& obj, const Scene& scene) {
+  const float t = obj.box.cx() / static_cast<float>(scene.width);
+  if (t < 1.0f / 3.0f) return HBucket::kLeft;
+  if (t > 2.0f / 3.0f) return HBucket::kRight;
+  return HBucket::kCenter;
+}
+
+VBucket v_bucket(const SceneObject& obj, const Scene& scene) {
+  const float t = obj.box.cy() / static_cast<float>(scene.height);
+  if (t < 1.0f / 3.0f) return VBucket::kTop;
+  if (t > 2.0f / 3.0f) return VBucket::kBottom;
+  return VBucket::kMiddle;
+}
+
+bool matches(const Descriptor& d, const SceneObject& obj, const Scene& scene) {
+  if (d.shape && obj.shape != *d.shape) return false;
+  if (d.color && obj.color != *d.color) return false;
+  if (d.size && obj.size != *d.size) return false;
+  if (d.h && h_bucket(obj, scene) != *d.h) return false;
+  if (d.v && v_bucket(obj, scene) != *d.v) return false;
+  return true;
+}
+
+int64_t count_matches(const Descriptor& d, const Scene& scene) {
+  int64_t count = 0;
+  for (const SceneObject& obj : scene.objects) {
+    count += matches(d, obj, scene);
+  }
+  return count;
+}
+
+std::optional<std::string> generate_query(const Scene& scene, size_t target,
+                                          QueryStyle style, Rng& rng) {
+  switch (style) {
+    case QueryStyle::kRefCoco:
+      return generate_short_phrase(scene, target, /*allow_location=*/true,
+                                   rng);
+    case QueryStyle::kRefCocoPlus:
+      return generate_short_phrase(scene, target, /*allow_location=*/false,
+                                   rng);
+    case QueryStyle::kRefCocoG:
+      return generate_sentence(scene, target, rng);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> sample_corpus(QueryStyle style, int64_t num_scenes,
+                                       Rng& rng) {
+  const SceneSamplerConfig scfg = style == QueryStyle::kRefCocoG
+                                      ? SceneSamplerConfig::refcocog_style()
+                                      : SceneSamplerConfig::refcoco_style();
+  std::vector<std::string> corpus;
+  for (int64_t i = 0; i < num_scenes; ++i) {
+    const Scene scene = sample_scene(scfg, rng);
+    for (size_t t = 0; t < scene.objects.size(); ++t) {
+      if (auto q = generate_query(scene, t, style, rng)) {
+        corpus.push_back(std::move(*q));
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace yollo::data

@@ -1,0 +1,63 @@
+// Referring-expression grammar: generates natural-language queries that
+// uniquely identify one object in a Scene.
+//
+// Three styles mirror the paper's datasets (§4.1):
+//   kRefCoco      — short phrases, location words allowed   (RefCOCO)
+//   kRefCocoPlus  — short phrases, NO location words        (RefCOCO+)
+//   kRefCocoG     — sentence-length, relational clauses     (RefCOCOg)
+//
+// Every generated query is verified against the scene: the attribute (and,
+// for kRefCocoG, relational) predicate it denotes must match exactly the
+// target object. Generation fails (returns nullopt) when no unambiguous
+// expression exists under the style, in which case the dataset builder
+// resamples.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/scene.h"
+#include "tensor/random.h"
+
+namespace yollo::data {
+
+enum class QueryStyle {
+  kRefCoco = 0,
+  kRefCocoPlus,
+  kRefCocoG,
+};
+
+const std::string& query_style_name(QueryStyle s);
+
+// Coarse location buckets used by the grammar's absolute location words.
+enum class HBucket : int8_t { kLeft, kCenter, kRight };
+enum class VBucket : int8_t { kTop, kMiddle, kBottom };
+HBucket h_bucket(const SceneObject& obj, const Scene& scene);
+VBucket v_bucket(const SceneObject& obj, const Scene& scene);
+
+// A partial description: unset attributes are wildcards.
+struct Descriptor {
+  std::optional<ShapeType> shape;
+  std::optional<ColorName> color;
+  std::optional<SizeClass> size;
+  std::optional<HBucket> h;  // only used by kRefCoco / kRefCocoG
+  std::optional<VBucket> v;
+};
+
+// True when the object satisfies every set field of the descriptor.
+bool matches(const Descriptor& d, const SceneObject& obj, const Scene& scene);
+
+// Number of scene objects matching the descriptor.
+int64_t count_matches(const Descriptor& d, const Scene& scene);
+
+// Generate a query for scene.objects[target]. Returns the surface text, or
+// nullopt when the style admits no unambiguous expression for this target.
+std::optional<std::string> generate_query(const Scene& scene, size_t target,
+                                          QueryStyle style, Rng& rng);
+
+// Sample a corpus of query texts (for Word2Vec pre-training): repeatedly
+// samples scenes and emits one query per object that admits one.
+std::vector<std::string> sample_corpus(QueryStyle style, int64_t num_scenes,
+                                       Rng& rng);
+
+}  // namespace yollo::data

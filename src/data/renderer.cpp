@@ -1,0 +1,173 @@
+#include "data/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace yollo::data {
+namespace {
+
+// Deterministic per-pixel hash noise in [0, 1) for the background texture.
+float hash_noise(uint64_t seed, int64_t x, int64_t y) {
+  uint64_t h = seed ^ (static_cast<uint64_t>(x) * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<float>(h & 0xffffff) / static_cast<float>(0x1000000);
+}
+
+}  // namespace
+
+bool point_in_object(const SceneObject& obj, float px, float py) {
+  const vision::Box& b = obj.box;
+  if (px < b.x || px > b.x2() || py < b.y || py > b.y2()) return false;
+  // Normalised coordinates in [-1, 1] relative to the box centre.
+  const float nx = (px - b.cx()) / (0.5f * b.w);
+  const float ny = (py - b.cy()) / (0.5f * b.h);
+  switch (obj.shape) {
+    case ShapeType::kCircle:
+      return nx * nx + ny * ny <= 1.0f;
+    case ShapeType::kSquare:
+    case ShapeType::kBar:
+    case ShapeType::kPillar:
+      return true;  // the whole box
+    case ShapeType::kTriangle: {
+      // Upward triangle: apex at top-centre, base at the bottom.
+      const float t = (ny + 1.0f) * 0.5f;  // 0 at top, 1 at bottom
+      return std::fabs(nx) <= t;
+    }
+    case ShapeType::kDiamond:
+      return std::fabs(nx) + std::fabs(ny) <= 1.0f;
+    case ShapeType::kRing: {
+      const float r2 = nx * nx + ny * ny;
+      return r2 <= 1.0f && r2 >= 0.30f;
+    }
+    case ShapeType::kCross:
+      return std::fabs(nx) <= 0.34f || std::fabs(ny) <= 0.34f;
+  }
+  return false;
+}
+
+Tensor render_scene(const Scene& scene) {
+  const int64_t h = scene.height;
+  const int64_t w = scene.width;
+  Tensor image({3, h, w});
+  float* r = image.data();
+  float* g = r + h * w;
+  float* b = g + h * w;
+
+  // Background: soft vertical gradient plus hash noise, dark enough that
+  // every object colour contrasts with it.
+  for (int64_t y = 0; y < h; ++y) {
+    const float grad =
+        0.12f + 0.08f * static_cast<float>(y) / static_cast<float>(h);
+    for (int64_t x = 0; x < w; ++x) {
+      const float n = 0.05f * hash_noise(scene.background_seed, x, y);
+      const int64_t i = y * w + x;
+      r[i] = grad + n;
+      g[i] = grad + 0.02f + n;
+      b[i] = grad + 0.04f + n;
+    }
+  }
+
+  for (const SceneObject& obj : scene.objects) {
+    const Rgb c = color_rgb(obj.color);
+    const Rgb border{c.r * 0.45f, c.g * 0.45f, c.b * 0.45f};
+    const int64_t x0 = std::max<int64_t>(0, static_cast<int64_t>(obj.box.x));
+    const int64_t y0 = std::max<int64_t>(0, static_cast<int64_t>(obj.box.y));
+    const int64_t x1 =
+        std::min<int64_t>(w - 1, static_cast<int64_t>(std::ceil(obj.box.x2())));
+    const int64_t y1 =
+        std::min<int64_t>(h - 1, static_cast<int64_t>(std::ceil(obj.box.y2())));
+    for (int64_t y = y0; y <= y1; ++y) {
+      for (int64_t x = x0; x <= x1; ++x) {
+        const float px = static_cast<float>(x) + 0.5f;
+        const float py = static_cast<float>(y) + 0.5f;
+        if (!point_in_object(obj, px, py)) continue;
+        // Border when any 4-neighbour falls outside the silhouette.
+        const bool edge = !point_in_object(obj, px - 1.0f, py) ||
+                          !point_in_object(obj, px + 1.0f, py) ||
+                          !point_in_object(obj, px, py - 1.0f) ||
+                          !point_in_object(obj, px, py + 1.0f);
+        const Rgb& paint = edge ? border : c;
+        const int64_t i = y * w + x;
+        r[i] = paint.r;
+        g[i] = paint.g;
+        b[i] = paint.b;
+      }
+    }
+  }
+  return image;
+}
+
+void write_pgm(const Tensor& gray, const std::string& path) {
+  if (gray.ndim() != 2) {
+    throw std::invalid_argument("write_pgm: expected [H, W], got " +
+                                shape_to_string(gray.shape()));
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  const int64_t h = gray.size(0);
+  const int64_t w = gray.size(1);
+  out << "P5\n" << w << ' ' << h << "\n255\n";
+  const float* p = gray.data();
+  for (int64_t i = 0; i < h * w; ++i) {
+    const float v = std::clamp(p[i], 0.0f, 1.0f);
+    out.put(static_cast<char>(static_cast<int>(v * 255.0f)));
+  }
+}
+
+void write_ppm(const Tensor& rgb, const std::string& path) {
+  if (rgb.ndim() != 3 || rgb.size(0) != 3) {
+    throw std::invalid_argument("write_ppm: expected [3, H, W], got " +
+                                shape_to_string(rgb.shape()));
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  const int64_t h = rgb.size(1);
+  const int64_t w = rgb.size(2);
+  out << "P6\n" << w << ' ' << h << "\n255\n";
+  const float* r = rgb.data();
+  const float* g = r + h * w;
+  const float* b = g + h * w;
+  for (int64_t i = 0; i < h * w; ++i) {
+    out.put(static_cast<char>(
+        static_cast<int>(std::clamp(r[i], 0.0f, 1.0f) * 255.0f)));
+    out.put(static_cast<char>(
+        static_cast<int>(std::clamp(g[i], 0.0f, 1.0f) * 255.0f)));
+    out.put(static_cast<char>(
+        static_cast<int>(std::clamp(b[i], 0.0f, 1.0f) * 255.0f)));
+  }
+}
+
+void draw_box_outline(Tensor& image, const vision::Box& box, const Rgb& color) {
+  const int64_t h = image.size(1);
+  const int64_t w = image.size(2);
+  float* r = image.data();
+  float* g = r + h * w;
+  float* b = g + h * w;
+  const int64_t x0 = std::clamp<int64_t>(static_cast<int64_t>(box.x), 0, w - 1);
+  const int64_t y0 = std::clamp<int64_t>(static_cast<int64_t>(box.y), 0, h - 1);
+  const int64_t x1 =
+      std::clamp<int64_t>(static_cast<int64_t>(box.x2()), 0, w - 1);
+  const int64_t y1 =
+      std::clamp<int64_t>(static_cast<int64_t>(box.y2()), 0, h - 1);
+  auto paint = [&](int64_t y, int64_t x) {
+    const int64_t i = y * w + x;
+    r[i] = color.r;
+    g[i] = color.g;
+    b[i] = color.b;
+  };
+  for (int64_t x = x0; x <= x1; ++x) {
+    paint(y0, x);
+    paint(y1, x);
+  }
+  for (int64_t y = y0; y <= y1; ++y) {
+    paint(y, x0);
+    paint(y, x1);
+  }
+}
+
+}  // namespace yollo::data

@@ -1,0 +1,33 @@
+// Software rasteriser: Scene -> float image tensor [3, H, W] in [0, 1].
+//
+// The renderer is deterministic given the scene (including its
+// background_seed), so datasets can store scenes and rasterise on demand
+// instead of holding every image in memory.
+#pragma once
+
+#include "data/scene.h"
+#include "tensor/tensor.h"
+
+namespace yollo::data {
+
+// Rasterise the scene: textured background, then each object painted in
+// order with a slightly darker 1px border so edges are visible to the CNN.
+Tensor render_scene(const Scene& scene);
+
+// True when the pixel (px, py) lies inside the analytic silhouette of the
+// object (used by the renderer and by tests).
+bool point_in_object(const SceneObject& obj, float px, float py);
+
+// Write a [H, W] single-channel tensor as a binary PGM file (values are
+// clamped to [0,1] and scaled to 0..255); used by the Figure-5 bench to dump
+// attention masks.
+void write_pgm(const Tensor& gray, const std::string& path);
+
+// Write a [3, H, W] tensor as a binary PPM file; used to dump rendered
+// scenes and predictions for visual inspection.
+void write_ppm(const Tensor& rgb, const std::string& path);
+
+// Draw a 1px rectangle outline (in-place) on a [3, H, W] image.
+void draw_box_outline(Tensor& image, const vision::Box& box, const Rgb& color);
+
+}  // namespace yollo::data

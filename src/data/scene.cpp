@@ -1,0 +1,137 @@
+#include "data/scene.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace yollo::data {
+namespace {
+
+const std::array<std::string, kNumShapes> kShapeNames = {
+    "circle", "square", "triangle", "diamond",
+    "ring",   "cross",  "bar",      "pillar"};
+
+const std::array<std::string, kNumColors> kColorNames = {
+    "red", "green", "blue", "yellow", "purple", "orange", "cyan", "white"};
+
+const std::array<std::string, kNumSizes> kSizeNames = {"small", "medium",
+                                                       "large"};
+
+const std::array<Rgb, kNumColors> kColorValues = {{
+    {0.85f, 0.15f, 0.12f},  // red
+    {0.15f, 0.70f, 0.20f},  // green
+    {0.15f, 0.25f, 0.85f},  // blue
+    {0.90f, 0.85f, 0.15f},  // yellow
+    {0.60f, 0.20f, 0.75f},  // purple
+    {0.95f, 0.55f, 0.10f},  // orange
+    {0.15f, 0.80f, 0.85f},  // cyan
+    {0.95f, 0.95f, 0.95f},  // white
+}};
+
+}  // namespace
+
+const std::string& shape_name(ShapeType s) {
+  return kShapeNames[static_cast<size_t>(s)];
+}
+
+const std::string& color_name(ColorName c) {
+  return kColorNames[static_cast<size_t>(c)];
+}
+
+const std::string& size_name(SizeClass z) {
+  return kSizeNames[static_cast<size_t>(z)];
+}
+
+Rgb color_rgb(ColorName c) { return kColorValues[static_cast<size_t>(c)]; }
+
+int64_t Scene::same_type_count(const SceneObject& obj) const {
+  int64_t count = 0;
+  for (const SceneObject& o : objects) count += (o.shape == obj.shape);
+  return count;
+}
+
+SceneSamplerConfig SceneSamplerConfig::refcoco_style() {
+  SceneSamplerConfig cfg;
+  cfg.min_objects = 4;
+  cfg.max_objects = 7;
+  cfg.same_type_bias = 0.55f;
+  return cfg;
+}
+
+SceneSamplerConfig SceneSamplerConfig::refcocog_style() {
+  SceneSamplerConfig cfg;
+  cfg.min_objects = 3;
+  cfg.max_objects = 5;
+  cfg.same_type_bias = 0.05f;
+  return cfg;
+}
+
+float size_extent(SizeClass z, Rng& rng) {
+  switch (z) {
+    case SizeClass::kSmall:
+      return rng.uniform(8.0f, 11.0f);
+    case SizeClass::kMedium:
+      return rng.uniform(13.0f, 17.0f);
+    case SizeClass::kLarge:
+      return rng.uniform(19.0f, 24.0f);
+  }
+  throw std::logic_error("size_extent: bad size class");
+}
+
+Scene sample_scene(const SceneSamplerConfig& config, Rng& rng) {
+  Scene scene;
+  scene.width = config.width;
+  scene.height = config.height;
+  scene.background_seed = rng.engine()();
+
+  const int64_t target_count =
+      rng.randint(config.min_objects, config.max_objects);
+
+  ShapeType majority_shape =
+      static_cast<ShapeType>(rng.randint(0, kNumShapes - 1));
+
+  int attempts = 0;
+  while (static_cast<int64_t>(scene.objects.size()) < target_count &&
+         attempts < 400) {
+    ++attempts;
+    SceneObject obj;
+    obj.shape = rng.bernoulli(config.same_type_bias)
+                    ? majority_shape
+                    : static_cast<ShapeType>(rng.randint(0, kNumShapes - 1));
+    obj.color = static_cast<ColorName>(rng.randint(0, kNumColors - 1));
+    obj.size = static_cast<SizeClass>(rng.randint(0, kNumSizes - 1));
+
+    float w = size_extent(obj.size, rng);
+    float h = w;
+    if (obj.shape == ShapeType::kBar) {
+      h = std::max(5.0f, w * 0.45f);
+    } else if (obj.shape == ShapeType::kPillar) {
+      w = std::max(5.0f, h * 0.45f);
+      h = h * 1.2f;
+    }
+    if (w >= static_cast<float>(config.width) - 2.0f ||
+        h >= static_cast<float>(config.height) - 2.0f) {
+      continue;
+    }
+    const float x = rng.uniform(1.0f, static_cast<float>(config.width) - w - 1.0f);
+    const float y =
+        rng.uniform(1.0f, static_cast<float>(config.height) - h - 1.0f);
+    obj.box = vision::Box{x, y, w, h};
+
+    bool overlaps = false;
+    for (const SceneObject& other : scene.objects) {
+      if (vision::iou(obj.box, other.box) > config.max_pairwise_iou) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) scene.objects.push_back(obj);
+  }
+
+  if (scene.objects.empty()) {
+    throw std::runtime_error("sample_scene: failed to place any object");
+  }
+  return scene;
+}
+
+}  // namespace yollo::data

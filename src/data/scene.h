@@ -1,0 +1,103 @@
+// Synthetic visual scenes: the reproduction's stand-in for MS-COCO images.
+//
+// A Scene is a set of coloured geometric objects on a textured background.
+// Objects carry the three attribute axes the referring-expression grammar
+// speaks about (shape category, colour, size), plus a bounding box. The
+// shape taxonomy plays the role of COCO object categories; per DESIGN.md,
+// the CIRCLE category is the designated "person" analogue used to split
+// TestA (multi-person images) from TestB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+#include "vision/box.h"
+
+namespace yollo::data {
+
+enum class ShapeType : int8_t {
+  kCircle = 0,  // "person" analogue for the TestA/TestB split
+  kSquare,
+  kTriangle,
+  kDiamond,
+  kRing,
+  kCross,
+  kBar,     // wide rectangle
+  kPillar,  // tall rectangle
+};
+inline constexpr int kNumShapes = 8;
+
+enum class ColorName : int8_t {
+  kRed = 0,
+  kGreen,
+  kBlue,
+  kYellow,
+  kPurple,
+  kOrange,
+  kCyan,
+  kWhite,
+};
+inline constexpr int kNumColors = 8;
+
+enum class SizeClass : int8_t {
+  kSmall = 0,
+  kMedium,
+  kLarge,
+};
+inline constexpr int kNumSizes = 3;
+
+const std::string& shape_name(ShapeType s);
+const std::string& color_name(ColorName c);
+const std::string& size_name(SizeClass z);
+
+// RGB in [0,1] for a colour name.
+struct Rgb {
+  float r, g, b;
+};
+Rgb color_rgb(ColorName c);
+
+struct SceneObject {
+  ShapeType shape = ShapeType::kCircle;
+  ColorName color = ColorName::kRed;
+  SizeClass size = SizeClass::kMedium;
+  vision::Box box;  // pixel coordinates in the scene canvas
+};
+
+struct Scene {
+  int64_t width = 96;
+  int64_t height = 64;
+  std::vector<SceneObject> objects;
+  uint64_t background_seed = 0;  // makes the rendered texture reproducible
+
+  // Number of objects sharing the given object's shape category.
+  int64_t same_type_count(const SceneObject& obj) const;
+};
+
+// Controls for the scene sampler. The two presets mirror the statistics the
+// paper reports for its datasets (§4.1): RefCOCO(+) images average ~3.9
+// objects of the target's category; RefCOCOg averages ~1.6.
+struct SceneSamplerConfig {
+  int64_t width = 96;
+  int64_t height = 64;
+  int64_t min_objects = 4;
+  int64_t max_objects = 7;
+  // Probability that a newly sampled object copies the shape category of the
+  // first object (drives the same-type count up for RefCOCO-style scenes).
+  float same_type_bias = 0.55f;
+  float max_pairwise_iou = 0.10f;
+
+  static SceneSamplerConfig refcoco_style();   // crowded same-type scenes
+  static SceneSamplerConfig refcocog_style();  // sparse distinct scenes
+};
+
+// Sample a random scene. Object placement uses rejection sampling so boxes
+// stay inside the canvas and overlap at most max_pairwise_iou.
+Scene sample_scene(const SceneSamplerConfig& config, Rng& rng);
+
+// Pixel size (full extent) range for a size class; used by the sampler and
+// useful for tests.
+float size_extent(SizeClass z, Rng& rng);
+
+}  // namespace yollo::data

@@ -1,0 +1,111 @@
+#include "data/vocab.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/scene.h"
+
+namespace yollo::data {
+
+Vocab::Vocab() {
+  add("<pad>");
+  add("<unk>");
+}
+
+int64_t Vocab::add(const std::string& word) {
+  const auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  const int64_t id = static_cast<int64_t>(words_.size());
+  words_.push_back(word);
+  index_.emplace(word, id);
+  return id;
+}
+
+int64_t Vocab::id(const std::string& word) const {
+  const auto it = index_.find(word);
+  return it != index_.end() ? it->second : kUnk;
+}
+
+bool Vocab::contains(const std::string& word) const {
+  return index_.count(word) > 0;
+}
+
+const std::string& Vocab::word(int64_t id) const {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("Vocab::word: id " + std::to_string(id));
+  }
+  return words_[static_cast<size_t>(id)];
+}
+
+std::vector<int64_t> Vocab::encode(const std::string& text) const {
+  std::vector<int64_t> ids;
+  for (const std::string& tok : tokenize(text)) ids.push_back(id(tok));
+  return ids;
+}
+
+std::string Vocab::decode(const std::vector<int64_t>& ids) const {
+  std::string out;
+  for (int64_t id : ids) {
+    if (id == kPad) continue;
+    if (!out.empty()) out += ' ';
+    out += word(id);
+  }
+  return out;
+}
+
+Vocab Vocab::grounding_vocab() {
+  Vocab v;
+  for (int i = 0; i < kNumShapes; ++i) {
+    v.add(shape_name(static_cast<ShapeType>(i)));
+    v.add(shape_name(static_cast<ShapeType>(i)) + "s");  // plural fillers
+  }
+  for (int i = 0; i < kNumColors; ++i) {
+    v.add(color_name(static_cast<ColorName>(i)));
+  }
+  for (int i = 0; i < kNumSizes; ++i) {
+    v.add(size_name(static_cast<SizeClass>(i)));
+  }
+  for (const char* w :
+       {"left", "right", "top", "bottom", "middle", "center", "leftmost",
+        "rightmost", "upper", "lower", "the", "a", "that", "which", "is",
+        "to", "of", "above", "below", "beside", "near", "in", "on", "at",
+        "picture", "image", "scene", "object", "shape", "one", "thing",
+        "side", "part", "and", "it", "this", "big", "little", "tiny",
+        "huge"}) {
+    v.add(w);
+  }
+  return v;
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string tok;
+  while (stream >> tok) {
+    size_t begin = 0;
+    size_t end = tok.size();
+    while (begin < end && std::ispunct(static_cast<unsigned char>(tok[begin]))) {
+      ++begin;
+    }
+    while (end > begin &&
+           std::ispunct(static_cast<unsigned char>(tok[end - 1]))) {
+      --end;
+    }
+    if (begin == end) continue;
+    std::string word = tok.substr(begin, end - begin);
+    for (char& c : word) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    out.push_back(std::move(word));
+  }
+  return out;
+}
+
+std::vector<int64_t> pad_to(const std::vector<int64_t>& ids, int64_t length) {
+  std::vector<int64_t> out = ids;
+  out.resize(static_cast<size_t>(length), Vocab::kPad);
+  return out;
+}
+
+}  // namespace yollo::data

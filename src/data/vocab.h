@@ -1,0 +1,57 @@
+// Token vocabulary and whitespace tokenizer.
+//
+// Mirrors the paper's text pipeline (§4.2): queries are tokenised to word
+// ids, unknown words map to UNK, and batches are padded with PAD to the
+// dataset's maximum query length.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace yollo::data {
+
+class Vocab {
+ public:
+  static constexpr int64_t kPad = 0;
+  static constexpr int64_t kUnk = 1;
+
+  Vocab();
+
+  // Add a word (idempotent); returns its id.
+  int64_t add(const std::string& word);
+
+  // Id for a word, kUnk when absent.
+  int64_t id(const std::string& word) const;
+
+  bool contains(const std::string& word) const;
+
+  const std::string& word(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(words_.size()); }
+
+  // Whitespace-split `text` and map each token to an id.
+  std::vector<int64_t> encode(const std::string& text) const;
+
+  // Inverse of encode (PAD tokens are skipped).
+  std::string decode(const std::vector<int64_t>& ids) const;
+
+  // The full vocabulary of the synthetic referring-expression grammar:
+  // attribute words, shape nouns, spatial terms, and function words.
+  static Vocab grounding_vocab();
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+// Split on runs of whitespace, lower-casing and stripping surrounding
+// punctuation from each token ("Red," -> "red"), so user-typed queries in
+// the examples normalise to grammar vocabulary.
+std::vector<std::string> tokenize(const std::string& text);
+
+// Right-pad (or truncate) ids to `length` with PAD.
+std::vector<int64_t> pad_to(const std::vector<int64_t>& ids, int64_t length);
+
+}  // namespace yollo::data

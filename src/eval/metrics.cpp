@@ -1,0 +1,133 @@
+#include "eval/metrics.h"
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace yollo::eval {
+
+double accuracy_at(const std::vector<Prediction>& preds, float eta) {
+  if (preds.empty()) return 0.0;
+  int64_t hits = 0;
+  for (const Prediction& p : preds) {
+    hits += vision::iou(p.predicted, p.truth) > eta;
+  }
+  return static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+double coco_style_accuracy(const std::vector<Prediction>& preds) {
+  double total = 0.0;
+  int count = 0;
+  for (float eta = 0.5f; eta < 0.951f; eta += 0.05f) {
+    total += accuracy_at(preds, eta);
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+double mean_iou(const std::vector<Prediction>& preds) {
+  if (preds.empty()) return 0.0;
+  double total = 0.0;
+  for (const Prediction& p : preds) {
+    total += vision::iou(p.predicted, p.truth);
+  }
+  return total / static_cast<double>(preds.size());
+}
+
+MetricRow compute_metrics(const std::vector<Prediction>& preds) {
+  MetricRow row;
+  row.acc = coco_style_accuracy(preds);
+  row.acc50 = accuracy_at(preds, 0.5f);
+  row.acc75 = accuracy_at(preds, 0.75f);
+  row.miou = mean_iou(preds);
+  return row;
+}
+
+Stopwatch::Stopwatch() { reset(); }
+
+void Stopwatch::reset() {
+  start_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+double Stopwatch::elapsed_seconds() const {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  return static_cast<double>(now - start_ns_) * 1e-9;
+}
+
+double time_per_call(const std::function<void()>& fn, int64_t iters,
+                     int64_t warmup) {
+  for (int64_t i = 0; i < warmup; ++i) fn();
+  Stopwatch watch;
+  for (int64_t i = 0; i < iters; ++i) fn();
+  return watch.elapsed_seconds() / static_cast<double>(iters);
+}
+
+TableReporter::TableReporter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TableReporter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("TableReporter: row width " +
+                                std::to_string(cells.size()) +
+                                " != column count " +
+                                std::to_string(columns_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TableReporter::print(const std::string& title) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::cout << "| ";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::cout << std::left << std::setw(static_cast<int>(widths[c]))
+                << cells[c] << " | ";
+    }
+    std::cout << "\n";
+  };
+  print_row(columns_);
+  std::cout << "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::cout << std::string(widths[c] + 2, '-') << "|";
+  }
+  std::cout << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+void TableReporter::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TableReporter: cannot open " + path);
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace yollo::eval

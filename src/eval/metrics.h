@@ -1,0 +1,75 @@
+// Grounding evaluation metrics (paper §4.3, Table 3) and reporting helpers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vision/box.h"
+
+namespace yollo::eval {
+
+// One grounding prediction paired with its ground truth.
+struct Prediction {
+  vision::Box predicted;
+  vision::Box truth;
+};
+
+// Fraction of predictions with IoU > eta (the paper's ACC@eta).
+double accuracy_at(const std::vector<Prediction>& preds, float eta);
+
+// Mean of ACC@eta for eta in {0.5, 0.55, ..., 0.95} (the paper's "ACC").
+double coco_style_accuracy(const std::vector<Prediction>& preds);
+
+// Mean IoU over all predictions (the paper's MIOU).
+double mean_iou(const std::vector<Prediction>& preds);
+
+// Full metric row for Table 3.
+struct MetricRow {
+  double acc = 0.0;       // averaged ACC@0.5..0.95
+  double acc50 = 0.0;     // ACC@0.5
+  double acc75 = 0.0;     // ACC@0.75
+  double miou = 0.0;
+};
+MetricRow compute_metrics(const std::vector<Prediction>& preds);
+
+// --- timing -----------------------------------------------------------------
+
+// Wall-clock stopwatch for the inference-latency experiments (Table 5).
+class Stopwatch {
+ public:
+  Stopwatch();
+  void reset();
+  double elapsed_seconds() const;
+
+ private:
+  int64_t start_ns_;
+};
+
+// Mean seconds per call of `fn` over `iters` calls after `warmup` calls.
+double time_per_call(const std::function<void()>& fn, int64_t iters,
+                     int64_t warmup = 1);
+
+// --- reporting ---------------------------------------------------------------
+
+// Accumulates rows and prints a fixed-width table like the paper's.
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  // Render to stdout with a title line.
+  void print(const std::string& title) const;
+  // Write as CSV.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with fixed precision (helper for reporters).
+std::string fmt(double value, int precision = 2);
+
+}  // namespace yollo::eval

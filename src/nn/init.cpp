@@ -1,0 +1,21 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace yollo::nn {
+
+Tensor kaiming_normal(Shape shape, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::randn(std::move(shape), rng, 0.0f, stddev);
+}
+
+Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::rand(std::move(shape), rng, -a, a);
+}
+
+Tensor embedding_init(Shape shape, Rng& rng, float scale) {
+  return Tensor::randn(std::move(shape), rng, 0.0f, scale);
+}
+
+}  // namespace yollo::nn

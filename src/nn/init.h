@@ -1,0 +1,18 @@
+// Parameter initialisation schemes.
+#pragma once
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace yollo::nn {
+
+// He/Kaiming normal init for ReLU networks: stddev = sqrt(2 / fan_in).
+Tensor kaiming_normal(Shape shape, int64_t fan_in, Rng& rng);
+
+// Glorot/Xavier uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+// Small-scale normal init for embeddings: N(0, scale).
+Tensor embedding_init(Shape shape, Rng& rng, float scale = 0.1f);
+
+}  // namespace yollo::nn

@@ -1,0 +1,182 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yollo::nn {
+
+// --- Linear ------------------------------------------------------------------
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  weight = ag::Variable::param(
+      kaiming_normal({in_features, out_features}, in_features, rng));
+  register_parameter("weight", weight);
+  if (has_bias_) {
+    this->bias = ag::Variable::param(Tensor::zeros({out_features}));
+    register_parameter("bias", this->bias);
+  }
+}
+
+ag::Variable Linear::forward(const ag::Variable& x) {
+  if (x.size(-1) != in_features_) {
+    throw std::invalid_argument("Linear: input feature dim " +
+                                std::to_string(x.size(-1)) + " != " +
+                                std::to_string(in_features_));
+  }
+  const Shape in_shape = x.shape();
+  ag::Variable flat = x;
+  if (x.ndim() != 2) {
+    flat = ag::reshape(x, {-1, in_features_});
+  }
+  ag::Variable y = ag::matmul(flat, weight);
+  if (has_bias_) {
+    y = ag::add(y, bias);  // bias broadcasts over rows
+  }
+  if (in_shape.size() != 2) {
+    Shape out_shape = in_shape;
+    out_shape.back() = out_features_;
+    y = ag::reshape(y, std::move(out_shape));
+  }
+  return y;
+}
+
+// --- Embedding ----------------------------------------------------------------
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng)
+    : vocab_size_(vocab_size), dim_(dim) {
+  weight = ag::Variable::param(embedding_init({vocab_size, dim}, rng));
+  register_parameter("weight", weight);
+}
+
+ag::Variable Embedding::forward(const std::vector<int64_t>& ids) {
+  for (int64_t id : ids) {
+    if (id < 0 || id >= vocab_size_) {
+      throw std::out_of_range("Embedding: token id " + std::to_string(id) +
+                              " outside vocab of " +
+                              std::to_string(vocab_size_));
+    }
+  }
+  return ag::embedding(weight, ids);
+}
+
+// --- Conv2d -------------------------------------------------------------------
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, Rng& rng, bool bias)
+    : has_bias_(bias) {
+  spec_.in_channels = in_channels;
+  spec_.out_channels = out_channels;
+  spec_.kernel_h = kernel;
+  spec_.kernel_w = kernel;
+  spec_.stride_h = stride;
+  spec_.stride_w = stride;
+  spec_.pad_h = padding;
+  spec_.pad_w = padding;
+  const int64_t fan_in = in_channels * kernel * kernel;
+  weight = ag::Variable::param(
+      kaiming_normal({out_channels, in_channels, kernel, kernel}, fan_in, rng));
+  register_parameter("weight", weight);
+  if (has_bias_) {
+    this->bias = ag::Variable::param(Tensor::zeros({out_channels}));
+    register_parameter("bias", this->bias);
+  }
+}
+
+ag::Variable Conv2d::forward(const ag::Variable& x) {
+  return ag::conv2d(x, weight, has_bias_ ? bias : ag::Variable(), spec_);
+}
+
+// --- BatchNorm2d -----------------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {
+  gamma = ag::Variable::param(Tensor::ones({channels}));
+  beta = ag::Variable::param(Tensor::zeros({channels}));
+  register_parameter("gamma", gamma);
+  register_parameter("beta", beta);
+  register_buffer("running_mean", running_mean_);
+  register_buffer("running_var", running_var_);
+}
+
+ag::Variable BatchNorm2d::forward(const ag::Variable& x) {
+  if (x.ndim() != 4 || x.size(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: expected [N," +
+                                std::to_string(channels_) + ",H,W], got " +
+                                shape_to_string(x.shape()));
+  }
+  const int64_t n = x.size(0);
+  const int64_t h = x.size(2);
+  const int64_t w = x.size(3);
+
+  // Rearrange to [C, N*H*W] so per-channel statistics are one axis-reduction.
+  ag::Variable xc = ag::reshape(ag::transpose(x, 0, 1), {channels_, n * h * w});
+
+  ag::Variable mu, var;
+  if (training()) {
+    mu = ag::mean(xc, 1, /*keepdim=*/true);                      // [C,1]
+    ag::Variable centered = ag::sub(xc, mu);
+    var = ag::mean(ag::square(centered), 1, /*keepdim=*/true);   // [C,1]
+    // Update running statistics outside the graph.
+    const Tensor batch_mu = mu.value().reshape({channels_});
+    const Tensor batch_var = var.value().reshape({channels_});
+    scale_inplace(running_mean_, 1.0f - momentum_);
+    axpy_inplace(running_mean_, momentum_, batch_mu);
+    scale_inplace(running_var_, 1.0f - momentum_);
+    axpy_inplace(running_var_, momentum_, batch_var);
+  } else {
+    mu = ag::Variable::constant(running_mean_.reshape({channels_, 1}).clone());
+    var = ag::Variable::constant(running_var_.reshape({channels_, 1}).clone());
+  }
+
+  ag::Variable inv_std = ag::pow_scalar(ag::add_scalar(var, eps_), -0.5f);
+  ag::Variable norm = ag::mul(ag::sub(xc, mu), inv_std);          // [C, NHW]
+  ag::Variable scaled = ag::add(
+      ag::mul(norm, ag::reshape(gamma, {channels_, 1})),
+      ag::reshape(beta, {channels_, 1}));
+  return ag::transpose(ag::reshape(scaled, {channels_, n, h, w}), 0, 1);
+}
+
+// --- LayerNorm --------------------------------------------------------------------
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  gamma = ag::Variable::param(Tensor::ones({dim}));
+  beta = ag::Variable::param(Tensor::zeros({dim}));
+  register_parameter("gamma", gamma);
+  register_parameter("beta", beta);
+}
+
+ag::Variable LayerNorm::forward(const ag::Variable& x) {
+  if (x.size(-1) != dim_) {
+    throw std::invalid_argument("LayerNorm: last dim " +
+                                std::to_string(x.size(-1)) + " != " +
+                                std::to_string(dim_));
+  }
+  const int64_t axis = x.ndim() - 1;
+  ag::Variable mu = ag::mean(x, axis, /*keepdim=*/true);
+  ag::Variable centered = ag::sub(x, mu);
+  ag::Variable var = ag::mean(ag::square(centered), axis, /*keepdim=*/true);
+  ag::Variable inv_std = ag::pow_scalar(ag::add_scalar(var, eps_), -0.5f);
+  ag::Variable norm = ag::mul(centered, inv_std);
+  return ag::add(ag::mul(norm, gamma), beta);
+}
+
+// --- FFN --------------------------------------------------------------------------
+
+FFN::FFN(int64_t in_dim, int64_t hidden_dim, int64_t out_dim, Rng& rng)
+    : fc1(in_dim, hidden_dim, rng), fc2(hidden_dim, out_dim, rng) {
+  register_module("fc1", fc1);
+  register_module("fc2", fc2);
+}
+
+ag::Variable FFN::forward(const ag::Variable& x) {
+  return fc2.forward(ag::relu(fc1.forward(x)));
+}
+
+}  // namespace yollo::nn

@@ -1,0 +1,120 @@
+// Core neural-network layers built on the autograd ops.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace yollo::nn {
+
+// Fully-connected layer y = xW + b. Accepts input of any rank >= 2; leading
+// dimensions are flattened for the matmul and restored afterwards.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  ag::Variable forward(const ag::Variable& x);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  ag::Variable weight;  // [in, out]
+  ag::Variable bias;    // [out] (undefined when constructed without bias)
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+};
+
+// Token-id -> dense vector lookup table.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng& rng);
+
+  // ids -> [ids.size(), dim]
+  ag::Variable forward(const std::vector<int64_t>& ids);
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+
+  ag::Variable weight;  // [vocab, dim]
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+};
+
+// 2-D convolution (NCHW).
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t padding, Rng& rng, bool bias = true);
+
+  ag::Variable forward(const ag::Variable& x);
+
+  const Conv2dSpec& spec() const { return spec_; }
+
+  ag::Variable weight;  // [out, in, k, k]
+  ag::Variable bias;    // [out]
+
+ private:
+  Conv2dSpec spec_;
+  bool has_bias_;
+};
+
+// Batch normalisation over N,H,W per channel, with running statistics for
+// evaluation mode.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  ag::Variable forward(const ag::Variable& x);
+
+  ag::Variable gamma;  // [C]
+  ag::Variable beta;   // [C]
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int64_t channels_;
+  float momentum_;
+  float eps_;
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+// Layer normalisation over the last dimension.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  ag::Variable forward(const ag::Variable& x);
+
+  ag::Variable gamma;  // [dim]
+  ag::Variable beta;   // [dim]
+
+ private:
+  int64_t dim_;
+  float eps_;
+};
+
+// The paper's two-layer feed-forward network: Linear -> ReLU -> Linear.
+// Used four times inside every Rel2Att module (eqs. 1-2).
+class FFN : public Module {
+ public:
+  FFN(int64_t in_dim, int64_t hidden_dim, int64_t out_dim, Rng& rng);
+
+  ag::Variable forward(const ag::Variable& x);
+
+  Linear fc1;
+  Linear fc2;
+};
+
+}  // namespace yollo::nn

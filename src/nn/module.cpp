@@ -1,0 +1,147 @@
+#include "nn/module.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace yollo::nn {
+
+std::vector<ag::Variable*> Module::parameters() {
+  std::vector<NamedParam> named = named_parameters();
+  std::vector<ag::Variable*> out;
+  out.reserve(named.size());
+  for (const NamedParam& np : named) out.push_back(np.param);
+  return out;
+}
+
+std::vector<Module::NamedParam> Module::named_parameters() {
+  std::vector<NamedParam> out;
+  collect("", out);
+  return out;
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<NamedParam>& out) {
+  for (const Registered& r : params_) {
+    out.push_back({prefix + r.name, r.param});
+  }
+  for (const Child& c : children_) {
+    c.module->collect(prefix + c.name + ".", out);
+  }
+}
+
+std::vector<Module::NamedBuffer> Module::named_buffers() {
+  std::vector<NamedBuffer> out;
+  collect_buffers("", out);
+  return out;
+}
+
+void Module::collect_buffers(const std::string& prefix,
+                             std::vector<NamedBuffer>& out) {
+  for (const RegisteredBuffer& r : buffers_) {
+    out.push_back({prefix + r.name, r.buffer});
+  }
+  for (const Child& c : children_) {
+    c.module->collect_buffers(prefix + c.name + ".", out);
+  }
+}
+
+int64_t Module::parameter_count() {
+  int64_t total = 0;
+  for (ag::Variable* p : parameters()) total += p->numel();
+  return total;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  on_training_changed();
+  for (const Child& c : children_) c.module->set_training(training);
+}
+
+void Module::zero_grad() {
+  for (ag::Variable* p : parameters()) p->zero_grad();
+}
+
+void Module::register_parameter(std::string name, ag::Variable& param) {
+  params_.push_back({std::move(name), &param});
+}
+
+void Module::register_buffer(std::string name, Tensor& buffer) {
+  buffers_.push_back({std::move(name), &buffer});
+}
+
+void Module::register_module(std::string name, Module& child) {
+  children_.push_back({std::move(name), &child});
+}
+
+void save_parameters(Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+  const auto params = module.parameters();
+  const int64_t count = static_cast<int64_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (ag::Variable* p : params) {
+    const int64_t n = p->numel();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(p->value().data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  // Buffer section (running statistics etc.); optional on read so files
+  // from before this section existed stay loadable.
+  const auto buffers = module.named_buffers();
+  const int64_t buffer_count = static_cast<int64_t>(buffers.size());
+  out.write(reinterpret_cast<const char*>(&buffer_count),
+            sizeof(buffer_count));
+  for (const Module::NamedBuffer& b : buffers) {
+    const int64_t n = b.buffer->numel();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(b.buffer->data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+}
+
+bool load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  const auto params = module.parameters();
+  int64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != static_cast<int64_t>(params.size())) {
+    throw std::runtime_error("load_parameters: parameter count mismatch in " +
+                             path);
+  }
+  for (ag::Variable* p : params) {
+    int64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (n != p->numel()) {
+      throw std::runtime_error("load_parameters: tensor size mismatch in " +
+                               path);
+    }
+    in.read(reinterpret_cast<char*>(p->value().data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  if (!in) throw std::runtime_error("load_parameters: truncated file " + path);
+
+  // Optional buffer section.
+  int64_t buffer_count = 0;
+  in.read(reinterpret_cast<char*>(&buffer_count), sizeof(buffer_count));
+  if (!in) return false;  // legacy file: parameters only
+  const auto buffers = module.named_buffers();
+  if (buffer_count != static_cast<int64_t>(buffers.size())) {
+    throw std::runtime_error("load_parameters: buffer count mismatch in " +
+                             path);
+  }
+  for (const Module::NamedBuffer& b : buffers) {
+    int64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (n != b.buffer->numel()) {
+      throw std::runtime_error("load_parameters: buffer size mismatch in " +
+                               path);
+    }
+    in.read(reinterpret_cast<char*>(b.buffer->data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  if (!in) throw std::runtime_error("load_parameters: truncated file " + path);
+  return true;
+}
+
+}  // namespace yollo::nn

@@ -1,0 +1,93 @@
+// Module: base class for neural-network building blocks.
+//
+// A Module owns its parameters as ag::Variable members and registers them
+// (and any child modules) in its constructor; parameters() then walks the
+// tree so optimisers and serialisation see every trainable tensor exactly
+// once. Modules are neither copyable nor movable: registration stores
+// pointers into the object, so the address must be stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace yollo::nn {
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  // All trainable parameters in this module and its registered children.
+  std::vector<ag::Variable*> parameters();
+
+  // Named flat view (name is the registration path), for checkpoint I/O.
+  struct NamedParam {
+    std::string name;
+    ag::Variable* param;
+  };
+  std::vector<NamedParam> named_parameters();
+
+  // Non-trainable state that must survive checkpointing (e.g. BatchNorm
+  // running statistics).
+  struct NamedBuffer {
+    std::string name;
+    Tensor* buffer;
+  };
+  std::vector<NamedBuffer> named_buffers();
+
+  // Total trainable element count.
+  int64_t parameter_count();
+
+  // Toggle training mode (dropout, batch-norm statistics) for the subtree.
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  // Drop every parameter's gradient buffer.
+  void zero_grad();
+
+ protected:
+  void register_parameter(std::string name, ag::Variable& param);
+  void register_buffer(std::string name, Tensor& buffer);
+  void register_module(std::string name, Module& child);
+
+  // Hook for modules with mode-dependent behaviour (e.g. BatchNorm).
+  virtual void on_training_changed() {}
+
+ private:
+  struct Registered {
+    std::string name;
+    ag::Variable* param;
+  };
+  struct RegisteredBuffer {
+    std::string name;
+    Tensor* buffer;
+  };
+  struct Child {
+    std::string name;
+    Module* module;
+  };
+  std::vector<Registered> params_;
+  std::vector<RegisteredBuffer> buffers_;
+  std::vector<Child> children_;
+  bool training_ = true;
+
+  void collect(const std::string& prefix, std::vector<NamedParam>& out);
+  void collect_buffers(const std::string& prefix,
+                       std::vector<NamedBuffer>& out);
+};
+
+// Serialise / restore all parameters AND registered buffers of a module to a
+// flat binary file (count + per-tensor numel + raw float data for each
+// section). Files written before buffers existed load cleanly: the buffer
+// section is optional on read (the caller should then recalibrate
+// statistics, e.g. with core::recalibrate_batchnorm).
+// Returns true when the file contained a buffer section.
+void save_parameters(Module& module, const std::string& path);
+bool load_parameters(Module& module, const std::string& path);
+
+}  // namespace yollo::nn

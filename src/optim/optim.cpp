@@ -1,0 +1,118 @@
+#include "optim/optim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace yollo::optim {
+
+Optimizer::Optimizer(std::vector<ag::Variable*> params, float lr)
+    : params_(std::move(params)), lr_(lr) {}
+
+void Optimizer::zero_grad() {
+  for (ag::Variable* p : params_) p->zero_grad();
+}
+
+float Optimizer::clip_grad_norm(float max_norm) {
+  double total_sq = 0.0;
+  for (ag::Variable* p : params_) {
+    if (!p->has_grad()) continue;
+    const float* g = p->grad().data();
+    for (int64_t i = 0; i < p->numel(); ++i) {
+      total_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (ag::Variable* p : params_) {
+      if (!p->has_grad()) continue;
+      Tensor g = p->node()->grad;
+      scale_inplace(g, scale);
+    }
+  }
+  return norm;
+}
+
+SGD::SGD(std::vector<ag::Variable*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (ag::Variable* p : params_) {
+    velocity_.push_back(Tensor(p->value().shape()));
+  }
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable* p = params_[i];
+    if (!p->has_grad()) continue;
+    const float* g = p->grad().data();
+    float* w = p->value().data();
+    float* v = velocity_[i].data();
+    for (int64_t j = 0; j < p->numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= lr_ * v[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable*> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (ag::Variable* p : params_) {
+    m_.push_back(Tensor(p->value().shape()));
+    v_.push_back(Tensor(p->value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable* p = params_[i];
+    if (!p->has_grad()) continue;
+    const float* g = p->grad().data();
+    float* w = p->value().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (int64_t j = 0; j < p->numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+CosineSchedule::CosineSchedule(float base_lr, int64_t warmup_steps,
+                               int64_t total_steps)
+    : base_lr_(base_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps) {}
+
+float CosineSchedule::lr_at(int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return 0.0f;
+  const float progress =
+      static_cast<float>(step - warmup_steps_) /
+      static_cast<float>(std::max<int64_t>(total_steps_ - warmup_steps_, 1));
+  constexpr float kPi = 3.14159265358979323846f;
+  return 0.5f * base_lr_ * (1.0f + std::cos(kPi * progress));
+}
+
+}  // namespace yollo::optim

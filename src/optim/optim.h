@@ -1,0 +1,82 @@
+// First-order optimisers over ag::Variable parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace yollo::optim {
+
+// Interface: step() applies accumulated gradients, zero_grad() clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable*> params, float lr);
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  // Scale all gradients so their global L2 norm is at most `max_norm`.
+  // Returns the pre-clip norm.
+  float clip_grad_norm(float max_norm);
+
+ protected:
+  std::vector<ag::Variable*> params_;
+  float lr_;
+};
+
+// Stochastic gradient descent with optional momentum and weight decay.
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<ag::Variable*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba, 2014) — the optimiser the paper trains YOLLO with
+// (lr 5e-5 at paper scale).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step() override;
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+// Linear-warmup + cosine-decay learning-rate schedule.
+class CosineSchedule {
+ public:
+  CosineSchedule(float base_lr, int64_t warmup_steps, int64_t total_steps);
+
+  float lr_at(int64_t step) const;
+
+ private:
+  float base_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+};
+
+}  // namespace yollo::optim

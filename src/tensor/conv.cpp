@@ -1,0 +1,262 @@
+#include "tensor/conv.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace yollo {
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  const int64_t n = input.size(0);
+  const int64_t c = input.size(1);
+  const int64_t h = input.size(2);
+  const int64_t w = input.size(3);
+  if (c != spec.in_channels) {
+    throw std::invalid_argument("im2col: channel mismatch");
+  }
+  const int64_t oh = spec.out_height(h);
+  const int64_t ow = spec.out_width(w);
+  const int64_t patch = c * spec.kernel_h * spec.kernel_w;
+  Tensor cols({n, patch, oh * ow});
+  const float* src = input.data();
+  float* dst = cols.data();
+
+  for (int64_t ni = 0; ni < n; ++ni) {
+    const float* img = src + ni * c * h * w;
+    float* col = dst + ni * patch * oh * ow;
+    int64_t row = 0;
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+        for (int64_t kw = 0; kw < spec.kernel_w; ++kw, ++row) {
+          float* out_row = col + row * oh * ow;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * spec.stride_h + kh - spec.pad_h;
+            if (iy < 0 || iy >= h) {
+              std::fill(out_row + oy * ow, out_row + (oy + 1) * ow, 0.0f);
+              continue;
+            }
+            const float* in_row = img + (ci * h + iy) * w;
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const int64_t ix = ox * spec.stride_w + kw - spec.pad_w;
+              out_row[oy * ow + ox] =
+                  (ix >= 0 && ix < w) ? in_row[ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,
+              int64_t in_w) {
+  const int64_t n = columns.size(0);
+  const int64_t c = spec.in_channels;
+  const int64_t oh = spec.out_height(in_h);
+  const int64_t ow = spec.out_width(in_w);
+  Tensor out({n, c, in_h, in_w});
+  const float* src = columns.data();
+  float* dst = out.data();
+
+  const int64_t patch = c * spec.kernel_h * spec.kernel_w;
+  for (int64_t ni = 0; ni < n; ++ni) {
+    float* img = dst + ni * c * in_h * in_w;
+    const float* col = src + ni * patch * oh * ow;
+    int64_t row = 0;
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+        for (int64_t kw = 0; kw < spec.kernel_w; ++kw, ++row) {
+          const float* in_row = col + row * oh * ow;
+          for (int64_t oy = 0; oy < oh; ++oy) {
+            const int64_t iy = oy * spec.stride_h + kh - spec.pad_h;
+            if (iy < 0 || iy >= in_h) continue;
+            float* out_row = img + (ci * in_h + iy) * in_w;
+            for (int64_t ox = 0; ox < ow; ++ox) {
+              const int64_t ix = ox * spec.stride_w + kw - spec.pad_w;
+              if (ix >= 0 && ix < in_w) {
+                out_row[ix] += in_row[oy * ow + ox];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec) {
+  const int64_t n = input.size(0);
+  const int64_t h = input.size(2);
+  const int64_t w = input.size(3);
+  const int64_t oh = spec.out_height(h);
+  const int64_t ow = spec.out_width(w);
+  const int64_t patch = spec.in_channels * spec.kernel_h * spec.kernel_w;
+
+  const Tensor cols = im2col(input, spec);                    // [n,patch,oh*ow]
+  const Tensor wmat = weight.reshape({spec.out_channels, patch});
+
+  Tensor out({n, spec.out_channels, oh, ow});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    const Tensor col_n =
+        cols.narrow(0, ni, 1).reshape({patch, oh * ow});
+    const Tensor prod = matmul(wmat, col_n);  // [Cout, oh*ow]
+    std::copy(prod.data(), prod.data() + prod.numel(),
+              out.data() + ni * spec.out_channels * oh * ow);
+  }
+  if (bias.defined()) {
+    float* p = out.data();
+    const float* b = bias.data();
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t co = 0; co < spec.out_channels; ++co) {
+        const float bv = b[co];
+        float* plane = p + (ni * spec.out_channels + co) * oh * ow;
+        for (int64_t i = 0; i < oh * ow; ++i) plane[i] += bv;
+      }
+    }
+  }
+  return out;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            bool has_bias, const Tensor& grad_output,
+                            const Conv2dSpec& spec) {
+  const int64_t n = input.size(0);
+  const int64_t h = input.size(2);
+  const int64_t w = input.size(3);
+  const int64_t oh = spec.out_height(h);
+  const int64_t ow = spec.out_width(w);
+  const int64_t patch = spec.in_channels * spec.kernel_h * spec.kernel_w;
+
+  const Tensor cols = im2col(input, spec);  // [n, patch, oh*ow]
+  const Tensor wmat = weight.reshape({spec.out_channels, patch});
+  const Tensor wmat_t = wmat.transpose(0, 1);  // [patch, Cout]
+
+  Conv2dGrads grads;
+  Tensor grad_wmat({spec.out_channels, patch});
+  Tensor grad_cols({n, patch, oh * ow});
+
+  for (int64_t ni = 0; ni < n; ++ni) {
+    const Tensor go_n =
+        grad_output.narrow(0, ni, 1).reshape({spec.out_channels, oh * ow});
+    const Tensor col_n = cols.narrow(0, ni, 1).reshape({patch, oh * ow});
+    // dW += dY * colsᵀ
+    const Tensor dw = matmul(go_n, col_n.transpose(0, 1));
+    add_inplace(grad_wmat, dw);
+    // dCols = Wᵀ * dY
+    const Tensor dcol = matmul(wmat_t, go_n);  // [patch, oh*ow]
+    std::copy(dcol.data(), dcol.data() + dcol.numel(),
+              grad_cols.data() + ni * patch * oh * ow);
+  }
+
+  grads.grad_weight = grad_wmat.reshape(
+      {spec.out_channels, spec.in_channels, spec.kernel_h, spec.kernel_w});
+  grads.grad_input = col2im(grad_cols, spec, h, w);
+  if (has_bias) {
+    Tensor gb({spec.out_channels});
+    const float* go = grad_output.data();
+    float* pb = gb.data();
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t co = 0; co < spec.out_channels; ++co) {
+        const float* plane = go + (ni * spec.out_channels + co) * oh * ow;
+        float acc = 0.0f;
+        for (int64_t i = 0; i < oh * ow; ++i) acc += plane[i];
+        pb[co] += acc;
+      }
+    }
+    grads.grad_bias = gb;
+  }
+  return grads;
+}
+
+MaxPoolResult max_pool2x2_forward(const Tensor& input) {
+  const int64_t n = input.size(0);
+  const int64_t c = input.size(1);
+  const int64_t h = input.size(2);
+  const int64_t w = input.size(3);
+  if (h % 2 != 0 || w % 2 != 0) {
+    throw std::invalid_argument("max_pool2x2: spatial dims must be even, got " +
+                                shape_to_string(input.shape()));
+  }
+  const int64_t oh = h / 2;
+  const int64_t ow = w / 2;
+  MaxPoolResult res{Tensor({n, c, oh, ow}), {}};
+  res.argmax.resize(static_cast<size_t>(n * c * oh * ow));
+  const float* src = input.data();
+  float* dst = res.output.data();
+  int64_t oi = 0;
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = src + (ni * c + ci) * h * w;
+      const int64_t plane_base = (ni * c + ci) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t dy = 0; dy < 2; ++dy) {
+            for (int64_t dx = 0; dx < 2; ++dx) {
+              const int64_t idx = (oy * 2 + dy) * w + ox * 2 + dx;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          dst[oi] = best;
+          res.argmax[static_cast<size_t>(oi)] = plane_base + best_idx;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+Tensor max_pool2x2_backward(const Tensor& grad_output,
+                            const std::vector<int64_t>& argmax,
+                            const Shape& input_shape) {
+  Tensor grad_input(input_shape);
+  const float* go = grad_output.data();
+  float* gi = grad_input.data();
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    gi[argmax[static_cast<size_t>(i)]] += go[i];
+  }
+  return grad_input;
+}
+
+Tensor global_avg_pool_forward(const Tensor& input) {
+  const int64_t n = input.size(0);
+  const int64_t c = input.size(1);
+  const int64_t hw = input.size(2) * input.size(3);
+  Tensor out({n, c});
+  const float* src = input.data();
+  float* dst = out.data();
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (int64_t i = 0; i < n * c; ++i) {
+    float acc = 0.0f;
+    const float* plane = src + i * hw;
+    for (int64_t j = 0; j < hw; ++j) acc += plane[j];
+    dst[i] = acc * inv;
+  }
+  return out;
+}
+
+Tensor global_avg_pool_backward(const Tensor& grad_output,
+                                const Shape& input_shape) {
+  Tensor grad_input(input_shape);
+  const int64_t n = input_shape[0];
+  const int64_t c = input_shape[1];
+  const int64_t hw = input_shape[2] * input_shape[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  const float* go = grad_output.data();
+  float* gi = grad_input.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float g = go[i] * inv;
+    float* plane = gi + i * hw;
+    for (int64_t j = 0; j < hw; ++j) plane[j] = g;
+  }
+  return grad_input;
+}
+
+}  // namespace yollo

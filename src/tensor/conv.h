@@ -1,0 +1,73 @@
+// 2-D convolution and pooling kernels (NCHW layout) with explicit backward
+// passes, implemented via im2col + GEMM.
+//
+// These are the raw numeric kernels; the autograd layer wraps them into
+// differentiable ops and nn::Conv2d exposes them as a module.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace yollo {
+
+// Static configuration of one convolution.
+struct Conv2dSpec {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel_h = 3;
+  int64_t kernel_w = 3;
+  int64_t stride_h = 1;
+  int64_t stride_w = 1;
+  int64_t pad_h = 1;
+  int64_t pad_w = 1;
+
+  int64_t out_height(int64_t in_h) const {
+    return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  int64_t out_width(int64_t in_w) const {
+    return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+};
+
+// Unfold input [N, C, H, W] into columns [N, C*kh*kw, out_h*out_w].
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
+
+// Fold columns [N, C*kh*kw, out_h*out_w] back into an input-shaped gradient
+// [N, C, H, W] (the adjoint of im2col; overlapping patches accumulate).
+Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,
+              int64_t in_w);
+
+// Forward convolution.
+//   input  [N, Cin, H, W]
+//   weight [Cout, Cin, kh, kw]
+//   bias   [Cout] (may be undefined for no bias)
+// Returns [N, Cout, out_h, out_w].
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec);
+
+// Backward convolution. grad_output is [N, Cout, out_h, out_w].
+struct Conv2dGrads {
+  Tensor grad_input;   // [N, Cin, H, W]
+  Tensor grad_weight;  // [Cout, Cin, kh, kw]
+  Tensor grad_bias;    // [Cout] (undefined when bias was undefined)
+};
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            bool has_bias, const Tensor& grad_output,
+                            const Conv2dSpec& spec);
+
+// 2x2 max pooling with stride 2 (the only pooling the models need).
+// Returns pooled output and records argmax indices for the backward pass.
+struct MaxPoolResult {
+  Tensor output;                 // [N, C, H/2, W/2]
+  std::vector<int64_t> argmax;   // flat input index per output element
+};
+MaxPoolResult max_pool2x2_forward(const Tensor& input);
+Tensor max_pool2x2_backward(const Tensor& grad_output,
+                            const std::vector<int64_t>& argmax,
+                            const Shape& input_shape);
+
+// Global average pooling [N, C, H, W] -> [N, C].
+Tensor global_avg_pool_forward(const Tensor& input);
+Tensor global_avg_pool_backward(const Tensor& grad_output,
+                                const Shape& input_shape);
+
+}  // namespace yollo

@@ -1,0 +1,181 @@
+// Elementwise kernels with NumPy-style broadcasting.
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+
+namespace yollo {
+namespace {
+
+// Generic broadcasting binary kernel. Fast path when shapes match exactly;
+// otherwise walks the broadcast output shape with per-operand strides.
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, F fn) {
+  if (a.same_shape(b)) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = broadcast_shape(a.shape(), b.shape());
+  const Strides sa = broadcast_strides(a.shape(), out_shape);
+  const Strides sb = broadcast_strides(b.shape(), out_shape);
+  Tensor out(out_shape);
+  const int64_t n = out.numel();
+  if (n == 0) return out;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // Odometer iteration: increment coordinates and operand offsets in place
+  // instead of div/mod-unravelling every flat index.
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  std::vector<int64_t> coords(out_shape.size(), 0);
+  int64_t offa = 0, offb = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = fn(pa[offa], pb[offb]);
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t ud = static_cast<size_t>(d);
+      ++coords[ud];
+      offa += sa[ud];
+      offb += sb[ud];
+      if (coords[ud] < out_shape[ud]) break;
+      offa -= sa[ud] * out_shape[ud];
+      offb -= sb[ud] * out_shape[ud];
+      coords[ud] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor minimum(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor pow(const Tensor& a, float exponent) {
+  return a.map([exponent](float x) { return std::pow(x, exponent); });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return a.map([s](float x) { return x + s; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return a.map([s](float x) { return x * s; });
+}
+
+Tensor neg(const Tensor& a) {
+  return a.map([](float x) { return -x; });
+}
+
+Tensor exp(const Tensor& a) {
+  return a.map([](float x) { return std::exp(x); });
+}
+
+Tensor log(const Tensor& a) {
+  return a.map([](float x) { return std::log(std::max(x, 1e-12f)); });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return a.map([](float x) { return std::sqrt(x); });
+}
+
+Tensor tanh(const Tensor& a) {
+  return a.map([](float x) { return std::tanh(x); });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return a.map([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor relu(const Tensor& a) {
+  return a.map([](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor abs(const Tensor& a) {
+  return a.map([](float x) { return std::fabs(x); });
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  return a.map([lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("add_inplace: shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("axpy_inplace: shape mismatch");
+  }
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += s * pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  float* pa = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float worst = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.same_shape(b)) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(pa[i] - pb[i]) > atol + rtol * std::fabs(pb[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace yollo

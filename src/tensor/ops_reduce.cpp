@@ -1,0 +1,256 @@
+// Reductions, softmax, concatenation and broadcast-adjoint kernels.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+
+namespace yollo {
+namespace {
+
+// Decompose a shape around `axis` into (outer, extent, inner) so an axis
+// reduction is three nested loops over contiguous memory.
+struct AxisSplit {
+  int64_t outer = 1;
+  int64_t extent = 1;
+  int64_t inner = 1;
+};
+
+AxisSplit split_axis(const Shape& shape, int64_t axis) {
+  AxisSplit s;
+  s.extent = shape[static_cast<size_t>(axis)];
+  for (int64_t i = 0; i < axis; ++i) s.outer *= shape[static_cast<size_t>(i)];
+  for (size_t i = static_cast<size_t>(axis) + 1; i < shape.size(); ++i) {
+    s.inner *= shape[i];
+  }
+  return s;
+}
+
+Shape reduced_shape(const Shape& shape, int64_t axis, bool keepdim) {
+  Shape out = shape;
+  if (keepdim) {
+    out[static_cast<size_t>(axis)] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor sum(const Tensor& a) {
+  const float* p = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  return Tensor::scalar(static_cast<float>(acc));
+}
+
+Tensor sum(const Tensor& a, int64_t axis, bool keepdim) {
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  const AxisSplit s = split_axis(a.shape(), ax);
+  Tensor out(reduced_shape(a.shape(), ax, keepdim));
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t e = 0; e < s.extent; ++e) {
+      const float* row = src + (o * s.extent + e) * s.inner;
+      float* orow = dst + o * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) orow[i] += row[i];
+    }
+  }
+  return out;
+}
+
+Tensor mean(const Tensor& a) {
+  return sum(a) * (1.0f / static_cast<float>(std::max<int64_t>(a.numel(), 1)));
+}
+
+Tensor mean(const Tensor& a, int64_t axis, bool keepdim) {
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  const float inv = 1.0f / static_cast<float>(a.size(ax));
+  return sum(a, ax, keepdim) * inv;
+}
+
+Tensor max(const Tensor& a, int64_t axis, bool keepdim) {
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  const AxisSplit s = split_axis(a.shape(), ax);
+  Tensor out(reduced_shape(a.shape(), ax, keepdim));
+  out.fill(-std::numeric_limits<float>::infinity());
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t e = 0; e < s.extent; ++e) {
+      const float* row = src + (o * s.extent + e) * s.inner;
+      float* orow = dst + o * s.inner;
+      for (int64_t i = 0; i < s.inner; ++i) orow[i] = std::max(orow[i], row[i]);
+    }
+  }
+  return out;
+}
+
+float max_value(const Tensor& a) {
+  const float* p = a.data();
+  float best = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < a.numel(); ++i) best = std::max(best, p[i]);
+  return best;
+}
+
+float min_value(const Tensor& a) {
+  const float* p = a.data();
+  float best = std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < a.numel(); ++i) best = std::min(best, p[i]);
+  return best;
+}
+
+Tensor argmax(const Tensor& a, int64_t axis) {
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  const AxisSplit s = split_axis(a.shape(), ax);
+  Tensor out(reduced_shape(a.shape(), ax, /*keepdim=*/false));
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t i = 0; i < s.inner; ++i) {
+      float best = -std::numeric_limits<float>::infinity();
+      int64_t best_idx = 0;
+      for (int64_t e = 0; e < s.extent; ++e) {
+        const float v = src[(o * s.extent + e) * s.inner + i];
+        if (v > best) {
+          best = v;
+          best_idx = e;
+        }
+      }
+      dst[o * s.inner + i] = static_cast<float>(best_idx);
+    }
+  }
+  return out;
+}
+
+int64_t argmax_flat(const Tensor& a) {
+  const float* p = a.data();
+  int64_t best_idx = 0;
+  float best = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (p[i] > best) {
+      best = p[i];
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+Tensor softmax(const Tensor& a, int64_t axis) {
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  const AxisSplit s = split_axis(a.shape(), ax);
+  Tensor out(a.shape());
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t i = 0; i < s.inner; ++i) {
+      float m = -std::numeric_limits<float>::infinity();
+      for (int64_t e = 0; e < s.extent; ++e) {
+        m = std::max(m, src[(o * s.extent + e) * s.inner + i]);
+      }
+      float z = 0.0f;
+      for (int64_t e = 0; e < s.extent; ++e) {
+        const int64_t idx = (o * s.extent + e) * s.inner + i;
+        dst[idx] = std::exp(src[idx] - m);
+        z += dst[idx];
+      }
+      const float inv = 1.0f / z;
+      for (int64_t e = 0; e < s.extent; ++e) {
+        dst[(o * s.extent + e) * s.inner + i] *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor log_softmax(const Tensor& a, int64_t axis) {
+  const int64_t ax = normalize_axis(axis, a.ndim());
+  const AxisSplit s = split_axis(a.shape(), ax);
+  Tensor out(a.shape());
+  const float* src = a.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t i = 0; i < s.inner; ++i) {
+      float m = -std::numeric_limits<float>::infinity();
+      for (int64_t e = 0; e < s.extent; ++e) {
+        m = std::max(m, src[(o * s.extent + e) * s.inner + i]);
+      }
+      float z = 0.0f;
+      for (int64_t e = 0; e < s.extent; ++e) {
+        z += std::exp(src[(o * s.extent + e) * s.inner + i] - m);
+      }
+      const float logz = m + std::log(z);
+      for (int64_t e = 0; e < s.extent; ++e) {
+        const int64_t idx = (o * s.extent + e) * s.inner + i;
+        dst[idx] = src[idx] - logz;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor concat(const std::vector<Tensor>& parts, int64_t axis) {
+  if (parts.empty()) throw std::invalid_argument("concat: no inputs");
+  const int64_t rank = parts[0].ndim();
+  const int64_t ax = normalize_axis(axis, rank);
+  Shape out_shape = parts[0].shape();
+  int64_t total = 0;
+  for (const Tensor& t : parts) {
+    if (t.ndim() != rank) throw std::invalid_argument("concat: rank mismatch");
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d != ax && t.size(d) != out_shape[static_cast<size_t>(d)]) {
+        throw std::invalid_argument("concat: extent mismatch on dim " +
+                                    std::to_string(d));
+      }
+    }
+    total += t.size(ax);
+  }
+  out_shape[static_cast<size_t>(ax)] = total;
+  Tensor out(out_shape);
+
+  int64_t outer = 1;
+  for (int64_t i = 0; i < ax; ++i) outer *= out_shape[static_cast<size_t>(i)];
+  int64_t inner = 1;
+  for (size_t i = static_cast<size_t>(ax) + 1; i < out_shape.size(); ++i) {
+    inner *= out_shape[i];
+  }
+
+  float* dst = out.data();
+  int64_t offset = 0;
+  for (const Tensor& t : parts) {
+    const int64_t extent = t.size(ax);
+    const float* src = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(src + o * extent * inner, src + (o + 1) * extent * inner,
+                dst + (o * total + offset) * inner);
+    }
+    offset += extent;
+  }
+  return out;
+}
+
+Tensor reduce_to_shape(const Tensor& grad, const Shape& to) {
+  if (grad.shape() == to) return grad;
+  Tensor g = grad;
+  // Collapse extra leading dimensions.
+  while (g.ndim() > static_cast<int64_t>(to.size())) {
+    g = sum(g, 0, /*keepdim=*/false);
+  }
+  // Sum along broadcast (extent-1) dimensions.
+  for (int64_t d = 0; d < g.ndim(); ++d) {
+    if (to[static_cast<size_t>(d)] == 1 && g.size(d) != 1) {
+      g = sum(g, d, /*keepdim=*/true);
+    }
+  }
+  if (g.shape() != to) {
+    throw std::invalid_argument("reduce_to_shape: cannot reduce " +
+                                shape_to_string(grad.shape()) + " to " +
+                                shape_to_string(to));
+  }
+  return g;
+}
+
+}  // namespace yollo

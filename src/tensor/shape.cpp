@@ -1,0 +1,110 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace yollo {
+
+int64_t numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+Strides contiguous_strides(const Shape& shape) {
+  Strides strides(shape.size());
+  int64_t step = 1;
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 1; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] = step;
+    step *= shape[static_cast<size_t>(i)];
+  }
+  return strides;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+bool broadcastable(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape broadcast_shape(const Shape& a, const Shape& b) {
+  if (!broadcastable(a, b)) {
+    throw std::invalid_argument("broadcast_shape: incompatible shapes " +
+                                shape_to_string(a) + " and " +
+                                shape_to_string(b));
+  }
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (size_t i = 0; i < rank; ++i) {
+    const int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    out[rank - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+Strides broadcast_strides(const Shape& from, const Shape& to) {
+  if (from.size() > to.size()) {
+    throw std::invalid_argument("broadcast_strides: rank of " +
+                                shape_to_string(from) + " exceeds " +
+                                shape_to_string(to));
+  }
+  const Strides base = contiguous_strides(from);
+  Strides out(to.size(), 0);
+  for (size_t i = 0; i < from.size(); ++i) {
+    const size_t fi = from.size() - 1 - i;
+    const size_t ti = to.size() - 1 - i;
+    if (from[fi] == to[ti]) {
+      out[ti] = base[fi];
+    } else if (from[fi] == 1) {
+      out[ti] = 0;
+    } else {
+      throw std::invalid_argument("broadcast_strides: cannot broadcast " +
+                                  shape_to_string(from) + " to " +
+                                  shape_to_string(to));
+    }
+  }
+  return out;
+}
+
+int64_t normalize_axis(int64_t axis, int64_t rank) {
+  const int64_t normalized = axis < 0 ? axis + rank : axis;
+  if (normalized < 0 || normalized >= rank) {
+    throw std::invalid_argument("axis " + std::to_string(axis) +
+                                " out of range for rank " +
+                                std::to_string(rank));
+  }
+  return normalized;
+}
+
+void unravel_index(int64_t flat, const Shape& shape, int64_t* coords) {
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 1; i >= 0; --i) {
+    const int64_t extent = shape[static_cast<size_t>(i)];
+    coords[i] = flat % extent;
+    flat /= extent;
+  }
+}
+
+int64_t ravel_offset(const int64_t* coords, const Strides& strides) {
+  int64_t offset = 0;
+  for (size_t i = 0; i < strides.size(); ++i) offset += coords[i] * strides[i];
+  return offset;
+}
+
+}  // namespace yollo

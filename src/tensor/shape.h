@@ -1,0 +1,49 @@
+// Shape and stride utilities for the yollo tensor library.
+//
+// Tensors are dense, row-major, float32. A Shape is an ordered list of
+// extents; Strides give the element step per dimension. Broadcasting follows
+// NumPy semantics: dimensions are aligned from the right, and a dimension of
+// extent 1 repeats to match the other operand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace yollo {
+
+using Shape = std::vector<int64_t>;
+using Strides = std::vector<int64_t>;
+
+// Total number of elements in a shape (1 for rank-0 scalars).
+int64_t numel(const Shape& shape);
+
+// Row-major (C-order) strides for a dense tensor of the given shape.
+Strides contiguous_strides(const Shape& shape);
+
+// Human-readable form, e.g. "[2, 3, 4]".
+std::string shape_to_string(const Shape& shape);
+
+// True when the two shapes are broadcast-compatible (NumPy rules).
+bool broadcastable(const Shape& a, const Shape& b);
+
+// The broadcast result shape. Throws std::invalid_argument when the shapes
+// are incompatible.
+Shape broadcast_shape(const Shape& a, const Shape& b);
+
+// Strides for reading a tensor of shape `from` as if it had the broadcast
+// shape `to`: dimensions of extent 1 (and missing leading dimensions) get
+// stride 0. Throws when `from` cannot broadcast to `to`.
+Strides broadcast_strides(const Shape& from, const Shape& to);
+
+// Normalise a possibly-negative axis into [0, rank). Throws when out of
+// range.
+int64_t normalize_axis(int64_t axis, int64_t rank);
+
+// Convert a flat row-major index into per-dimension coordinates.
+void unravel_index(int64_t flat, const Shape& shape, int64_t* coords);
+
+// Dot product of coordinates with strides.
+int64_t ravel_offset(const int64_t* coords, const Strides& strides);
+
+}  // namespace yollo

@@ -1,0 +1,354 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace yollo {
+
+Tensor::Tensor() = default;
+
+Tensor::Tensor(Shape shape)
+    : storage_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(yollo::numel(shape)), 0.0f)),
+      shape_(std::move(shape)),
+      numel_(yollo::numel(shape_)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : storage_(std::make_shared<std::vector<float>>(std::move(values))),
+      shape_(std::move(shape)),
+      numel_(yollo::numel(shape_)) {
+  if (static_cast<int64_t>(storage_->size()) != numel_) {
+    throw std::invalid_argument("Tensor: value count " +
+                                std::to_string(storage_->size()) +
+                                " does not match shape " +
+                                shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::scalar(float value) {
+  Tensor t{Shape{}};
+  (*t.storage_)[0] = value;
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t{Shape{n}};
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::from_vector(const std::vector<float>& values) {
+  return Tensor(Shape{static_cast<int64_t>(values.size())}, values);
+}
+
+int64_t Tensor::size(int64_t axis) const {
+  return shape_[static_cast<size_t>(normalize_axis(axis, ndim()))];
+}
+
+void Tensor::check_defined(const char* op) const {
+  if (!defined()) {
+    throw std::logic_error(std::string(op) + ": tensor is undefined");
+  }
+}
+
+float* Tensor::data() {
+  check_defined("data");
+  return storage_->data();
+}
+
+const float* Tensor::data() const {
+  check_defined("data");
+  return storage_->data();
+}
+
+float& Tensor::operator[](int64_t flat) { return (*storage_)[static_cast<size_t>(flat)]; }
+
+float Tensor::operator[](int64_t flat) const {
+  return (*storage_)[static_cast<size_t>(flat)];
+}
+
+float& Tensor::at(std::initializer_list<int64_t> coords) {
+  const Strides strides = contiguous_strides(shape_);
+  int64_t offset = 0;
+  size_t i = 0;
+  for (int64_t c : coords) offset += c * strides[i++];
+  return (*storage_)[static_cast<size_t>(offset)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> coords) const {
+  return const_cast<Tensor*>(this)->at(coords);
+}
+
+float Tensor::item() const {
+  check_defined("item");
+  if (numel_ != 1) {
+    throw std::logic_error("item: tensor has " + std::to_string(numel_) +
+                           " elements, expected 1");
+  }
+  return (*storage_)[0];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  check_defined("reshape");
+  int64_t inferred = -1;
+  int64_t known = 1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      if (inferred >= 0) {
+        throw std::invalid_argument("reshape: more than one -1 dimension");
+      }
+      inferred = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (inferred >= 0) {
+    if (known == 0 || numel_ % known != 0) {
+      throw std::invalid_argument("reshape: cannot infer dimension");
+    }
+    new_shape[static_cast<size_t>(inferred)] = numel_ / known;
+  }
+  if (yollo::numel(new_shape) != numel_) {
+    throw std::invalid_argument("reshape: " + shape_to_string(shape_) +
+                                " -> " + shape_to_string(new_shape) +
+                                " changes element count");
+  }
+  Tensor out;
+  out.storage_ = storage_;
+  out.shape_ = std::move(new_shape);
+  out.numel_ = numel_;
+  return out;
+}
+
+Tensor Tensor::clone() const {
+  check_defined("clone");
+  return Tensor(shape_, *storage_);
+}
+
+Tensor Tensor::transpose(int64_t a, int64_t b) const {
+  const int64_t rank = ndim();
+  std::vector<int64_t> order(static_cast<size_t>(rank));
+  for (int64_t i = 0; i < rank; ++i) order[static_cast<size_t>(i)] = i;
+  std::swap(order[static_cast<size_t>(normalize_axis(a, rank))],
+            order[static_cast<size_t>(normalize_axis(b, rank))]);
+  return permute(order);
+}
+
+Tensor Tensor::permute(const std::vector<int64_t>& order) const {
+  check_defined("permute");
+  const int64_t rank = ndim();
+  if (static_cast<int64_t>(order.size()) != rank) {
+    throw std::invalid_argument("permute: order has wrong rank");
+  }
+  Shape out_shape(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    out_shape[i] = shape_[static_cast<size_t>(normalize_axis(order[i], rank))];
+  }
+  Tensor out(out_shape);
+  if (numel_ == 0) return out;
+  const Strides in_strides = contiguous_strides(shape_);
+  Strides perm_strides(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    perm_strides[i] =
+        in_strides[static_cast<size_t>(normalize_axis(order[i], rank))];
+  }
+  std::vector<int64_t> coords(static_cast<size_t>(rank), 0);
+  const float* src = data();
+  float* dst = out.data();
+  int64_t offset = 0;
+  for (int64_t flat = 0; flat < numel_; ++flat) {
+    dst[flat] = src[offset];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t ud = static_cast<size_t>(d);
+      ++coords[ud];
+      offset += perm_strides[ud];
+      if (coords[ud] < out_shape[ud]) break;
+      offset -= perm_strides[ud] * out_shape[ud];
+      coords[ud] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::narrow(int64_t axis, int64_t start, int64_t length) const {
+  check_defined("narrow");
+  const int64_t ax = normalize_axis(axis, ndim());
+  const int64_t extent = shape_[static_cast<size_t>(ax)];
+  if (start < 0 || length < 0 || start + length > extent) {
+    throw std::out_of_range("narrow: [" + std::to_string(start) + ", " +
+                            std::to_string(start + length) +
+                            ") out of range for extent " +
+                            std::to_string(extent));
+  }
+  Shape out_shape = shape_;
+  out_shape[static_cast<size_t>(ax)] = length;
+  Tensor out(out_shape);
+  if (out.numel() == 0) return out;
+
+  int64_t outer = 1;
+  for (int64_t i = 0; i < ax; ++i) outer *= shape_[static_cast<size_t>(i)];
+  int64_t inner = 1;
+  for (int64_t i = ax + 1; i < ndim(); ++i)
+    inner *= shape_[static_cast<size_t>(i)];
+
+  const float* src = data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* s = src + (o * extent + start) * inner;
+    float* d = dst + o * length * inner;
+    std::copy(s, s + length * inner, d);
+  }
+  return out;
+}
+
+Tensor Tensor::index_select(int64_t axis,
+                            const std::vector<int64_t>& indices) const {
+  check_defined("index_select");
+  const int64_t ax = normalize_axis(axis, ndim());
+  const int64_t extent = shape_[static_cast<size_t>(ax)];
+  Shape out_shape = shape_;
+  out_shape[static_cast<size_t>(ax)] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+
+  int64_t outer = 1;
+  for (int64_t i = 0; i < ax; ++i) outer *= shape_[static_cast<size_t>(i)];
+  int64_t inner = 1;
+  for (int64_t i = ax + 1; i < ndim(); ++i)
+    inner *= shape_[static_cast<size_t>(i)];
+
+  const float* src = data();
+  float* dst = out.data();
+  const int64_t n_idx = static_cast<int64_t>(indices.size());
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < n_idx; ++j) {
+      const int64_t idx = indices[static_cast<size_t>(j)];
+      if (idx < 0 || idx >= extent) {
+        throw std::out_of_range("index_select: index " + std::to_string(idx) +
+                                " out of range for extent " +
+                                std::to_string(extent));
+      }
+      const float* s = src + (o * extent + idx) * inner;
+      std::copy(s, s + inner, dst + (o * n_idx + j) * inner);
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::unsqueeze(int64_t axis) const {
+  Shape out_shape = shape_;
+  const int64_t rank = ndim() + 1;
+  const int64_t ax = axis < 0 ? axis + rank : axis;
+  if (ax < 0 || ax >= rank) throw std::invalid_argument("unsqueeze: bad axis");
+  out_shape.insert(out_shape.begin() + ax, 1);
+  return reshape(std::move(out_shape));
+}
+
+Tensor Tensor::squeeze(int64_t axis) const {
+  const int64_t ax = normalize_axis(axis, ndim());
+  if (shape_[static_cast<size_t>(ax)] != 1) {
+    throw std::invalid_argument("squeeze: dimension " + std::to_string(ax) +
+                                " has extent " +
+                                std::to_string(shape_[static_cast<size_t>(ax)]));
+  }
+  Shape out_shape = shape_;
+  out_shape.erase(out_shape.begin() + ax);
+  return reshape(std::move(out_shape));
+}
+
+Tensor Tensor::broadcast_to(const Shape& target) const {
+  check_defined("broadcast_to");
+  if (shape_ == target) return *this;
+  const Strides strides = broadcast_strides(shape_, target);
+  Tensor out(target);
+  if (out.numel() == 0) return out;
+  std::vector<int64_t> coords(target.size(), 0);
+  const float* src = data();
+  float* dst = out.data();
+  const int64_t rank = static_cast<int64_t>(target.size());
+  const int64_t n = out.numel();
+  int64_t offset = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    dst[flat] = src[offset];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t ud = static_cast<size_t>(d);
+      ++coords[ud];
+      offset += strides[ud];
+      if (coords[ud] < target[ud]) break;
+      offset -= strides[ud] * target[ud];
+      coords[ud] = 0;
+    }
+  }
+  return out;
+}
+
+void Tensor::fill(float value) {
+  check_defined("fill");
+  std::fill(storage_->begin(), storage_->end(), value);
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  check_defined("copy_from");
+  if (!same_shape(src)) {
+    throw std::invalid_argument("copy_from: shape mismatch " +
+                                shape_to_string(shape_) + " vs " +
+                                shape_to_string(src.shape_));
+  }
+  std::copy(src.data(), src.data() + numel_, data());
+}
+
+Tensor Tensor::map(const std::function<float(float)>& fn) const {
+  check_defined("map");
+  Tensor out(shape_);
+  const float* src = data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] = fn(src[i]);
+  return out;
+}
+
+std::vector<float> Tensor::to_vector() const {
+  check_defined("to_vector");
+  return *storage_;
+}
+
+std::string Tensor::to_string(int64_t max_per_dim) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const int64_t show = std::min<int64_t>(numel_, max_per_dim * max_per_dim);
+  for (int64_t i = 0; i < show; ++i) {
+    if (i > 0) os << ", ";
+    os << (*storage_)[static_cast<size_t>(i)];
+  }
+  if (show < numel_) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace yollo

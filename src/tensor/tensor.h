@@ -1,0 +1,192 @@
+// Tensor: a dense, contiguous, row-major float32 n-dimensional array.
+//
+// Design notes
+//  - Value-semantic handle: copying a Tensor shares the underlying storage
+//    (like a shared_ptr); use clone() for a deep copy. This mirrors the
+//    semantics downstream users know from mainstream frameworks.
+//  - Storage is always contiguous. reshape() aliases storage; transpose(),
+//    permute(), slicing and gather ops materialise new tensors. At the model
+//    sizes this library targets, the simplicity is worth the copies.
+//  - float32 only: the paper's model is trained in fp32 and nothing in the
+//    reproduction needs another dtype.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+#include "tensor/shape.h"
+
+namespace yollo {
+
+class Tensor {
+ public:
+  // An empty (rank-1, zero-length) tensor; defined() is false.
+  Tensor();
+
+  // Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // Tensor of the given shape adopting the given values (size must match).
+  Tensor(Shape shape, std::vector<float> values);
+
+  // --- factories -----------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor scalar(float value);  // rank-0
+  static Tensor arange(int64_t n);    // [0, 1, ..., n-1], shape [n]
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  static Tensor from_vector(const std::vector<float>& values);  // shape [n]
+
+  // --- introspection -------------------------------------------------------
+  bool defined() const { return storage_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t size(int64_t axis) const;
+  int64_t numel() const { return numel_; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data();
+  const float* data() const;
+
+  // Element access by flat row-major index.
+  float& operator[](int64_t flat);
+  float operator[](int64_t flat) const;
+
+  // Element access by coordinates, e.g. t.at({i, j, k}).
+  float& at(std::initializer_list<int64_t> coords);
+  float at(std::initializer_list<int64_t> coords) const;
+
+  // Value of a rank-0 or single-element tensor. Throws otherwise.
+  float item() const;
+
+  // --- shape manipulation --------------------------------------------------
+  // Alias the same storage under a new shape (numel must match). One
+  // dimension may be -1 and is inferred.
+  Tensor reshape(Shape new_shape) const;
+
+  // Deep copy with contiguous storage.
+  Tensor clone() const;
+
+  // Materialised transpose of two axes.
+  Tensor transpose(int64_t a, int64_t b) const;
+
+  // Materialised permutation of all axes.
+  Tensor permute(const std::vector<int64_t>& order) const;
+
+  // Copy of rows [start, start+length) along `axis`.
+  Tensor narrow(int64_t axis, int64_t start, int64_t length) const;
+
+  // Rows of `axis` gathered by integer indices.
+  Tensor index_select(int64_t axis, const std::vector<int64_t>& indices) const;
+
+  // Insert / remove a size-1 dimension.
+  Tensor unsqueeze(int64_t axis) const;
+  Tensor squeeze(int64_t axis) const;
+
+  // Materialise this tensor broadcast to `target` shape.
+  Tensor broadcast_to(const Shape& target) const;
+
+  // --- in-place fill / mutation -------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  void copy_from(const Tensor& src);  // shapes must match
+
+  // --- elementwise map (returns new tensor) --------------------------------
+  Tensor map(const std::function<float(float)>& fn) const;
+
+  // --- conversions ---------------------------------------------------------
+  std::vector<float> to_vector() const;
+  std::string to_string(int64_t max_per_dim = 8) const;
+
+ private:
+  std::shared_ptr<std::vector<float>> storage_;
+  Shape shape_;
+  int64_t numel_ = 0;
+
+  void check_defined(const char* op) const;
+};
+
+// --- free elementwise / linear-algebra kernels ------------------------------
+// Binary ops broadcast (NumPy rules). All return newly-allocated tensors.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor maximum(const Tensor& a, const Tensor& b);
+Tensor minimum(const Tensor& a, const Tensor& b);
+Tensor pow(const Tensor& a, float exponent);
+
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);  // clamps input to >= 1e-12 to avoid -inf
+Tensor sqrt(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return div(a, b); }
+inline Tensor operator+(const Tensor& a, float s) { return add_scalar(a, s); }
+inline Tensor operator-(const Tensor& a, float s) { return add_scalar(a, -s); }
+inline Tensor operator*(const Tensor& a, float s) { return mul_scalar(a, s); }
+inline Tensor operator/(const Tensor& a, float s) {
+  return mul_scalar(a, 1.0f / s);
+}
+inline Tensor operator-(const Tensor& a) { return neg(a); }
+
+// a += b elementwise (shapes must match exactly); used on gradient buffers.
+void add_inplace(Tensor& a, const Tensor& b);
+// a += s * b elementwise (shapes must match exactly).
+void axpy_inplace(Tensor& a, float s, const Tensor& b);
+// a *= s elementwise.
+void scale_inplace(Tensor& a, float s);
+
+// Matrix multiply: [m,k]x[k,n] -> [m,n]; batched [b,m,k]x[b,k,n] -> [b,m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// Reductions. `axis` reduces one dimension (keepdim keeps it as size 1);
+// the axis-less forms reduce everything to a rank-0 scalar tensor.
+Tensor sum(const Tensor& a);
+Tensor sum(const Tensor& a, int64_t axis, bool keepdim = false);
+Tensor mean(const Tensor& a);
+Tensor mean(const Tensor& a, int64_t axis, bool keepdim = false);
+Tensor max(const Tensor& a, int64_t axis, bool keepdim = false);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+
+// Index of the maximum along `axis` (returned as float values).
+Tensor argmax(const Tensor& a, int64_t axis);
+int64_t argmax_flat(const Tensor& a);
+
+// Numerically-stable softmax / log-softmax along `axis`.
+Tensor softmax(const Tensor& a, int64_t axis);
+Tensor log_softmax(const Tensor& a, int64_t axis);
+
+// Concatenate along `axis`; all other extents must match.
+Tensor concat(const std::vector<Tensor>& parts, int64_t axis);
+
+// Sum a gradient of broadcast shape `from` back down to shape `to`
+// (the adjoint of broadcast_to); used by autograd.
+Tensor reduce_to_shape(const Tensor& grad, const Shape& to);
+
+// Max element-count difference between two same-shaped tensors.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+// True when all elements differ by at most atol + rtol*|b|.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace yollo

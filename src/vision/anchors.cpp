@@ -1,0 +1,57 @@
+#include "vision/anchors.h"
+
+#include <cmath>
+
+namespace yollo::vision {
+
+std::vector<Box> generate_anchors(const AnchorConfig& config, int64_t grid_h,
+                                  int64_t grid_w) {
+  std::vector<Box> anchors;
+  anchors.reserve(static_cast<size_t>(grid_h * grid_w *
+                                      config.anchors_per_cell()));
+  const float stride = static_cast<float>(config.stride);
+  for (int64_t gy = 0; gy < grid_h; ++gy) {
+    for (int64_t gx = 0; gx < grid_w; ++gx) {
+      const float cx = (static_cast<float>(gx) + 0.5f) * stride;
+      const float cy = (static_cast<float>(gy) + 0.5f) * stride;
+      for (float scale : config.scales) {
+        for (float ratio : config.ratios) {
+          // Preserve area scale^2 while applying the aspect ratio.
+          const float w = scale / std::sqrt(ratio);
+          const float h = scale * std::sqrt(ratio);
+          anchors.push_back(Box::from_center(cx, cy, w, h));
+        }
+      }
+    }
+  }
+  return anchors;
+}
+
+AnchorLabels label_anchors(const std::vector<Box>& anchors, const Box& target,
+                           float rho_high, float rho_low) {
+  AnchorLabels labels;
+  float best_iou = -1.0f;
+  int64_t best_idx = -1;
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    const float overlap = iou(anchors[i], target);
+    if (overlap > best_iou) {
+      best_iou = overlap;
+      best_idx = static_cast<int64_t>(i);
+    }
+    if (overlap >= rho_high) {
+      labels.positive.push_back(static_cast<int64_t>(i));
+    } else if (overlap <= rho_low) {
+      labels.negative.push_back(static_cast<int64_t>(i));
+    }
+  }
+  if (labels.positive.empty() && best_idx >= 0) {
+    labels.positive.push_back(best_idx);
+    // The forced positive might also sit in the negative list when its IoU
+    // is below rho_low (tiny targets); remove it so the two sets stay
+    // disjoint.
+    std::erase(labels.negative, best_idx);
+  }
+  return labels;
+}
+
+}  // namespace yollo::vision

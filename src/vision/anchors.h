@@ -1,0 +1,42 @@
+// Anchor generation for the RPN-like target detection network (paper §3.3).
+//
+// K anchors (scales x aspect ratios) are planted at the centre of every cell
+// of the stride-S feature map, exactly as in Faster R-CNN. Anchor layout is
+// row-major over (cell_y, cell_x, anchor_k), which must match the detection
+// head's output ordering.
+#pragma once
+
+#include <vector>
+
+#include "vision/box.h"
+
+namespace yollo::vision {
+
+struct AnchorConfig {
+  int64_t stride = 8;                          // feature-map stride in pixels
+  std::vector<float> scales = {12.0f, 24.0f, 40.0f};   // anchor side lengths
+  std::vector<float> ratios = {0.5f, 1.0f, 2.0f};      // h/w aspect ratios
+
+  int64_t anchors_per_cell() const {
+    return static_cast<int64_t>(scales.size() * ratios.size());
+  }
+};
+
+// All anchors for a feature map of (grid_h x grid_w) cells, in
+// (cell_y, cell_x, k) order; size = grid_h * grid_w * K.
+std::vector<Box> generate_anchors(const AnchorConfig& config, int64_t grid_h,
+                                  int64_t grid_w);
+
+// Anchor-to-target assignment for training (paper §3.3): positives have
+// IoU >= rho_high with the target box, negatives have IoU <= rho_low,
+// anchors in between are ignored. If no anchor clears rho_high, the single
+// best-IoU anchor is forced positive so every sample has a learning signal
+// (standard RPN practice).
+struct AnchorLabels {
+  std::vector<int64_t> positive;  // anchor indices
+  std::vector<int64_t> negative;  // anchor indices
+};
+AnchorLabels label_anchors(const std::vector<Box>& anchors, const Box& target,
+                           float rho_high, float rho_low);
+
+}  // namespace yollo::vision

@@ -1,0 +1,108 @@
+#include "vision/backbone.h"
+
+namespace yollo::vision {
+
+BackboneConfig BackboneConfig::r50_lite() {
+  BackboneConfig cfg;
+  cfg.blocks_per_stage = 1;
+  cfg.name = "r50-lite";
+  return cfg;
+}
+
+BackboneConfig BackboneConfig::r101_lite() {
+  BackboneConfig cfg;
+  cfg.blocks_per_stage = 3;
+  cfg.name = "r101-lite";
+  return cfg;
+}
+
+BackboneConfig BackboneConfig::vgg_lite() {
+  BackboneConfig cfg;
+  cfg.blocks_per_stage = 1;
+  cfg.residual = false;
+  cfg.name = "vgg-lite";
+  return cfg;
+}
+
+ResidualBlock::ResidualBlock(int64_t channels, Rng& rng, bool residual)
+    : conv1_(channels, channels, 3, 1, 1, rng, /*bias=*/false),
+      bn1_(channels),
+      conv2_(channels, channels, 3, 1, 1, rng, /*bias=*/false),
+      bn2_(channels),
+      residual_(residual) {
+  register_module("conv1", conv1_);
+  register_module("bn1", bn1_);
+  register_module("conv2", conv2_);
+  register_module("bn2", bn2_);
+}
+
+ag::Variable ResidualBlock::forward(const ag::Variable& x) {
+  ag::Variable h = ag::relu(bn1_.forward(conv1_.forward(x)));
+  h = bn2_.forward(conv2_.forward(h));
+  if (residual_) h = ag::add(h, x);
+  return ag::relu(h);
+}
+
+DownsampleBlock::DownsampleBlock(int64_t in_channels, int64_t out_channels,
+                                 Rng& rng, bool residual)
+    : conv1_(in_channels, out_channels, 3, 2, 1, rng, /*bias=*/false),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, 3, 1, 1, rng, /*bias=*/false),
+      bn2_(out_channels),
+      proj_(in_channels, out_channels, 1, 2, 0, rng, /*bias=*/false),
+      bn_proj_(out_channels),
+      residual_(residual) {
+  register_module("conv1", conv1_);
+  register_module("bn1", bn1_);
+  register_module("conv2", conv2_);
+  register_module("bn2", bn2_);
+  if (residual_) {
+    register_module("proj", proj_);
+    register_module("bn_proj", bn_proj_);
+  }
+}
+
+ag::Variable DownsampleBlock::forward(const ag::Variable& x) {
+  ag::Variable h = ag::relu(bn1_.forward(conv1_.forward(x)));
+  h = bn2_.forward(conv2_.forward(h));
+  if (residual_) {
+    h = ag::add(h, bn_proj_.forward(proj_.forward(x)));
+  }
+  return ag::relu(h);
+}
+
+Backbone::Backbone(const BackboneConfig& config, Rng& rng)
+    : config_(config),
+      stem_(config.in_channels, config.channels[0], 3, 1, 1, rng,
+            /*bias=*/false),
+      stem_bn_(config.channels[0]) {
+  register_module("stem", stem_);
+  register_module("stem_bn", stem_bn_);
+  for (size_t stage = 1; stage < config.channels.size(); ++stage) {
+    downsamples_.push_back(std::make_unique<DownsampleBlock>(
+        config.channels[stage - 1], config.channels[stage], rng,
+        config.residual));
+    register_module("down" + std::to_string(stage), *downsamples_.back());
+    for (int64_t b = 1; b < config.blocks_per_stage; ++b) {
+      blocks_.push_back(std::make_unique<ResidualBlock>(
+          config.channels[stage], rng, config.residual));
+      register_module(
+          "stage" + std::to_string(stage) + "_block" + std::to_string(b),
+          *blocks_.back());
+    }
+  }
+}
+
+ag::Variable Backbone::forward(const ag::Variable& image) {
+  ag::Variable h = ag::relu(stem_bn_.forward(stem_.forward(image)));
+  size_t block_idx = 0;
+  for (size_t stage = 0; stage < downsamples_.size(); ++stage) {
+    h = downsamples_[stage]->forward(h);
+    for (int64_t b = 1; b < config_.blocks_per_stage; ++b) {
+      h = blocks_[block_idx++]->forward(h);
+    }
+  }
+  return h;
+}
+
+}  // namespace yollo::vision

@@ -1,0 +1,75 @@
+#include "vision/box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace yollo::vision {
+
+float intersection_area(const Box& a, const Box& b) {
+  const float ix = std::max(0.0f, std::min(a.x2(), b.x2()) - std::max(a.x, b.x));
+  const float iy = std::max(0.0f, std::min(a.y2(), b.y2()) - std::max(a.y, b.y));
+  return ix * iy;
+}
+
+float iou(const Box& a, const Box& b) {
+  if (a.w <= 0.0f || a.h <= 0.0f || b.w <= 0.0f || b.h <= 0.0f) return 0.0f;
+  const float inter = intersection_area(a, b);
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+Box clip_box(const Box& b, float img_w, float img_h) {
+  const float x1 = std::clamp(b.x, 0.0f, img_w);
+  const float y1 = std::clamp(b.y, 0.0f, img_h);
+  const float x2 = std::clamp(b.x2(), 0.0f, img_w);
+  const float y2 = std::clamp(b.y2(), 0.0f, img_h);
+  return Box{x1, y1, std::max(0.0f, x2 - x1), std::max(0.0f, y2 - y1)};
+}
+
+BoxDelta encode_delta(const Box& anchor, const Box& target) {
+  BoxDelta d;
+  d.dx = (target.cx() - anchor.cx()) / anchor.w;
+  d.dy = (target.cy() - anchor.cy()) / anchor.h;
+  d.dw = std::log(std::max(target.w, 1e-3f) / anchor.w);
+  d.dh = std::log(std::max(target.h, 1e-3f) / anchor.h);
+  return d;
+}
+
+Box decode_delta(const Box& anchor, const BoxDelta& delta) {
+  // Clamp the log-size offsets so an untrained head cannot explode to inf.
+  const float dw = std::clamp(delta.dw, -4.0f, 4.0f);
+  const float dh = std::clamp(delta.dh, -4.0f, 4.0f);
+  const float cx = anchor.cx() + delta.dx * anchor.w;
+  const float cy = anchor.cy() + delta.dy * anchor.h;
+  const float w = anchor.w * std::exp(dw);
+  const float h = anchor.h * std::exp(dh);
+  return Box::from_center(cx, cy, w, h);
+}
+
+std::vector<int64_t> nms(const std::vector<Box>& boxes,
+                         const std::vector<float>& scores,
+                         float iou_threshold, int64_t max_keep) {
+  std::vector<int64_t> order(boxes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+  });
+  std::vector<int64_t> keep;
+  std::vector<bool> suppressed(boxes.size(), false);
+  for (int64_t idx : order) {
+    if (suppressed[static_cast<size_t>(idx)]) continue;
+    keep.push_back(idx);
+    if (max_keep > 0 && static_cast<int64_t>(keep.size()) >= max_keep) break;
+    for (int64_t other : order) {
+      if (other == idx || suppressed[static_cast<size_t>(other)]) continue;
+      if (iou(boxes[static_cast<size_t>(idx)],
+              boxes[static_cast<size_t>(other)]) > iou_threshold) {
+        suppressed[static_cast<size_t>(other)] = true;
+      }
+    }
+  }
+  return keep;
+}
+
+}  // namespace yollo::vision

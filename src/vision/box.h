@@ -1,0 +1,60 @@
+// Axis-aligned bounding boxes, IoU, NMS, and the RPN box parameterisation.
+//
+// Boxes are stored as top-left corner + size in continuous pixel
+// coordinates, matching the paper's B = {x, y, w, h} notation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace yollo::vision {
+
+struct Box {
+  float x = 0.0f;  // left
+  float y = 0.0f;  // top
+  float w = 0.0f;
+  float h = 0.0f;
+
+  float cx() const { return x + 0.5f * w; }
+  float cy() const { return y + 0.5f * h; }
+  float x2() const { return x + w; }
+  float y2() const { return y + h; }
+  float area() const { return w * h; }
+
+  static Box from_center(float cx, float cy, float w, float h) {
+    return Box{cx - 0.5f * w, cy - 0.5f * h, w, h};
+  }
+};
+
+// Intersection-over-union of two boxes; 0 when either is degenerate.
+float iou(const Box& a, const Box& b);
+
+// Intersection area only.
+float intersection_area(const Box& a, const Box& b);
+
+// Clip a box to the image rectangle [0,W)x[0,H).
+Box clip_box(const Box& b, float img_w, float img_h);
+
+// The Faster-RCNN offset parameterisation used by the paper's RPN-like
+// target detection network (section 3.3):
+//   tx = (cx - cxa) / wa,  ty = (cy - cya) / ha,
+//   tw = log(w / wa),      th = log(h / ha).
+struct BoxDelta {
+  float dx = 0.0f;
+  float dy = 0.0f;
+  float dw = 0.0f;
+  float dh = 0.0f;
+};
+
+BoxDelta encode_delta(const Box& anchor, const Box& target);
+Box decode_delta(const Box& anchor, const BoxDelta& delta);
+
+// Greedy non-maximum suppression: returns indices of kept boxes, ordered by
+// descending score, suppressing any box with IoU > threshold to a kept one.
+std::vector<int64_t> nms(const std::vector<Box>& boxes,
+                         const std::vector<float>& scores,
+                         float iou_threshold, int64_t max_keep = -1);
+
+}  // namespace yollo::vision

@@ -1,0 +1,190 @@
+#include "word2vec/word2vec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <cmath>
+#include <numeric>
+
+#include "data/grammar.h"
+
+namespace yollo::word2vec {
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+float dot(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+Word2Vec::Word2Vec(int64_t vocab_size, const Word2VecConfig& config)
+    : config_(config), vocab_size_(vocab_size), rng_(config.seed) {
+  // Standard init: input vectors small uniform, output vectors zero.
+  in_ = Tensor::rand({vocab_size, config.dim}, rng_,
+                     -0.5f / static_cast<float>(config.dim),
+                     0.5f / static_cast<float>(config.dim));
+  out_ = Tensor::zeros({vocab_size, config.dim});
+}
+
+void Word2Vec::build_unigram_table(
+    const std::vector<std::vector<int64_t>>& corpus) {
+  std::vector<double> freq(static_cast<size_t>(vocab_size_), 0.0);
+  for (const auto& sentence : corpus) {
+    for (int64_t id : sentence) {
+      if (id > data::Vocab::kUnk) freq[static_cast<size_t>(id)] += 1.0;
+    }
+  }
+  unigram_table_.clear();
+  for (int64_t id = 0; id < vocab_size_; ++id) {
+    // freq^0.75 smoothing, quantised into table slots.
+    const int64_t slots = static_cast<int64_t>(
+        std::ceil(std::pow(freq[static_cast<size_t>(id)], 0.75)));
+    for (int64_t s = 0; s < slots; ++s) unigram_table_.push_back(id);
+  }
+  if (unigram_table_.empty()) unigram_table_.push_back(data::Vocab::kUnk);
+}
+
+int64_t Word2Vec::sample_negative() {
+  return unigram_table_[static_cast<size_t>(
+      rng_.randint(0, static_cast<int64_t>(unigram_table_.size()) - 1))];
+}
+
+float Word2Vec::train(const std::vector<std::vector<int64_t>>& corpus) {
+  build_unigram_table(corpus);
+  const int64_t d = config_.dim;
+  float last_epoch_loss = 0.0f;
+  std::vector<float> grad_center(static_cast<size_t>(d));
+
+  std::vector<size_t> order(corpus.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+    for (size_t si : order) {
+      const std::vector<int64_t>& sent = corpus[si];
+      for (size_t pos = 0; pos < sent.size(); ++pos) {
+        const int64_t center = sent[pos];
+        if (center <= data::Vocab::kUnk) continue;
+        float* vc = in_.data() + center * d;
+        const int64_t lo = static_cast<int64_t>(pos) - config_.window;
+        const int64_t hi = static_cast<int64_t>(pos) + config_.window;
+        for (int64_t cp = std::max<int64_t>(lo, 0);
+             cp <= std::min<int64_t>(hi, static_cast<int64_t>(sent.size()) - 1);
+             ++cp) {
+          if (cp == static_cast<int64_t>(pos)) continue;
+          const int64_t context = sent[static_cast<size_t>(cp)];
+          if (context <= data::Vocab::kUnk) continue;
+
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          // One positive + k negative logistic updates.
+          for (int64_t k = 0; k <= config_.negatives; ++k) {
+            const bool positive = (k == 0);
+            const int64_t word = positive ? context : sample_negative();
+            if (!positive && word == context) continue;
+            float* vo = out_.data() + word * d;
+            const float score = sigmoid(dot(vc, vo, d));
+            const float label = positive ? 1.0f : 0.0f;
+            const float g = (score - label) * config_.lr;
+            loss_sum += positive ? -std::log(std::max(score, 1e-9f))
+                                 : -std::log(std::max(1.0f - score, 1e-9f));
+            ++loss_count;
+            for (int64_t i = 0; i < d; ++i) {
+              grad_center[static_cast<size_t>(i)] += g * vo[i];
+              vo[i] -= g * vc[i];
+            }
+          }
+          for (int64_t i = 0; i < d; ++i) {
+            vc[i] -= grad_center[static_cast<size_t>(i)];
+          }
+        }
+      }
+    }
+    last_epoch_loss = loss_count > 0
+                          ? static_cast<float>(loss_sum /
+                                               static_cast<double>(loss_count))
+                          : 0.0f;
+  }
+  return last_epoch_loss;
+}
+
+float Word2Vec::similarity(int64_t a, int64_t b) const {
+  const int64_t d = config_.dim;
+  const float* va = in_.data() + a * d;
+  const float* vb = in_.data() + b * d;
+  const float na = std::sqrt(dot(va, va, d));
+  const float nb = std::sqrt(dot(vb, vb, d));
+  if (na < 1e-9f || nb < 1e-9f) return 0.0f;
+  return dot(va, vb, d) / (na * nb);
+}
+
+std::vector<int64_t> Word2Vec::most_similar(int64_t id, int64_t k) const {
+  std::vector<int64_t> ids;
+  for (int64_t i = data::Vocab::kUnk + 1; i < vocab_size_; ++i) {
+    if (i != id) ids.push_back(i);
+  }
+  std::partial_sort(
+      ids.begin(), ids.begin() + std::min<int64_t>(k, ids.size()), ids.end(),
+      [&](int64_t a, int64_t b) {
+        return similarity(id, a) > similarity(id, b);
+      });
+  ids.resize(static_cast<size_t>(std::min<int64_t>(k, ids.size())));
+  return ids;
+}
+
+Tensor pretrain_grounding_embeddings(const data::Vocab& vocab,
+                                     const Word2VecConfig& config,
+                                     int64_t corpus_scenes) {
+  Rng rng(config.seed);
+  std::vector<std::vector<int64_t>> corpus;
+  // Mix all three query styles so every grammar word appears in context.
+  for (data::QueryStyle style :
+       {data::QueryStyle::kRefCoco, data::QueryStyle::kRefCocoPlus,
+        data::QueryStyle::kRefCocoG}) {
+    for (const std::string& text :
+         data::sample_corpus(style, corpus_scenes / 3, rng)) {
+      corpus.push_back(vocab.encode(text));
+    }
+  }
+  Word2Vec model(vocab.size(), config);
+  model.train(corpus);
+  return model.embeddings().clone();
+}
+
+}  // namespace yollo::word2vec
+
+namespace yollo::word2vec {
+
+void save_embeddings(const Tensor& embeddings, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_embeddings: cannot open " + path);
+  const int64_t rows = embeddings.size(0);
+  const int64_t cols = embeddings.size(1);
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(embeddings.data()),
+            static_cast<std::streamsize>(rows * cols * sizeof(float)));
+}
+
+Tensor load_embeddings(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_embeddings: cannot open " + path);
+  int64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || rows <= 0 || cols <= 0) {
+    throw std::runtime_error("load_embeddings: corrupt header in " + path);
+  }
+  Tensor out({rows, cols});
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  if (!in) throw std::runtime_error("load_embeddings: truncated " + path);
+  return out;
+}
+
+}  // namespace yollo::word2vec

@@ -1,0 +1,73 @@
+// Skip-gram Word2Vec with negative sampling (Mikolov et al., 2013).
+//
+// The paper pre-trains its 512-d word embeddings with Word2Vec on the LM-1B
+// corpus (§4.2). Neither is available here, so this substrate trains
+// embeddings on a synthetic corpus drawn from the referring-expression
+// grammar; the resulting vectors initialise the grounding model's embedding
+// layer and are fine-tuned end-to-end exactly as in the paper.
+//
+// Training updates are hand-written SGD (not autograd): skip-gram touches
+// two embedding rows per (center, context/negative) pair, so per-pair
+// closed-form updates are orders of magnitude faster than taping a graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/vocab.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace yollo::word2vec {
+
+struct Word2VecConfig {
+  int64_t dim = 48;
+  int64_t window = 2;       // context words each side
+  int64_t negatives = 4;    // negative samples per positive
+  float lr = 0.05f;
+  int64_t epochs = 3;
+  uint64_t seed = 77;
+};
+
+class Word2Vec {
+ public:
+  Word2Vec(int64_t vocab_size, const Word2VecConfig& config);
+
+  // Train on a corpus of token-id sentences. PAD and UNK ids are skipped.
+  // Returns the mean skip-gram loss of the final epoch.
+  float train(const std::vector<std::vector<int64_t>>& corpus);
+
+  // Input-side embedding matrix [vocab, dim]; the vectors downstream models
+  // initialise from.
+  const Tensor& embeddings() const { return in_; }
+
+  // Cosine similarity of two token ids.
+  float similarity(int64_t a, int64_t b) const;
+
+  // Token ids most similar to `id` (excluding itself), best first.
+  std::vector<int64_t> most_similar(int64_t id, int64_t k) const;
+
+ private:
+  Word2VecConfig config_;
+  int64_t vocab_size_;
+  Tensor in_;   // [V, dim]
+  Tensor out_;  // [V, dim]
+  Rng rng_;
+  std::vector<int64_t> unigram_table_;
+
+  void build_unigram_table(const std::vector<std::vector<int64_t>>& corpus);
+  int64_t sample_negative();
+};
+
+// Convenience: build a corpus from the grammar, train, and return the
+// embedding matrix aligned with `vocab` ids.
+Tensor pretrain_grounding_embeddings(const data::Vocab& vocab,
+                                     const Word2VecConfig& config,
+                                     int64_t corpus_scenes = 400);
+
+// Persist / restore an embedding matrix ([V, d] float32 with a small
+// header); lets benches and examples reuse one pre-training run.
+void save_embeddings(const Tensor& embeddings, const std::string& path);
+Tensor load_embeddings(const std::string& path);
+
+}  // namespace yollo::word2vec

@@ -1,0 +1,343 @@
+// Autograd tests: backward correctness of every op, verified analytically
+// for simple cases and by finite differences for the rest.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "test_util.h"
+
+namespace yollo {
+namespace {
+
+using ag::Variable;
+using yollo::testing::check_gradients;
+
+TEST(VariableTest, LeafBasics) {
+  Variable v = Variable::param(Tensor::from_vector({1, 2, 3}));
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.has_grad());
+  Variable c = Variable::constant(Tensor::from_vector({1}));
+  EXPECT_FALSE(c.requires_grad());
+  Variable d = v.detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.value().data(), v.value().data());  // shares data storage
+}
+
+TEST(VariableTest, SimpleChainBackward) {
+  Variable x = Variable::param(Tensor::scalar(3.0f));
+  Variable y = ag::mul(x, x);  // x^2
+  Variable z = ag::add_scalar(ag::mul_scalar(y, 2.0f), 1.0f);  // 2x^2+1
+  z.backward();
+  EXPECT_FLOAT_EQ(z.value().item(), 19.0f);
+  EXPECT_FLOAT_EQ(x.grad().item(), 12.0f);  // dz/dx = 4x
+}
+
+TEST(VariableTest, GradAccumulatesAcrossBackwardCalls) {
+  Variable x = Variable::param(Tensor::scalar(2.0f));
+  ag::mul(x, x).backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 4.0f);
+  ag::mul(x, x).backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 8.0f);  // accumulated
+  x.zero_grad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(VariableTest, DiamondGraphSumsBothPaths) {
+  // z = x*x + x*x must give dz/dx = 4x even though x feeds two paths.
+  Variable x = Variable::param(Tensor::scalar(5.0f));
+  Variable a = ag::mul(x, x);
+  Variable b = ag::mul(x, x);
+  Variable z = ag::add(a, b);
+  z.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 20.0f);
+}
+
+TEST(VariableTest, BackwardRequiresScalar) {
+  Variable x = Variable::param(Tensor::ones({3}));
+  EXPECT_THROW(x.backward(), std::logic_error);
+}
+
+TEST(VariableTest, GraphSizeCountsReachableNodes) {
+  Variable x = Variable::param(Tensor::scalar(1.0f));
+  Variable y = ag::add(ag::mul(x, x), x);
+  EXPECT_EQ(ag::graph_size(y), 3);  // x, mul, add
+}
+
+TEST(VariableTest, DeepChainDoesNotOverflowStack) {
+  Variable x = Variable::param(Tensor::scalar(1.0f));
+  Variable y = x;
+  for (int i = 0; i < 20000; ++i) y = ag::add_scalar(y, 0.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 1.0f);
+}
+
+// ---- finite-difference checks for every differentiable op -----------------
+
+TEST(GradCheck, AddSubMulDivWithBroadcast) {
+  Rng rng(11);
+  std::vector<Variable> leaves{
+      Variable::param(Tensor::randn({2, 3}, rng)),
+      Variable::param(Tensor::randn({1, 3}, rng)),
+  };
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        Variable s = ag::add(v[0], v[1]);
+        s = ag::mul(s, v[0]);
+        s = ag::sub(s, v[1]);
+        Variable safe = ag::add_scalar(ag::sigmoid(v[1]), 1.0f);  // >1
+        s = ag::div(s, safe);
+        return ag::sum(s);
+      },
+      leaves);
+}
+
+TEST(GradCheck, UnaryOps) {
+  Rng rng(12);
+  std::vector<Variable> leaves{
+      Variable::param(Tensor::rand({2, 4}, rng, 0.3f, 2.0f))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        Variable a = ag::log(v[0]);
+        Variable b = ag::exp(ag::mul_scalar(v[0], 0.3f));
+        Variable c = ag::sqrt(v[0]);
+        Variable d = ag::tanh(v[0]);
+        Variable e = ag::sigmoid(v[0]);
+        Variable f = ag::square(v[0]);
+        return ag::sum(
+            ag::add(a, ag::add(b, ag::add(c, ag::add(d, ag::add(e, f))))));
+      },
+      leaves);
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  std::vector<Variable> leaves{
+      Variable::param(Tensor::from_vector({-2.0f, -0.7f, 0.8f, 3.0f}))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        return ag::sum(ag::mul(ag::relu(v[0]), v[0]));
+      },
+      leaves);
+}
+
+TEST(GradCheck, PowScalar) {
+  Rng rng(13);
+  std::vector<Variable> leaves{
+      Variable::param(Tensor::rand({3, 2}, rng, 0.5f, 2.0f))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        return ag::sum(ag::pow_scalar(v[0], -0.5f));
+      },
+      leaves);
+}
+
+TEST(GradCheck, MatmulBothOperands) {
+  Rng rng(14);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({3, 4}, rng)),
+                               Variable::param(Tensor::randn({4, 2}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        return ag::sum(ag::square(ag::matmul(v[0], v[1])));
+      },
+      leaves);
+}
+
+TEST(GradCheck, BatchedMatmul) {
+  Rng rng(15);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({2, 3, 4}, rng)),
+                               Variable::param(Tensor::randn({2, 4, 2}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        return ag::sum(ag::square(ag::matmul(v[0], v[1])));
+      },
+      leaves);
+}
+
+TEST(GradCheck, ReshapeTransposeNarrowConcat) {
+  Rng rng(16);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({2, 6}, rng)),
+                               Variable::param(Tensor::randn({3, 4}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        Variable a = ag::reshape(v[0], {3, 4});
+        Variable b = ag::transpose(v[1], 0, 1);  // [4,3]
+        Variable c = ag::concat({a, ag::transpose(b, 0, 1)}, 0);  // [6,4]
+        Variable d = ag::narrow(c, 0, 1, 4);
+        return ag::sum(ag::square(d));
+      },
+      leaves);
+}
+
+TEST(GradCheck, SelectRowsAndGatherFlat) {
+  Rng rng(17);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({5, 3}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        Variable rows = ag::select_rows(v[0], {4, 0, 4, 2});
+        Variable flat = ag::gather_flat(v[0], {0, 7, 14, 7});
+        return ag::add(ag::sum(ag::square(rows)), ag::sum(ag::square(flat)));
+      },
+      leaves);
+}
+
+TEST(GradCheck, SumMeanAxes) {
+  Rng rng(18);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({3, 4, 2}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        Variable s0 = ag::sum(v[0], 0);
+        Variable m1 = ag::mean(v[0], 1, /*keepdim=*/true);
+        Variable m2 = ag::mean(v[0], 2);
+        return ag::add(ag::sum(ag::square(s0)),
+                       ag::add(ag::sum(ag::square(m1)), ag::mean(m2)));
+      },
+      leaves);
+}
+
+TEST(GradCheck, SoftmaxAndLogSoftmax) {
+  Rng rng(19);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({3, 5}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        Variable s = ag::softmax(v[0], 1);
+        Variable ls = ag::log_softmax(v[0], 1);
+        Variable w = Variable::constant(
+            Tensor::arange(15).reshape({3, 5}));
+        return ag::add(ag::sum(ag::mul(s, w)), ag::sum(ag::mul(ls, w)));
+      },
+      leaves);
+}
+
+TEST(GradCheck, SoftmaxOverMiddleAxis) {
+  Rng rng(20);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({2, 4, 3}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        Variable s = ag::softmax(v[0], 1);
+        return ag::sum(ag::square(s));
+      },
+      leaves);
+}
+
+TEST(GradCheck, SmoothL1) {
+  Rng rng(21);
+  Tensor target = Tensor::randn({4, 3}, rng);
+  // Keep predictions away from the |d| = 1 kink where the finite difference
+  // straddles the two branches.
+  Tensor init = yollo::add(target.clone(), Tensor::full({4, 3}, 0.4f));
+  init.at({0, 0}) = target.at({0, 0}) + 2.5f;   // linear branch
+  init.at({1, 1}) = target.at({1, 1}) - 3.0f;   // linear branch, negative
+  std::vector<Variable> leaves{Variable::param(init)};
+  check_gradients(
+      [&target](std::vector<Variable>& v) {
+        return ag::smooth_l1(v[0], target);
+      },
+      leaves);
+}
+
+TEST(GradCheck, BceWithLogits) {
+  Rng rng(22);
+  Tensor targets({6}, {1, 0, 1, 1, 0, 0});
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({6}, rng))};
+  check_gradients(
+      [&targets](std::vector<Variable>& v) {
+        return ag::bce_with_logits(v[0], targets);
+      },
+      leaves);
+}
+
+TEST(GradCheck, Conv2dAllInputs) {
+  Rng rng(23);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  spec.kernel_h = spec.kernel_w = 3;
+  spec.stride_h = spec.stride_w = 2;
+  spec.pad_h = spec.pad_w = 1;
+  std::vector<Variable> leaves{
+      Variable::param(Tensor::randn({2, 2, 5, 6}, rng)),
+      Variable::param(Tensor::randn({3, 2, 3, 3}, rng)),
+      Variable::param(Tensor::randn({3}, rng))};
+  // Sum-of-squares over a conv output loses fp32 precision under central
+  // differences; use a larger step and tolerance.
+  check_gradients(
+      [&spec](std::vector<Variable>& v) {
+        return ag::mul_scalar(
+            ag::sum(ag::square(ag::conv2d(v[0], v[1], v[2], spec))), 0.1f);
+      },
+      leaves, /*eps=*/3e-2f, /*tol=*/6e-2f);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  Rng rng(25);
+  std::vector<Variable> leaves{
+      Variable::param(Tensor::randn({2, 3, 4, 4}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        return ag::sum(ag::square(ag::global_avg_pool(v[0])));
+      },
+      leaves);
+}
+
+TEST(GradCheck, BroadcastToExplicit) {
+  Rng rng(26);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({1, 3}, rng))};
+  check_gradients(
+      [](std::vector<Variable>& v) {
+        Variable b = ag::broadcast_to(v[0], {4, 3});
+        return ag::sum(ag::square(b));
+      },
+      leaves);
+}
+
+TEST(MaxPoolGrad, RoutesToArgmaxOnly) {
+  // Deterministic input where the pooled max is unique per window: the
+  // analytic gradient must land exactly on those positions.
+  Tensor x({1, 1, 4, 4}, {1, 2, 5, 6,    //
+                          3, 9, 7, 8,    //
+                          4, 10, 13, 14, //
+                          11, 12, 15, 16});
+  Variable vx = Variable::param(x);
+  Variable y = ag::max_pool2x2(vx);
+  ag::sum(y).backward();
+  EXPECT_FLOAT_EQ(vx.grad().at({0, 0, 1, 1}), 1.0f);   // 9
+  EXPECT_FLOAT_EQ(vx.grad().at({0, 0, 1, 3}), 1.0f);   // 8
+  EXPECT_FLOAT_EQ(vx.grad().at({0, 0, 3, 1}), 1.0f);   // 12
+  EXPECT_FLOAT_EQ(vx.grad().at({0, 0, 3, 3}), 1.0f);   // 16
+  EXPECT_FLOAT_EQ(sum(vx.grad()).item(), 4.0f);
+}
+
+TEST(DropoutTest, IdentityInEvalOrZeroP) {
+  Rng rng(30);
+  Variable x = Variable::param(Tensor::randn({4, 4}, rng));
+  Variable eval_out = ag::dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_TRUE(allclose(eval_out.value(), x.value()));
+  Variable zero_p = ag::dropout(x, 0.0f, rng, /*training=*/true);
+  EXPECT_TRUE(allclose(zero_p.value(), x.value()));
+}
+
+TEST(DropoutTest, TrainingScalesSurvivors) {
+  Rng rng(31);
+  Variable x = Variable::param(Tensor::ones({1000}));
+  Variable y = ag::dropout(x, 0.5f, rng, /*training=*/true);
+  int zeros = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    const float v = y.value()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f);
+    zeros += v == 0.0f;
+  }
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+}
+
+TEST(EmbeddingGrad, ScatterAddsDuplicates) {
+  Variable w = Variable::param(Tensor::ones({4, 2}));
+  Variable e = ag::embedding(w, {1, 1, 3});
+  ag::sum(e).backward();
+  EXPECT_FLOAT_EQ(w.grad().at({1, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(w.grad().at({3, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(w.grad().at({0, 0}), 0.0f);
+}
+
+}  // namespace
+}  // namespace yollo

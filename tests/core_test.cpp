@@ -1,0 +1,362 @@
+// Tests for the YOLLO core: gt masks, attention loss, Rel2Att, detection
+// head, and the assembled model.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/renderer.h"
+#include "test_util.h"
+
+namespace yollo::core {
+namespace {
+
+using ag::Variable;
+
+YolloConfig small_config() {
+  YolloConfig cfg;
+  cfg.img_h = 48;
+  cfg.img_w = 72;
+  cfg.max_query_len = 6;
+  cfg.num_rel2att = 2;
+  return cfg;
+}
+
+TEST(GtMaskTest, UniformMassInsideBox) {
+  // Box covering grid cells (1..2, 1..2) on a 4x6 grid at stride 8.
+  const vision::Box target{8, 8, 16, 16};
+  const Tensor mask = make_gt_mask(target, 4, 6, 8);
+  EXPECT_EQ(mask.numel(), 24);
+  EXPECT_NEAR(sum(mask).item(), 1.0f, 1e-5f);
+  // 4 interior cells share the mass.
+  EXPECT_FLOAT_EQ(mask[1 * 6 + 1], 0.25f);
+  EXPECT_FLOAT_EQ(mask[2 * 6 + 2], 0.25f);
+  EXPECT_FLOAT_EQ(mask[0], 0.0f);
+}
+
+TEST(GtMaskTest, TinyBoxFallsBackToNearestCell) {
+  const vision::Box tiny{17, 17, 2, 2};  // covers no cell centre
+  const Tensor mask = make_gt_mask(tiny, 4, 6, 8);
+  EXPECT_NEAR(sum(mask).item(), 1.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(max_value(mask), 1.0f);  // all mass on one cell
+}
+
+TEST(GtMaskTest, MassAlwaysNormalised) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const vision::Box box{rng.uniform(0, 60), rng.uniform(0, 36),
+                          rng.uniform(2, 30), rng.uniform(2, 24)};
+    const Tensor mask = make_gt_mask(box, 6, 9, 8);
+    EXPECT_NEAR(sum(mask).item(), 1.0f, 1e-4f);
+    EXPECT_GE(min_value(mask), 0.0f);
+  }
+}
+
+TEST(AttentionLossTest, PerfectAttentionHitsEntropyFloor) {
+  // When softmax(att) equals the gt mask, the CE equals the mask's entropy.
+  Tensor gt({1, 4}, {0.5f, 0.5f, 0.0f, 0.0f});
+  // Logits whose softmax is (0.5, 0.5, ~0, ~0).
+  Variable att = Variable::constant(Tensor({1, 4}, {10, 10, -10, -10}));
+  const float loss = attention_loss(att, gt).value().item();
+  EXPECT_NEAR(loss, std::log(2.0f), 1e-3f);
+  // Attention on the wrong cells is much worse.
+  Variable bad = Variable::constant(Tensor({1, 4}, {-10, -10, 10, 10}));
+  EXPECT_GT(attention_loss(bad, gt).value().item(), 5.0f);
+}
+
+TEST(AttentionLossTest, GradCheck) {
+  Rng rng(4);
+  Tensor gt({2, 5});
+  gt.at({0, 1}) = 1.0f;
+  gt.at({1, 3}) = 0.5f;
+  gt.at({1, 4}) = 0.5f;
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({2, 5}, rng))};
+  yollo::testing::check_gradients(
+      [&gt](std::vector<Variable>& v) { return attention_loss(v[0], gt); },
+      leaves);
+}
+
+TEST(Rel2AttTest, OutputShapesAndAttSplit) {
+  YolloConfig cfg = small_config();
+  Rng rng(5);
+  Rel2Att module(cfg, 48, cfg.word_dim, rng);
+  const int64_t b = 2, m = cfg.num_regions(), n = cfg.max_query_len;
+  Variable v = Variable::constant(Tensor::randn({b, m, 48}, rng));
+  Variable t = Variable::constant(Tensor::randn({b, n, cfg.word_dim}, rng));
+  const Rel2Att::Output out = module.forward(v, t, Tensor());
+  EXPECT_EQ(out.v.shape(), (Shape{b, m, 48}));
+  EXPECT_EQ(out.t.shape(), (Shape{b, n, cfg.word_dim}));
+  EXPECT_EQ(out.att_v.shape(), (Shape{b, m}));
+  EXPECT_EQ(out.att_t.shape(), (Shape{b, n}));
+}
+
+TEST(Rel2AttTest, PairMaskZeroesPadInteractions) {
+  const int64_t b = 1, m = 3, n = 2;
+  // Token 0 real, token 1 PAD.
+  const Tensor mask = Rel2Att::make_pair_mask({1.0f, 0.0f}, b, m, n);
+  EXPECT_EQ(mask.shape(), (Shape{b, m + n, m + n}));
+  // image-image stays 1.
+  EXPECT_FLOAT_EQ(mask.at({0, 0, 2}), 1.0f);
+  // image-realword stays 1.
+  EXPECT_FLOAT_EQ(mask.at({0, 0, 3}), 1.0f);
+  // image-PAD is zero, both directions.
+  EXPECT_FLOAT_EQ(mask.at({0, 0, 4}), 0.0f);
+  EXPECT_FLOAT_EQ(mask.at({0, 4, 0}), 0.0f);
+  // PAD-PAD is zero.
+  EXPECT_FLOAT_EQ(mask.at({0, 4, 4}), 0.0f);
+}
+
+TEST(Rel2AttTest, NoCoAttentionMakesAttentionQueryInvariant) {
+  YolloConfig cfg = small_config();
+  cfg.use_co_attention = false;
+  Rng rng(6);
+  Rel2Att module(cfg, 48, cfg.word_dim, rng);
+  const int64_t m = cfg.num_regions(), n = cfg.max_query_len;
+  Variable v = Variable::constant(Tensor::randn({1, m, 48}, rng));
+  Variable t1 = Variable::constant(Tensor::randn({1, n, cfg.word_dim}, rng));
+  Variable t2 = Variable::constant(Tensor::randn({1, n, cfg.word_dim}, rng));
+  const Tensor a1 = module.forward(v, t1, Tensor()).att_v.value();
+  const Tensor a2 = module.forward(v, t2, Tensor()).att_v.value();
+  EXPECT_TRUE(allclose(a1, a2, 1e-5f, 1e-6f))
+      << "image attention must ignore the query when co-attention is ablated";
+}
+
+TEST(Rel2AttTest, WithCoAttentionAttentionIsQuerySensitive) {
+  YolloConfig cfg = small_config();
+  Rng rng(7);
+  Rel2Att module(cfg, 48, cfg.word_dim, rng);
+  const int64_t m = cfg.num_regions(), n = cfg.max_query_len;
+  Variable v = Variable::constant(Tensor::randn({1, m, 48}, rng));
+  Variable t1 = Variable::constant(Tensor::randn({1, n, cfg.word_dim}, rng));
+  Variable t2 = Variable::constant(Tensor::randn({1, n, cfg.word_dim}, rng));
+  const Tensor a1 = module.forward(v, t1, Tensor()).att_v.value();
+  const Tensor a2 = module.forward(v, t2, Tensor()).att_v.value();
+  EXPECT_GT(max_abs_diff(a1, a2), 1e-4f);
+}
+
+TEST(Rel2AttTest, NoSelfAttentionZeroesVvContribution) {
+  // With self-attention ablated AND an all-PAD query, att_v must be exactly
+  // zero: every relation-map entry feeding it is masked out.
+  YolloConfig cfg = small_config();
+  cfg.use_self_attention = false;
+  Rng rng(8);
+  Rel2Att module(cfg, 48, cfg.word_dim, rng);
+  const int64_t m = cfg.num_regions(), n = cfg.max_query_len;
+  Variable v = Variable::constant(Tensor::randn({1, m, 48}, rng));
+  Variable t = Variable::constant(Tensor::randn({1, n, cfg.word_dim}, rng));
+  const Tensor pair_mask = Rel2Att::make_pair_mask(
+      std::vector<float>(static_cast<size_t>(n), 0.0f), 1, m, n);
+  const Tensor att = module.forward(v, t, pair_mask).att_v.value();
+  EXPECT_NEAR(max_value(abs(att)), 0.0f, 1e-6f);
+}
+
+TEST(DetectionHeadTest, OutputShapesMatchAnchors) {
+  YolloConfig cfg = small_config();
+  Rng rng(9);
+  DetectionHead head(cfg, 48, rng);
+  EXPECT_EQ(static_cast<int64_t>(head.anchors().size()), cfg.num_anchors());
+  Variable feat = Variable::constant(
+      Tensor::randn({2, 48, cfg.grid_h(), cfg.grid_w()}, rng));
+  const DetectionHead::Output out = head.forward(feat);
+  EXPECT_EQ(out.scores.shape(), (Shape{2, cfg.num_anchors()}));
+  EXPECT_EQ(out.deltas.shape(), (Shape{2, cfg.num_anchors(), 4}));
+}
+
+TEST(DetectionHeadTest, ScoreOrderingMatchesAnchorOrdering) {
+  // Put a spike in the cls conv bias of anchor k*, all else zero weights:
+  // every cell's anchor k* gets the top score, and decode_top1 must return a
+  // box near the corresponding anchor.
+  YolloConfig cfg = small_config();
+  Rng rng(10);
+  DetectionHead head(cfg, 8, rng);
+  for (auto* p : head.parameters()) p->value().zero();
+  // cls bias: favour anchor index 4 within each cell.
+  auto named = head.named_parameters();
+  for (auto& np : named) {
+    if (np.name == "cls.bias") np.param->value()[4] = 5.0f;
+  }
+  Variable feat =
+      Variable::constant(Tensor::zeros({1, 8, cfg.grid_h(), cfg.grid_w()}));
+  const DetectionHead::Output out = head.forward(feat);
+  const int64_t best = argmax_flat(out.scores.value());
+  EXPECT_EQ(best % cfg.anchors.anchors_per_cell(), 4);
+  const auto boxes = decode_top1(out, head.anchors(), cfg);
+  // Zero deltas -> decoded box equals the anchor (clipped).
+  const vision::Box anchor = head.anchors()[static_cast<size_t>(best)];
+  EXPECT_GT(vision::iou(boxes[0],
+                        vision::clip_box(anchor, static_cast<float>(cfg.img_w),
+                                         static_cast<float>(cfg.img_h))),
+            0.99f);
+}
+
+TEST(DetectionLossTest, LossesAreFiniteAndPositive) {
+  YolloConfig cfg = small_config();
+  Rng rng(11);
+  DetectionHead head(cfg, 16, rng);
+  Variable feat = Variable::constant(
+      Tensor::randn({2, 16, cfg.grid_h(), cfg.grid_w()}, rng));
+  const DetectionHead::Output out = head.forward(feat);
+  const std::vector<vision::Box> targets = {{10, 10, 16, 14},
+                                            {40, 20, 20, 20}};
+  const DetectionLoss loss =
+      detection_loss(out, head.anchors(), targets, cfg, rng);
+  EXPECT_TRUE(std::isfinite(loss.cls.value().item()));
+  EXPECT_TRUE(std::isfinite(loss.reg.value().item()));
+  EXPECT_GT(loss.cls.value().item(), 0.0f);
+  EXPECT_GE(loss.reg.value().item(), 0.0f);
+}
+
+TEST(YolloModelTest, ForwardShapes) {
+  YolloConfig cfg = small_config();
+  Rng rng(12);
+  YolloModel model(cfg, 40, rng);
+  Tensor images = Tensor::randn({2, 3, cfg.img_h, cfg.img_w}, rng);
+  std::vector<int64_t> tokens(2 * cfg.max_query_len, 3);
+  const YolloModel::Output out = model.forward(images, tokens);
+  EXPECT_EQ(out.scores.shape(), (Shape{2, cfg.num_anchors()}));
+  EXPECT_EQ(out.deltas.shape(), (Shape{2, cfg.num_anchors(), 4}));
+  EXPECT_EQ(out.att_v.shape(), (Shape{2, cfg.num_regions()}));
+  EXPECT_EQ(out.att_v_all.size(), static_cast<size_t>(cfg.num_rel2att));
+}
+
+TEST(YolloModelTest, RejectsWrongTokenCount) {
+  YolloConfig cfg = small_config();
+  Rng rng(13);
+  YolloModel model(cfg, 40, rng);
+  Tensor images = Tensor::randn({1, 3, cfg.img_h, cfg.img_w}, rng);
+  std::vector<int64_t> tokens(3, 1);  // wrong: needs max_query_len
+  EXPECT_THROW(model.forward(images, tokens), std::invalid_argument);
+}
+
+TEST(YolloModelTest, AttentionMapIsDistribution) {
+  YolloConfig cfg = small_config();
+  Rng rng(14);
+  YolloModel model(cfg, 40, rng);
+  model.set_training(false);
+  Tensor images = Tensor::randn({1, 3, cfg.img_h, cfg.img_w}, rng);
+  std::vector<int64_t> tokens(cfg.max_query_len, 2);
+  const auto out = model.forward(images, tokens);
+  const Tensor amap = model.attention_map(out, 0);
+  EXPECT_EQ(amap.shape(), (Shape{cfg.grid_h(), cfg.grid_w()}));
+  EXPECT_NEAR(sum(amap).item(), 1.0f, 1e-4f);
+  EXPECT_GE(min_value(amap), 0.0f);
+}
+
+TEST(YolloModelTest, PredictionsAreInsideImage) {
+  YolloConfig cfg = small_config();
+  Rng rng(15);
+  YolloModel model(cfg, 40, rng);
+  model.set_training(false);
+  Tensor images = Tensor::randn({3, 3, cfg.img_h, cfg.img_w}, rng);
+  std::vector<int64_t> tokens(3 * cfg.max_query_len, 1);
+  for (const vision::Box& b : model.predict(images, tokens)) {
+    EXPECT_GE(b.x, 0.0f);
+    EXPECT_GE(b.y, 0.0f);
+    EXPECT_LE(b.x2(), static_cast<float>(cfg.img_w) + 1e-3f);
+    EXPECT_LE(b.y2(), static_cast<float>(cfg.img_h) + 1e-3f);
+  }
+}
+
+TEST(YolloModelTest, QueryChangesPrediction) {
+  YolloConfig cfg = small_config();
+  Rng rng(16);
+  YolloModel model(cfg, 40, rng);
+  model.set_training(false);
+  Tensor images = Tensor::randn({1, 3, cfg.img_h, cfg.img_w}, rng);
+  std::vector<int64_t> q1(cfg.max_query_len, 0);
+  std::vector<int64_t> q2(cfg.max_query_len, 0);
+  q1[0] = 5;
+  q1[1] = 7;
+  q2[0] = 11;
+  q2[1] = 13;
+  const auto o1 = model.forward(images, q1);
+  const auto o2 = model.forward(images, q2);
+  EXPECT_GT(max_abs_diff(o1.att_v.value(), o2.att_v.value()), 1e-6f);
+  EXPECT_GT(max_abs_diff(o1.scores.value(), o2.scores.value()), 1e-7f);
+}
+
+TEST(YolloModelTest, TotalLossCombinesPerEquation9) {
+  YolloConfig cfg = small_config();
+  cfg.lambda_reg = 2.0f;
+  Rng rng(17);
+  YolloModel model(cfg, 40, rng);
+  Tensor images = Tensor::randn({1, 3, cfg.img_h, cfg.img_w}, rng);
+  std::vector<int64_t> tokens(cfg.max_query_len, 2);
+  const auto out = model.forward(images, tokens);
+  Rng loss_rng(1);
+  const auto losses =
+      model.compute_loss(out, {vision::Box{10, 10, 16, 16}}, loss_rng);
+  EXPECT_NEAR(losses.total.value().item(),
+              losses.att.value().item() + losses.cls.value().item() +
+                  2.0f * losses.reg.value().item(),
+              1e-3f);
+}
+
+TEST(YolloModelTest, SaveLoadReproducesOutputs) {
+  YolloConfig cfg = small_config();
+  Rng rng1(18), rng2(19);
+  YolloModel a(cfg, 40, rng1);
+  YolloModel b(cfg, 40, rng2);
+  const std::string path = ::testing::TempDir() + "/yollo.bin";
+  nn::save_parameters(a, path);
+  nn::load_parameters(b, path);
+  a.set_training(false);
+  b.set_training(false);
+  Rng rng(20);
+  Tensor images = Tensor::randn({1, 3, cfg.img_h, cfg.img_w}, rng);
+  std::vector<int64_t> tokens(cfg.max_query_len, 4);
+  EXPECT_TRUE(allclose(a.forward(images, tokens).scores.value(),
+                       b.forward(images, tokens).scores.value()));
+}
+
+TEST(YolloModelTest, InitWordEmbeddingsValidatesShape) {
+  YolloConfig cfg = small_config();
+  Rng rng(21);
+  YolloModel model(cfg, 40, rng);
+  EXPECT_THROW(model.init_word_embeddings(Tensor::zeros({39, cfg.word_dim})),
+               std::invalid_argument);
+  model.init_word_embeddings(Tensor::zeros({40, cfg.word_dim}));  // ok
+}
+
+TEST(TrainerTest, ShortTrainingReducesLoss) {
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  data::DatasetConfig dc = data::DatasetConfig::synthref(25, /*seed=*/9);
+  dc.img_h = 48;
+  dc.img_w = 72;
+  const data::GroundingDataset dataset(dc, vocab);
+  BuildOptions options;
+  options.config.num_rel2att = 2;
+  options.pretrain_embeddings = false;
+  auto model = build_yollo(dataset, vocab, options);
+  TrainConfig tc;
+  tc.epochs = 100;
+  tc.max_steps = 30;
+  tc.batch_size = 8;
+  tc.log_every = 1;
+  const TrainResult result = train_yollo(*model, dataset.train(), tc);
+  ASSERT_GE(result.curve.size(), 10u);
+  // Average of the last 5 curve points must be well below the first point.
+  float late = 0.0f;
+  for (size_t i = result.curve.size() - 5; i < result.curve.size(); ++i) {
+    late += result.curve[i].total;
+  }
+  late /= 5.0f;
+  EXPECT_LT(late, result.curve.front().total * 0.8f);
+}
+
+TEST(TrainerTest, EvaluatePairsEverySample) {
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  data::DatasetConfig dc = data::DatasetConfig::synthref(15, /*seed=*/10);
+  dc.img_h = 48;
+  dc.img_w = 72;
+  const data::GroundingDataset dataset(dc, vocab);
+  BuildOptions options;
+  options.config.num_rel2att = 1;
+  options.pretrain_embeddings = false;
+  auto model = build_yollo(dataset, vocab, options);
+  const auto preds = evaluate_yollo(*model, dataset.val(), 4);
+  EXPECT_EQ(preds.size(), dataset.val().size());
+}
+
+}  // namespace
+}  // namespace yollo::core

@@ -1,0 +1,505 @@
+// Tests for the data substrate: scenes, renderer, vocab, grammar, datasets.
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/grammar.h"
+#include "data/renderer.h"
+#include "data/scene.h"
+#include "data/vocab.h"
+
+namespace yollo::data {
+namespace {
+
+TEST(SceneTest, NamesAndColorsAreConsistent) {
+  EXPECT_EQ(shape_name(ShapeType::kCircle), "circle");
+  EXPECT_EQ(shape_name(ShapeType::kPillar), "pillar");
+  EXPECT_EQ(color_name(ColorName::kPurple), "purple");
+  EXPECT_EQ(size_name(SizeClass::kLarge), "large");
+  const Rgb red = color_rgb(ColorName::kRed);
+  EXPECT_GT(red.r, red.g);
+  EXPECT_GT(red.r, red.b);
+}
+
+TEST(SceneTest, SamplerRespectsBoundsAndOverlap) {
+  Rng rng(1);
+  const SceneSamplerConfig cfg = SceneSamplerConfig::refcoco_style();
+  for (int trial = 0; trial < 20; ++trial) {
+    const Scene scene = sample_scene(cfg, rng);
+    EXPECT_GE(scene.objects.size(), 1u);
+    for (size_t i = 0; i < scene.objects.size(); ++i) {
+      const vision::Box& b = scene.objects[i].box;
+      EXPECT_GE(b.x, 0.0f);
+      EXPECT_GE(b.y, 0.0f);
+      EXPECT_LE(b.x2(), static_cast<float>(cfg.width));
+      EXPECT_LE(b.y2(), static_cast<float>(cfg.height));
+      for (size_t j = i + 1; j < scene.objects.size(); ++j) {
+        EXPECT_LE(vision::iou(b, scene.objects[j].box),
+                  cfg.max_pairwise_iou + 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(SceneTest, StylePresetsDriveSameTypeCounts) {
+  Rng rng(2);
+  double coco_same = 0.0, cocog_same = 0.0;
+  int coco_n = 0, cocog_n = 0;
+  for (int i = 0; i < 60; ++i) {
+    const Scene a = sample_scene(SceneSamplerConfig::refcoco_style(), rng);
+    for (const SceneObject& o : a.objects) {
+      coco_same += static_cast<double>(a.same_type_count(o));
+      ++coco_n;
+    }
+    const Scene b = sample_scene(SceneSamplerConfig::refcocog_style(), rng);
+    for (const SceneObject& o : b.objects) {
+      cocog_same += static_cast<double>(b.same_type_count(o));
+      ++cocog_n;
+    }
+  }
+  EXPECT_GT(coco_same / coco_n, cocog_same / cocog_n)
+      << "RefCOCO-style scenes must be more crowded with same-type objects";
+}
+
+TEST(RendererTest, OutputShapeAndRange) {
+  Rng rng(3);
+  const Scene scene = sample_scene(SceneSamplerConfig::refcoco_style(), rng);
+  const Tensor img = render_scene(scene);
+  EXPECT_EQ(img.shape(), (Shape{3, scene.height, scene.width}));
+  EXPECT_GE(min_value(img), 0.0f);
+  EXPECT_LE(max_value(img), 1.0f);
+}
+
+TEST(RendererTest, DeterministicGivenScene) {
+  Rng rng(4);
+  const Scene scene = sample_scene(SceneSamplerConfig::refcoco_style(), rng);
+  EXPECT_TRUE(allclose(render_scene(scene), render_scene(scene)));
+}
+
+TEST(RendererTest, ObjectPixelsCarryObjectColor) {
+  Scene scene;
+  scene.width = 32;
+  scene.height = 32;
+  SceneObject obj;
+  obj.shape = ShapeType::kSquare;
+  obj.color = ColorName::kRed;
+  obj.box = vision::Box{8, 8, 12, 12};
+  scene.objects.push_back(obj);
+  const Tensor img = render_scene(scene);
+  // Centre pixel of the square is pure fill colour.
+  const Rgb red = color_rgb(ColorName::kRed);
+  EXPECT_FLOAT_EQ(img.at({0, 14, 14}), red.r);
+  EXPECT_FLOAT_EQ(img.at({1, 14, 14}), red.g);
+  // A corner pixel far away is background (dark).
+  EXPECT_LT(img.at({0, 1, 1}), 0.3f);
+}
+
+TEST(RendererTest, SilhouettesDifferByShape) {
+  SceneObject obj;
+  obj.box = vision::Box{0, 0, 10, 10};
+  obj.shape = ShapeType::kCircle;
+  EXPECT_TRUE(point_in_object(obj, 5, 5));
+  EXPECT_FALSE(point_in_object(obj, 0.5f, 0.5f));  // circle misses corner
+  obj.shape = ShapeType::kSquare;
+  EXPECT_TRUE(point_in_object(obj, 0.5f, 0.5f));   // square fills corner
+  obj.shape = ShapeType::kRing;
+  EXPECT_FALSE(point_in_object(obj, 5, 5));        // ring has a hole
+  obj.shape = ShapeType::kTriangle;
+  EXPECT_FALSE(point_in_object(obj, 1, 1));        // apex region empty
+  EXPECT_TRUE(point_in_object(obj, 5, 9));         // base filled
+}
+
+TEST(VocabTest, PadUnkReserved) {
+  Vocab v;
+  EXPECT_EQ(v.id("<pad>"), Vocab::kPad);
+  EXPECT_EQ(v.id("<unk>"), Vocab::kUnk);
+  EXPECT_EQ(v.id("nonexistent"), Vocab::kUnk);
+}
+
+TEST(VocabTest, AddIsIdempotent) {
+  Vocab v;
+  const int64_t a = v.add("circle");
+  EXPECT_EQ(v.add("circle"), a);
+  EXPECT_EQ(v.id("circle"), a);
+  EXPECT_EQ(v.word(a), "circle");
+}
+
+TEST(VocabTest, EncodeDecodeRoundTrip) {
+  Vocab v = Vocab::grounding_vocab();
+  const std::string text = "the small red circle at top";
+  const auto ids = v.encode(text);
+  EXPECT_EQ(ids.size(), 6u);
+  EXPECT_EQ(v.decode(ids), text);
+  // Unknown words become <unk>.
+  const auto with_unk = v.encode("red zeppelin");
+  EXPECT_EQ(with_unk[1], Vocab::kUnk);
+}
+
+TEST(VocabTest, PadTo) {
+  const std::vector<int64_t> ids = {5, 6, 7};
+  const auto padded = pad_to(ids, 6);
+  EXPECT_EQ(padded.size(), 6u);
+  EXPECT_EQ(padded[3], Vocab::kPad);
+  const auto truncated = pad_to(ids, 2);
+  EXPECT_EQ(truncated.size(), 2u);
+  EXPECT_EQ(truncated[1], 6);
+}
+
+TEST(VocabTest, GroundingVocabCoversGrammar) {
+  Vocab v = Vocab::grounding_vocab();
+  Rng rng(5);
+  for (QueryStyle style : {QueryStyle::kRefCoco, QueryStyle::kRefCocoPlus,
+                           QueryStyle::kRefCocoG}) {
+    const auto corpus = sample_corpus(style, 30, rng);
+    for (const std::string& q : corpus) {
+      for (const int64_t id : v.encode(q)) {
+        EXPECT_NE(id, Vocab::kUnk) << "OOV word in query: " << q;
+      }
+    }
+  }
+}
+
+TEST(GrammarTest, QueriesUniquelyIdentifyTarget) {
+  Rng rng(6);
+  int generated = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Scene scene =
+        sample_scene(SceneSamplerConfig::refcoco_style(), rng);
+    for (size_t t = 0; t < scene.objects.size(); ++t) {
+      const auto q = generate_query(scene, t, QueryStyle::kRefCoco, rng);
+      if (!q) continue;
+      ++generated;
+      // Re-parse the query's attribute words into a descriptor and verify it
+      // matches only the target.
+      Descriptor d;
+      d.shape = scene.objects[t].shape;
+      const auto toks = tokenize(*q);
+      for (const std::string& tok : toks) {
+        for (int c = 0; c < kNumColors; ++c) {
+          if (tok == color_name(static_cast<ColorName>(c))) {
+            d.color = static_cast<ColorName>(c);
+          }
+        }
+        for (int z = 0; z < kNumSizes; ++z) {
+          if (tok == size_name(static_cast<SizeClass>(z))) {
+            d.size = static_cast<SizeClass>(z);
+          }
+        }
+        if (tok == "left") d.h = HBucket::kLeft;
+        if (tok == "right") d.h = HBucket::kRight;
+        if (tok == "top") d.v = VBucket::kTop;
+        if (tok == "bottom") d.v = VBucket::kBottom;
+      }
+      // The descriptor parsed back from the surface form must match the
+      // target object.
+      EXPECT_TRUE(matches(d, scene.objects[t], scene)) << *q;
+    }
+  }
+  EXPECT_GT(generated, 30);
+}
+
+TEST(GrammarTest, RefCocoPlusNeverUsesLocationWords) {
+  Rng rng(7);
+  const std::set<std::string> location_words = {
+      "left", "right", "top", "bottom", "middle", "center",
+      "above", "below", "upper", "lower"};
+  const auto corpus = sample_corpus(QueryStyle::kRefCocoPlus, 50, rng);
+  EXPECT_GT(corpus.size(), 20u);
+  for (const std::string& q : corpus) {
+    for (const std::string& tok : tokenize(q)) {
+      EXPECT_EQ(location_words.count(tok), 0u)
+          << "location word '" << tok << "' in RefCOCO+-style query: " << q;
+    }
+  }
+}
+
+TEST(GrammarTest, QueryLengthsMirrorPaperOrdering) {
+  // Paper §4.1: RefCOCO(+) queries average ~3.6 words, RefCOCOg ~8.4.
+  Rng rng(8);
+  auto avg_len = [&](QueryStyle style) {
+    const auto corpus = sample_corpus(style, 60, rng);
+    double total = 0.0;
+    for (const auto& q : corpus) total += tokenize(q).size();
+    return total / static_cast<double>(corpus.size());
+  };
+  const double coco = avg_len(QueryStyle::kRefCoco);
+  const double cocog = avg_len(QueryStyle::kRefCocoG);
+  EXPECT_LT(coco, 6.0);
+  EXPECT_GT(cocog, 6.0);
+  EXPECT_GT(cocog, coco + 2.0);
+}
+
+TEST(DatasetTest, BuildsSplitsWithoutImageLeakage) {
+  Vocab v = Vocab::grounding_vocab();
+  GroundingDataset ds(DatasetConfig::synthref(60, /*seed=*/42), v);
+  EXPECT_GT(ds.train().size(), 20u);
+  EXPECT_GT(ds.val().size(), 0u);
+  EXPECT_GT(ds.test_a().size() + ds.test_b().size(), 0u);
+
+  std::set<int64_t> train_imgs, other_imgs;
+  for (const auto& s : ds.train()) train_imgs.insert(s.image_id);
+  for (const auto& s : ds.val()) other_imgs.insert(s.image_id);
+  for (const auto& s : ds.test_a()) other_imgs.insert(s.image_id);
+  for (const auto& s : ds.test_b()) other_imgs.insert(s.image_id);
+  for (int64_t id : train_imgs) {
+    EXPECT_EQ(other_imgs.count(id), 0u) << "image " << id << " leaked";
+  }
+}
+
+TEST(DatasetTest, TestAHoldsOnlyPersonAnalogue) {
+  Vocab v = Vocab::grounding_vocab();
+  GroundingDataset ds(DatasetConfig::synthref(80, /*seed=*/43), v);
+  for (const auto& s : ds.test_a()) {
+    EXPECT_EQ(s.target_shape(), ShapeType::kCircle);
+  }
+  for (const auto& s : ds.test_b()) {
+    EXPECT_NE(s.target_shape(), ShapeType::kCircle);
+  }
+}
+
+TEST(DatasetTest, SynthRefGHasNoTestSplits) {
+  Vocab v = Vocab::grounding_vocab();
+  GroundingDataset ds(DatasetConfig::synthrefg(40, /*seed=*/44), v);
+  EXPECT_TRUE(ds.test_a().empty());
+  EXPECT_TRUE(ds.test_b().empty());
+  EXPECT_GT(ds.val().size(), 0u);
+}
+
+TEST(DatasetTest, DeterministicGivenSeed) {
+  Vocab v = Vocab::grounding_vocab();
+  GroundingDataset a(DatasetConfig::synthref(30, /*seed=*/7), v);
+  GroundingDataset b(DatasetConfig::synthref(30, /*seed=*/7), v);
+  ASSERT_EQ(a.train().size(), b.train().size());
+  for (size_t i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train()[i].query_text, b.train()[i].query_text);
+    EXPECT_EQ(a.train()[i].image_id, b.train()[i].image_id);
+  }
+}
+
+TEST(DatasetTest, StatsAreInternallyConsistent) {
+  Vocab v = Vocab::grounding_vocab();
+  GroundingDataset ds(DatasetConfig::synthref(50, /*seed=*/45), v);
+  const DatasetStats st = ds.stats();
+  EXPECT_EQ(st.num_queries,
+            static_cast<int64_t>(ds.train().size() + ds.val().size() +
+                                 ds.test_a().size() + ds.test_b().size()));
+  EXPECT_LE(st.num_targets, st.num_queries);
+  EXPECT_LE(st.num_images, 50);
+  EXPECT_GT(st.avg_query_len, 1.0);
+}
+
+TEST(DatasetTest, BatchingCoversAllIndicesOnce) {
+  Rng rng(9);
+  const auto batches = make_batches(23, 8, rng);
+  EXPECT_EQ(batches.size(), 3u);
+  std::set<int64_t> seen;
+  for (const auto& b : batches) {
+    for (int64_t i : b) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(DatasetTest, RenderBatchAndTokenPadding) {
+  Vocab v = Vocab::grounding_vocab();
+  GroundingDataset ds(DatasetConfig::synthref(20, /*seed=*/46), v);
+  ASSERT_GE(ds.train().size(), 3u);
+  const std::vector<int64_t> idx = {0, 1, 2};
+  const Tensor batch = render_batch(ds.train(), idx);
+  EXPECT_EQ(batch.shape(), (Shape{3, 3, 64, 96}));
+  const auto tokens = batch_tokens(ds.train(), idx, ds.max_query_len());
+  EXPECT_EQ(tokens.size(), 3u * static_cast<size_t>(ds.max_query_len()));
+}
+
+}  // namespace
+}  // namespace yollo::data
+
+// -- appended: tokenizer normalisation tests ---------------------------------
+namespace yollo::data {
+namespace {
+
+TEST(VocabTest, TokenizeNormalisesCaseAndPunctuation) {
+  const auto toks = tokenize("Red, Circle!  (left)");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "red");
+  EXPECT_EQ(toks[1], "circle");
+  EXPECT_EQ(toks[2], "left");
+}
+
+TEST(VocabTest, TokenizePurePunctuationVanishes) {
+  EXPECT_TRUE(tokenize("... !! ??").empty());
+  EXPECT_TRUE(tokenize("").empty());
+}
+
+TEST(VocabTest, UserTypedQueryReachesGrammarVocab) {
+  Vocab v = Vocab::grounding_vocab();
+  const auto ids = v.encode("The SMALL red Circle, at top!");
+  for (int64_t id : ids) {
+    EXPECT_NE(id, Vocab::kUnk);
+  }
+}
+
+}  // namespace
+}  // namespace yollo::data
+
+// -- appended: image file writers --------------------------------------------
+namespace yollo::data {
+namespace {
+
+TEST(RendererTest, PgmAndPpmHeadersAndSizes) {
+  Rng rng(40);
+  Tensor gray = Tensor::rand({4, 6}, rng);
+  Tensor rgb = Tensor::rand({3, 4, 6}, rng);
+  const std::string pgm = ::testing::TempDir() + "/t.pgm";
+  const std::string ppm = ::testing::TempDir() + "/t.ppm";
+  write_pgm(gray, pgm);
+  write_ppm(rgb, ppm);
+
+  std::ifstream gin(pgm, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  gin >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxv, 255);
+  gin.get();  // single whitespace after header
+  std::vector<char> payload(24);
+  gin.read(payload.data(), 24);
+  EXPECT_EQ(gin.gcount(), 24);
+
+  std::ifstream pin(ppm, std::ios::binary);
+  pin >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  pin.get();
+  std::vector<char> rgb_payload(72);
+  pin.read(rgb_payload.data(), 72);
+  EXPECT_EQ(pin.gcount(), 72);
+
+  EXPECT_THROW(write_pgm(rgb, pgm), std::invalid_argument);
+  EXPECT_THROW(write_ppm(gray, ppm), std::invalid_argument);
+}
+
+TEST(RendererTest, DrawBoxOutlinePaintsPerimeterOnly) {
+  Tensor img = Tensor::zeros({3, 10, 10});
+  draw_box_outline(img, vision::Box{2, 2, 5, 5}, Rgb{1, 0, 0});
+  EXPECT_FLOAT_EQ(img.at({0, 2, 2}), 1.0f);   // corner
+  EXPECT_FLOAT_EQ(img.at({0, 2, 5}), 1.0f);   // top edge
+  EXPECT_FLOAT_EQ(img.at({0, 7, 4}), 1.0f);   // bottom edge
+  EXPECT_FLOAT_EQ(img.at({0, 4, 4}), 0.0f);   // interior untouched
+}
+
+}  // namespace
+}  // namespace yollo::data
+
+// -- appended: relational-clause geometry ------------------------------------
+namespace yollo::data {
+namespace {
+
+// For SynthRefG queries with a relational clause, the stated relation must
+// hold geometrically between the target and the named reference object.
+TEST(GrammarTest, RelationalClausesMatchGeometry) {
+  Rng rng(90);
+  int checked = 0;
+  for (int i = 0; i < 60 && checked < 25; ++i) {
+    const Scene scene = sample_scene(SceneSamplerConfig::refcocog_style(), rng);
+    for (size_t t = 0; t < scene.objects.size(); ++t) {
+      const auto q = generate_query(scene, t, QueryStyle::kRefCocoG, rng);
+      if (!q) continue;
+      const std::string& text = *q;
+      // Extract relation keyword, if any.
+      struct Rel {
+        const char* phrase;
+        int dx;  // expected sign of target.cx - ref.cx (0 = unconstrained)
+        int dy;
+      };
+      const Rel rels[] = {{"left of", -1, 0},
+                          {"right of", +1, 0},
+                          {"above", 0, -1},
+                          {"below", 0, +1}};
+      for (const Rel& rel : rels) {
+        const size_t pos = text.find(rel.phrase);
+        if (pos == std::string::npos) continue;
+        // The reference noun phrase follows "the <color> <shape>" at the
+        // end of the clause; find the unique object matching it.
+        const std::string tail = text.substr(pos);
+        const SceneObject* ref = nullptr;
+        int matches_found = 0;
+        for (const SceneObject& obj : scene.objects) {
+          if (tail.find(color_name(obj.color) + " " + shape_name(obj.shape)) !=
+              std::string::npos) {
+            ++matches_found;
+            ref = &obj;
+          }
+        }
+        if (matches_found != 1 || ref == &scene.objects[t]) continue;
+        ++checked;
+        const float ddx = scene.objects[t].box.cx() - ref->box.cx();
+        const float ddy = scene.objects[t].box.cy() - ref->box.cy();
+        if (rel.dx != 0) {
+          EXPECT_GT(ddx * static_cast<float>(rel.dx), 0.0f) << text;
+        }
+        if (rel.dy != 0) {
+          EXPECT_GT(ddy * static_cast<float>(rel.dy), 0.0f) << text;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 5) << "too few relational clauses generated to test";
+}
+
+TEST(GrammarTest, StyleNamesAreStable) {
+  EXPECT_EQ(query_style_name(QueryStyle::kRefCoco), "SynthRef");
+  EXPECT_EQ(query_style_name(QueryStyle::kRefCocoPlus), "SynthRef+");
+  EXPECT_EQ(query_style_name(QueryStyle::kRefCocoG), "SynthRefG");
+}
+
+TEST(GrammarTest, BucketsPartitionTheCanvas) {
+  Scene scene;
+  scene.width = 90;
+  scene.height = 60;
+  SceneObject obj;
+  obj.box = vision::Box{0, 0, 10, 10};  // centre (5,5): left/top
+  EXPECT_EQ(h_bucket(obj, scene), HBucket::kLeft);
+  EXPECT_EQ(v_bucket(obj, scene), VBucket::kTop);
+  obj.box = vision::Box{40, 25, 10, 10};  // centre (45,30): middle
+  EXPECT_EQ(h_bucket(obj, scene), HBucket::kCenter);
+  EXPECT_EQ(v_bucket(obj, scene), VBucket::kMiddle);
+  obj.box = vision::Box{75, 45, 10, 10};  // centre (80,50): right/bottom
+  EXPECT_EQ(h_bucket(obj, scene), HBucket::kRight);
+  EXPECT_EQ(v_bucket(obj, scene), VBucket::kBottom);
+}
+
+TEST(GrammarTest, DescriptorMatchingSemantics) {
+  Scene scene;
+  scene.width = 90;
+  scene.height = 60;
+  SceneObject a;
+  a.shape = ShapeType::kCircle;
+  a.color = ColorName::kRed;
+  a.size = SizeClass::kSmall;
+  a.box = vision::Box{5, 5, 10, 10};
+  SceneObject b = a;
+  b.color = ColorName::kBlue;
+  b.box = vision::Box{70, 40, 10, 10};
+  scene.objects = {a, b};
+
+  Descriptor shape_only;
+  shape_only.shape = ShapeType::kCircle;
+  EXPECT_EQ(count_matches(shape_only, scene), 2);
+
+  Descriptor red_circle = shape_only;
+  red_circle.color = ColorName::kRed;
+  EXPECT_EQ(count_matches(red_circle, scene), 1);
+  EXPECT_TRUE(matches(red_circle, scene.objects[0], scene));
+  EXPECT_FALSE(matches(red_circle, scene.objects[1], scene));
+
+  Descriptor left_circle = shape_only;
+  left_circle.h = HBucket::kLeft;
+  EXPECT_EQ(count_matches(left_circle, scene), 1);
+}
+
+}  // namespace
+}  // namespace yollo::data

@@ -1,0 +1,105 @@
+// Tests for evaluation metrics and reporting.
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace yollo::eval {
+namespace {
+
+using vision::Box;
+
+std::vector<Prediction> three_preds() {
+  // IoUs: 1.0 (exact), ~0.53 (shifted), 0.0 (disjoint).
+  return {
+      {Box{0, 0, 10, 10}, Box{0, 0, 10, 10}},
+      {Box{3, 0, 10, 10}, Box{0, 0, 10, 10}},
+      {Box{50, 50, 5, 5}, Box{0, 0, 10, 10}},
+  };
+}
+
+TEST(MetricsTest, AccuracyAtThresholds) {
+  const auto preds = three_preds();
+  EXPECT_DOUBLE_EQ(accuracy_at(preds, 0.5f), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy_at(preds, 0.75f), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy_at(preds, 0.95f), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy_at({}, 0.5f), 0.0);
+}
+
+TEST(MetricsTest, CocoStyleAccuracyAveragesThresholdSweep) {
+  // A single exact prediction scores 1 at every threshold.
+  const std::vector<Prediction> perfect = {{Box{0, 0, 4, 4}, Box{0, 0, 4, 4}}};
+  EXPECT_NEAR(coco_style_accuracy(perfect), 1.0, 1e-9);
+  // IoU ~0.53 passes only eta = 0.5 (1 of 10 thresholds).
+  const std::vector<Prediction> mid = {{Box{3, 0, 10, 10}, Box{0, 0, 10, 10}}};
+  EXPECT_NEAR(coco_style_accuracy(mid), 0.1, 1e-9);
+}
+
+TEST(MetricsTest, MeanIouAndRow) {
+  const auto preds = three_preds();
+  const double miou = mean_iou(preds);
+  EXPECT_GT(miou, 0.4);
+  EXPECT_LT(miou, 0.6);
+  const MetricRow row = compute_metrics(preds);
+  EXPECT_DOUBLE_EQ(row.acc50, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(row.acc75, 1.0 / 3.0);
+  EXPECT_NEAR(row.miou, miou, 1e-12);
+  EXPECT_LE(row.acc, row.acc50);  // averaged sweep can't beat ACC@0.5
+}
+
+TEST(MetricsTest, AccuracyMonotonicInThreshold) {
+  const auto preds = three_preds();
+  double prev = 1.0;
+  for (float eta = 0.5f; eta <= 0.95f; eta += 0.05f) {
+    const double acc = accuracy_at(preds, eta);
+    EXPECT_LE(acc, prev);
+    prev = acc;
+  }
+}
+
+TEST(TimingTest, StopwatchMeasuresForward) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(watch.elapsed_seconds(), 0.0);
+  EXPECT_LT(watch.elapsed_seconds(), 5.0);
+}
+
+TEST(TimingTest, TimePerCallAverages) {
+  int calls = 0;
+  const double per_call = time_per_call([&] { ++calls; }, 10, 2);
+  EXPECT_EQ(calls, 12);  // warmup + timed
+  EXPECT_GE(per_call, 0.0);
+}
+
+TEST(ReporterTest, RowWidthValidated) {
+  TableReporter reporter({"a", "b"});
+  EXPECT_THROW(reporter.add_row({"only-one"}), std::invalid_argument);
+  reporter.add_row({"1", "2"});  // ok
+}
+
+TEST(ReporterTest, CsvRoundTrip) {
+  TableReporter reporter({"model", "acc"});
+  reporter.add_row({"yollo", "91.63"});
+  reporter.add_row({"listener", "63.43"});
+  const std::string path = ::testing::TempDir() + "/report.csv";
+  reporter.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "model,acc");
+  std::getline(in, line);
+  EXPECT_EQ(line, "yollo,91.63");
+  std::getline(in, line);
+  EXPECT_EQ(line, "listener,63.43");
+}
+
+TEST(ReporterTest, FmtPrecision) {
+  EXPECT_EQ(fmt(91.634, 2), "91.63");
+  EXPECT_EQ(fmt(0.5, 1), "0.5");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace yollo::eval

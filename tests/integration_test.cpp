@@ -1,0 +1,134 @@
+// End-to-end integration tests across the whole stack: dataset -> model ->
+// training -> evaluation, plus cross-component consistency checks.
+#include <gtest/gtest.h>
+
+#include "baseline/matcher.h"
+#include "core/trainer.h"
+#include "data/renderer.h"
+
+namespace yollo {
+namespace {
+
+data::DatasetConfig small_dataset_config(uint64_t seed) {
+  data::DatasetConfig dc = data::DatasetConfig::synthref(60, seed);
+  dc.img_h = 48;
+  dc.img_w = 72;
+  return dc;
+}
+
+TEST(EndToEnd, ShortTrainingBeatsUntrainedModel) {
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(small_dataset_config(77), vocab);
+
+  core::BuildOptions options;
+  options.config.num_rel2att = 2;
+  options.pretrain_embeddings = false;
+
+  auto untrained = core::build_yollo(dataset, vocab, options);
+  const auto base_preds = core::evaluate_yollo(*untrained, dataset.val());
+  const double base_miou = eval::mean_iou(base_preds);
+
+  auto model = core::build_yollo(dataset, vocab, options);
+  core::TrainConfig tc;
+  tc.epochs = 1000;
+  tc.max_steps = 70;
+  tc.batch_size = 16;
+  core::train_yollo(*model, dataset.train(), tc);
+  const auto preds = core::evaluate_yollo(*model, dataset.val());
+  const double miou = eval::mean_iou(preds);
+
+  EXPECT_GT(miou, base_miou)
+      << "70 training steps must beat a randomly initialised model";
+}
+
+TEST(EndToEnd, AttentionLossDecreasesDuringTraining) {
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(small_dataset_config(78), vocab);
+  core::BuildOptions options;
+  options.config.num_rel2att = 2;
+  options.pretrain_embeddings = false;
+  auto model = core::build_yollo(dataset, vocab, options);
+  core::TrainConfig tc;
+  tc.epochs = 1000;
+  tc.max_steps = 50;
+  tc.batch_size = 16;
+  tc.log_every = 1;
+  const core::TrainResult result =
+      core::train_yollo(*model, dataset.train(), tc);
+  ASSERT_GE(result.curve.size(), 20u);
+  float early = 0.0f, late = 0.0f;
+  for (int i = 0; i < 5; ++i) {
+    early += result.curve[static_cast<size_t>(i)].att;
+    late += result.curve[result.curve.size() - 1 - static_cast<size_t>(i)].att;
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(EndToEnd, CrossDatasetEvaluationHandlesDifferentQueryLengths) {
+  // A model trained on short-query SynthRef must evaluate cleanly on
+  // long-query SynthRefG samples (tokens are padded/truncated to the
+  // model's own max length) — this is what Table 2's generalisation rows
+  // rely on.
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset coco(small_dataset_config(79), vocab);
+  data::DatasetConfig gcfg = data::DatasetConfig::synthrefg(30, 80);
+  gcfg.img_h = 48;
+  gcfg.img_w = 72;
+  const data::GroundingDataset cocog(gcfg, vocab);
+  ASSERT_NE(coco.max_query_len(), cocog.max_query_len());
+
+  core::BuildOptions options;
+  options.config.num_rel2att = 1;
+  options.pretrain_embeddings = false;
+  auto model = core::build_yollo(coco, vocab, options);
+  const auto preds = core::evaluate_yollo(*model, cocog.val());
+  EXPECT_EQ(preds.size(), cocog.val().size());
+}
+
+TEST(EndToEnd, TwoStagePipelineImprovesWithTraining) {
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(small_dataset_config(81), vocab);
+
+  baseline::ProposerConfig pcfg;
+  pcfg.img_h = 48;
+  pcfg.img_w = 72;
+  Rng rng(5);
+  baseline::RegionProposalNetwork rpn(pcfg, rng);
+  const double recall_before = baseline::proposal_recall(rpn, dataset.val());
+  baseline::RpnTrainConfig rtc;
+  rtc.epochs = 1000;
+  rtc.max_steps = 60;
+  rtc.batch_size = 16;
+  baseline::train_rpn(rpn, dataset.train(), rtc);
+  const double recall_after = baseline::proposal_recall(rpn, dataset.val());
+  EXPECT_GT(recall_after, recall_before)
+      << "RPN training must raise proposal recall";
+}
+
+TEST(EndToEnd, DeterministicTrainingGivenSeeds) {
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(small_dataset_config(82), vocab);
+  core::BuildOptions options;
+  options.config.num_rel2att = 1;
+  options.pretrain_embeddings = false;
+
+  auto run = [&]() {
+    auto model = core::build_yollo(dataset, vocab, options);
+    core::TrainConfig tc;
+    tc.epochs = 1000;
+    tc.max_steps = 8;
+    tc.batch_size = 8;
+    tc.log_every = 1;
+    return core::train_yollo(*model, dataset.train(), tc);
+  };
+  const core::TrainResult a = run();
+  const core::TrainResult b = run();
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.curve[i].total, b.curve[i].total)
+        << "training must be bit-reproducible given fixed seeds";
+  }
+}
+
+}  // namespace
+}  // namespace yollo

@@ -1,0 +1,304 @@
+// Tests for nn layers and optimisers: shapes, registration, gradients, and
+// end-to-end optimisation sanity.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "optim/optim.h"
+#include "test_util.h"
+
+namespace yollo {
+namespace {
+
+using ag::Variable;
+using yollo::testing::check_gradients;
+
+TEST(ModuleTest, ParameterRegistrationWalksTree) {
+  Rng rng(1);
+  nn::FFN ffn(4, 8, 2, rng);
+  const auto params = ffn.parameters();
+  // fc1.weight, fc1.bias, fc2.weight, fc2.bias
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(ffn.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2);
+  const auto named = ffn.named_parameters();
+  EXPECT_EQ(named[0].name, "fc1.weight");
+  EXPECT_EQ(named[3].name, "fc2.bias");
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  Rng rng(2);
+  nn::FFN ffn(2, 2, 2, rng);
+  EXPECT_TRUE(ffn.training());
+  ffn.set_training(false);
+  EXPECT_FALSE(ffn.fc1.training());
+  EXPECT_FALSE(ffn.fc2.training());
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(3);
+  nn::FFN a(3, 5, 2, rng);
+  nn::FFN b(3, 5, 2, rng);
+  const std::string path = ::testing::TempDir() + "/ffn_params.bin";
+  nn::save_parameters(a, path);
+  nn::load_parameters(b, path);
+  Variable x = Variable::constant(Tensor::randn({2, 3}, rng));
+  EXPECT_TRUE(allclose(a.forward(x).value(), b.forward(x).value()));
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(4);
+  nn::Linear lin(3, 2, rng);
+  lin.weight.value().copy_from(Tensor({3, 2}, {1, 2, 3, 4, 5, 6}));
+  lin.bias.value().copy_from(Tensor({2}, {10, 20}));
+  Variable x = Variable::constant(Tensor({1, 3}, {1, 1, 1}));
+  Tensor y = lin.forward(x).value();
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 1 + 3 + 5 + 10);
+  EXPECT_FLOAT_EQ(y.at({0, 1}), 2 + 4 + 6 + 20);
+}
+
+TEST(LinearTest, HandlesRank3Input) {
+  Rng rng(5);
+  nn::Linear lin(4, 6, rng);
+  Variable x = Variable::constant(Tensor::randn({2, 3, 4}, rng));
+  Variable y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 6}));
+  // Same rows flattened must agree with the 2-D path.
+  Variable x2 = Variable::constant(x.value().reshape({6, 4}));
+  EXPECT_TRUE(allclose(y.value().reshape({6, 6}), lin.forward(x2).value()));
+}
+
+TEST(LinearTest, RejectsWrongInputDim) {
+  Rng rng(6);
+  nn::Linear lin(4, 2, rng);
+  Variable x = Variable::constant(Tensor::randn({2, 3}, rng));
+  EXPECT_THROW(lin.forward(x), std::invalid_argument);
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(7);
+  nn::Linear lin(3, 2, rng);
+  std::vector<Variable> leaves{lin.weight, lin.bias,
+                               Variable::param(Tensor::randn({4, 3}, rng))};
+  check_gradients(
+      [&lin](std::vector<Variable>& v) {
+        return ag::sum(ag::square(lin.forward(v[2])));
+      },
+      leaves);
+}
+
+TEST(EmbeddingTest, LookupAndBounds) {
+  Rng rng(8);
+  nn::Embedding emb(10, 4, rng);
+  Variable e = emb.forward({0, 9, 3});
+  EXPECT_EQ(e.shape(), (Shape{3, 4}));
+  EXPECT_THROW(emb.forward({10}), std::out_of_range);
+  EXPECT_THROW(emb.forward({-1}), std::out_of_range);
+}
+
+TEST(Conv2dLayerTest, OutputShape) {
+  Rng rng(9);
+  nn::Conv2d conv(3, 8, /*kernel=*/3, /*stride=*/2, /*padding=*/1, rng);
+  Variable x = Variable::constant(Tensor::randn({2, 3, 16, 24}, rng));
+  Variable y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 8, 12}));
+}
+
+TEST(BatchNormTest, NormalisesBatchStatistics) {
+  Rng rng(10);
+  nn::BatchNorm2d bn(3);
+  Variable x = Variable::constant(
+      Tensor::randn({4, 3, 5, 5}, rng, /*mean=*/5.0f, /*stddev=*/3.0f));
+  Variable y = bn.forward(x);
+  // Per-channel mean ~0 and var ~1 after normalisation.
+  Tensor yc = y.value().transpose(0, 1).reshape({3, 4 * 5 * 5});
+  for (int64_t c = 0; c < 3; ++c) {
+    const Tensor row = yc.narrow(0, c, 1);
+    EXPECT_NEAR(mean(row).item(), 0.0f, 1e-4f);
+    const Tensor sq = mul(row, row);
+    EXPECT_NEAR(mean(sq).item(), 1.0f, 1e-2f);
+  }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  Rng rng(11);
+  nn::BatchNorm2d bn(2, /*momentum=*/1.0f);  // running stats = last batch
+  Variable x = Variable::constant(Tensor::randn({8, 2, 4, 4}, rng, 2.0f, 1.5f));
+  bn.forward(x);
+  bn.set_training(false);
+  // In eval mode the same input should be normalised with the stored stats,
+  // giving (approximately) zero-mean output again.
+  Variable y = bn.forward(x);
+  EXPECT_NEAR(mean(y.value()).item(), 0.0f, 1e-2f);
+  // And a *different*, shifted input keeps its shift (stats are frozen).
+  Variable x2 = Variable::constant(
+      add_scalar(x.value(), 10.0f));
+  Variable y2 = bn.forward(x2);
+  EXPECT_GT(mean(y2.value()).item(), 5.0f);
+}
+
+TEST(BatchNormTest, GradCheckTrainingMode) {
+  Rng rng(12);
+  nn::BatchNorm2d bn(2);
+  std::vector<Variable> leaves{
+      Variable::param(Tensor::randn({3, 2, 2, 2}, rng)), bn.gamma, bn.beta};
+  check_gradients(
+      [&bn](std::vector<Variable>& v) {
+        return ag::sum(ag::square(bn.forward(v[0])));
+      },
+      leaves, 1e-2f, 5e-2f);
+}
+
+TEST(LayerNormTest, NormalisesLastAxis) {
+  Rng rng(13);
+  nn::LayerNorm ln(6);
+  Variable x = Variable::constant(Tensor::randn({4, 6}, rng, 3.0f, 2.0f));
+  Variable y = ln.forward(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    const Tensor row = y.value().narrow(0, r, 1);
+    EXPECT_NEAR(mean(row).item(), 0.0f, 1e-4f);
+  }
+}
+
+TEST(LayerNormTest, GradCheck) {
+  Rng rng(14);
+  nn::LayerNorm ln(4);
+  std::vector<Variable> leaves{Variable::param(Tensor::randn({3, 4}, rng)),
+                               ln.gamma, ln.beta};
+  check_gradients(
+      [&ln](std::vector<Variable>& v) {
+        return ag::sum(ag::square(ln.forward(v[0])));
+      },
+      leaves, 1e-2f, 5e-2f);
+}
+
+// --- optimisers --------------------------------------------------------------
+
+TEST(OptimTest, SgdSingleStepMatchesFormula) {
+  Variable w = Variable::param(Tensor::from_vector({1.0f, 2.0f}));
+  optim::SGD sgd({&w}, /*lr=*/0.1f);
+  ag::sum(ag::square(w)).backward();  // grad = 2w
+  sgd.step();
+  EXPECT_FLOAT_EQ(w.value()[0], 1.0f - 0.1f * 2.0f);
+  EXPECT_FLOAT_EQ(w.value()[1], 2.0f - 0.1f * 4.0f);
+}
+
+TEST(OptimTest, ClipGradNorm) {
+  Variable w = Variable::param(Tensor::from_vector({0.0f}));
+  optim::SGD sgd({&w}, 0.1f);
+  Variable loss = ag::mul_scalar(ag::sum(w), 30.0f);
+  loss.backward();
+  const float pre = sgd.clip_grad_norm(3.0f);
+  EXPECT_FLOAT_EQ(pre, 30.0f);
+  EXPECT_NEAR(w.grad()[0], 3.0f, 1e-5f);
+}
+
+TEST(OptimTest, AdamConvergesOnQuadratic) {
+  // Minimise ||w - target||^2; Adam should reach the target closely.
+  Rng rng(15);
+  const Tensor target({4}, {1.0f, -2.0f, 0.5f, 3.0f});
+  Variable w = Variable::param(Tensor::randn({4}, rng));
+  optim::Adam adam({&w}, /*lr=*/0.05f);
+  for (int i = 0; i < 500; ++i) {
+    adam.zero_grad();
+    Variable diff = ag::sub(w, Variable::constant(target));
+    ag::sum(ag::square(diff)).backward();
+    adam.step();
+  }
+  EXPECT_LT(max_abs_diff(w.value(), target), 1e-2f);
+}
+
+TEST(OptimTest, SgdMomentumConvergesOnLinearRegression) {
+  // Fit y = Xw on synthetic data.
+  Rng rng(16);
+  const Tensor true_w({3, 1}, {2.0f, -1.0f, 0.5f});
+  const Tensor x = Tensor::randn({32, 3}, rng);
+  const Tensor y = matmul(x, true_w);
+  Variable w = Variable::param(Tensor::zeros({3, 1}));
+  optim::SGD sgd({&w}, /*lr=*/0.05f, /*momentum=*/0.9f);
+  for (int i = 0; i < 300; ++i) {
+    sgd.zero_grad();
+    Variable pred = ag::matmul(Variable::constant(x), w);
+    Variable err = ag::sub(pred, Variable::constant(y));
+    ag::mean(ag::square(err)).backward();
+    sgd.step();
+  }
+  EXPECT_LT(max_abs_diff(w.value(), true_w), 5e-2f);
+}
+
+TEST(OptimTest, CosineScheduleShape) {
+  optim::CosineSchedule sched(1.0f, /*warmup=*/10, /*total=*/110);
+  EXPECT_LT(sched.lr_at(0), 0.2f);             // warming up
+  EXPECT_FLOAT_EQ(sched.lr_at(9), 1.0f);       // warmup end
+  EXPECT_NEAR(sched.lr_at(60), 0.5f, 0.05f);   // mid-decay
+  EXPECT_NEAR(sched.lr_at(109), 0.0f, 1e-3f);  // end
+  EXPECT_FLOAT_EQ(sched.lr_at(200), 0.0f);     // past end
+}
+
+TEST(IntegrationTest, TinyMlpLearnsXor) {
+  Rng rng(17);
+  nn::FFN net(2, 16, 1, rng);
+  const Tensor inputs({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  const Tensor targets({4, 1}, {0, 1, 1, 0});
+  auto params = net.parameters();
+  optim::Adam adam(params, 0.05f);
+  float loss_value = 1.0f;
+  for (int step = 0; step < 800; ++step) {
+    adam.zero_grad();
+    Variable pred = ag::sigmoid(net.forward(Variable::constant(inputs)));
+    Variable err = ag::sub(pred, Variable::constant(targets));
+    Variable loss = ag::mean(ag::square(err));
+    loss.backward();
+    adam.step();
+    loss_value = loss.value().item();
+  }
+  EXPECT_LT(loss_value, 0.02f) << "XOR did not converge";
+  Variable pred = ag::sigmoid(net.forward(Variable::constant(inputs)));
+  EXPECT_LT(pred.value()[0], 0.3f);
+  EXPECT_GT(pred.value()[1], 0.7f);
+  EXPECT_GT(pred.value()[2], 0.7f);
+  EXPECT_LT(pred.value()[3], 0.3f);
+}
+
+}  // namespace
+}  // namespace yollo
+
+// -- appended: buffer serialisation -------------------------------------------
+namespace yollo {
+namespace {
+
+TEST(ModuleTest, BatchNormBuffersSurviveSaveLoad) {
+  Rng rng(50);
+  nn::BatchNorm2d a(3, /*momentum=*/1.0f);
+  nn::BatchNorm2d b(3);
+  // Drive a's running stats away from the defaults.
+  ag::Variable x = ag::Variable::constant(
+      Tensor::randn({4, 3, 5, 5}, rng, /*mean=*/7.0f, /*stddev=*/2.0f));
+  a.forward(x);
+  ASSERT_GT(a.running_mean()[0], 3.0f);
+
+  const std::string path = ::testing::TempDir() + "/bn.bin";
+  nn::save_parameters(a, path);
+  const bool had_buffers = nn::load_parameters(b, path);
+  EXPECT_TRUE(had_buffers);
+  EXPECT_TRUE(allclose(a.running_mean(), b.running_mean()));
+  EXPECT_TRUE(allclose(a.running_var(), b.running_var()));
+  // Eval-mode outputs now agree exactly.
+  a.set_training(false);
+  b.set_training(false);
+  EXPECT_TRUE(allclose(a.forward(x).value(), b.forward(x).value()));
+}
+
+TEST(ModuleTest, LegacyFileWithoutBuffersLoadsParamsOnly) {
+  Rng rng(51);
+  nn::FFN a(3, 4, 2, rng);  // no buffers at all
+  const std::string path = ::testing::TempDir() + "/ffn2.bin";
+  nn::save_parameters(a, path);
+  nn::FFN b(3, 4, 2, rng);
+  // FFN has zero buffers, so the buffer section is present but empty.
+  EXPECT_TRUE(nn::load_parameters(b, path));
+  EXPECT_EQ(a.named_buffers().size(), 0u);
+}
+
+}  // namespace
+}  // namespace yollo

@@ -1,0 +1,461 @@
+// Unit tests for the tensor core: shapes, broadcasting, views, kernels.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "tensor/conv.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace yollo {
+namespace {
+
+TEST(ShapeTest, NumelAndStrides) {
+  EXPECT_EQ(numel({2, 3, 4}), 24);
+  EXPECT_EQ(numel({}), 1);
+  EXPECT_EQ(numel({5, 0, 2}), 0);
+  const Strides s = contiguous_strides({2, 3, 4});
+  EXPECT_EQ(s, (Strides{12, 4, 1}));
+}
+
+TEST(ShapeTest, BroadcastShape) {
+  EXPECT_EQ(broadcast_shape({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(broadcast_shape({4, 1, 3}, {2, 1}), (Shape{4, 2, 3}));
+  EXPECT_EQ(broadcast_shape({}, {5}), (Shape{5}));
+  EXPECT_THROW(broadcast_shape({2, 3}, {4}), std::invalid_argument);
+}
+
+TEST(ShapeTest, BroadcastStridesZeroOnExpandedDims) {
+  const Strides s = broadcast_strides({1, 3}, {4, 2, 3});
+  EXPECT_EQ(s, (Strides{0, 0, 1}));
+}
+
+TEST(ShapeTest, NormalizeAxis) {
+  EXPECT_EQ(normalize_axis(-1, 3), 2);
+  EXPECT_EQ(normalize_axis(0, 3), 0);
+  EXPECT_THROW(normalize_axis(3, 3), std::invalid_argument);
+  EXPECT_THROW(normalize_axis(-4, 3), std::invalid_argument);
+}
+
+TEST(TensorTest, ConstructionAndFill) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t[i], 0.0f);
+  t.fill(2.5f);
+  EXPECT_EQ(t[5], 2.5f);
+  EXPECT_EQ(Tensor::ones({3}).at({1}), 1.0f);
+  EXPECT_EQ(Tensor::full({2}, -4.0f)[0], -4.0f);
+}
+
+TEST(TensorTest, SharedStorageSemantics) {
+  Tensor a({2, 2});
+  Tensor b = a;  // shares storage
+  b.fill(7.0f);
+  EXPECT_EQ(a[0], 7.0f);
+  Tensor c = a.clone();  // deep copy
+  c.fill(1.0f);
+  EXPECT_EQ(a[0], 7.0f);
+}
+
+TEST(TensorTest, ReshapeSharesAndValidates) {
+  Tensor a = Tensor::arange(6);
+  Tensor b = a.reshape({2, 3});
+  b.at({1, 2}) = 42.0f;
+  EXPECT_EQ(a[5], 42.0f);
+  Tensor c = a.reshape({3, -1});
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_THROW(a.reshape({4, 2}), std::invalid_argument);
+  EXPECT_THROW(a.reshape({-1, -1}), std::invalid_argument);
+}
+
+TEST(TensorTest, TransposeMaterialises) {
+  Tensor a = Tensor::arange(6).reshape({2, 3});
+  Tensor t = a.transpose(0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at({0, 1}), a.at({1, 0}));
+  EXPECT_EQ(t.at({2, 0}), a.at({0, 2}));
+}
+
+TEST(TensorTest, PermuteThreeAxes) {
+  Tensor a = Tensor::arange(24).reshape({2, 3, 4});
+  Tensor p = a.permute({2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  EXPECT_EQ(p.at({1, 1, 2}), a.at({1, 2, 1}));
+}
+
+TEST(TensorTest, NarrowCopiesSlice) {
+  Tensor a = Tensor::arange(12).reshape({3, 4});
+  Tensor n = a.narrow(0, 1, 2);
+  EXPECT_EQ(n.shape(), (Shape{2, 4}));
+  EXPECT_EQ(n.at({0, 0}), 4.0f);
+  Tensor m = a.narrow(1, 2, 2);
+  EXPECT_EQ(m.at({2, 1}), 11.0f);
+  EXPECT_THROW(a.narrow(0, 2, 2), std::out_of_range);
+}
+
+TEST(TensorTest, IndexSelect) {
+  Tensor a = Tensor::arange(12).reshape({4, 3});
+  Tensor sel = a.index_select(0, {3, 0, 3});
+  EXPECT_EQ(sel.shape(), (Shape{3, 3}));
+  EXPECT_EQ(sel.at({0, 0}), 9.0f);
+  EXPECT_EQ(sel.at({1, 2}), 2.0f);
+  EXPECT_EQ(sel.at({2, 1}), 10.0f);
+  EXPECT_THROW(a.index_select(0, {4}), std::out_of_range);
+}
+
+TEST(TensorTest, BroadcastTo) {
+  Tensor a = Tensor::arange(3).reshape({1, 3});
+  Tensor b = a.broadcast_to({2, 3});
+  EXPECT_EQ(b.at({1, 2}), 2.0f);
+  Tensor s = Tensor::scalar(5.0f);
+  Tensor sb = s.broadcast_to({2, 2});
+  EXPECT_EQ(sb.at({1, 1}), 5.0f);
+}
+
+TEST(TensorTest, ItemRequiresSingleElement) {
+  EXPECT_EQ(Tensor::scalar(3.5f).item(), 3.5f);
+  EXPECT_THROW(Tensor({2}).item(), std::logic_error);
+}
+
+TEST(ElementwiseTest, AddSubMulDiv) {
+  Tensor a = Tensor::from_vector({1, 2, 3});
+  Tensor b = Tensor::from_vector({4, 5, 6});
+  EXPECT_EQ((a + b).to_vector(), (std::vector<float>{5, 7, 9}));
+  EXPECT_EQ((b - a).to_vector(), (std::vector<float>{3, 3, 3}));
+  EXPECT_EQ((a * b).to_vector(), (std::vector<float>{4, 10, 18}));
+  EXPECT_EQ((b / a).to_vector(), (std::vector<float>{4, 2.5f, 2}));
+}
+
+TEST(ElementwiseTest, BroadcastBinary) {
+  Tensor a = Tensor::arange(6).reshape({2, 3});
+  Tensor row = Tensor::from_vector({10, 20, 30}).reshape({1, 3});
+  Tensor col = Tensor::from_vector({100, 200}).reshape({2, 1});
+  Tensor r = a + row;
+  EXPECT_EQ(r.at({1, 2}), 35.0f);
+  Tensor c = a + col;
+  EXPECT_EQ(c.at({0, 0}), 100.0f);
+  EXPECT_EQ(c.at({1, 0}), 203.0f);
+}
+
+TEST(ElementwiseTest, ScalarAndUnary) {
+  Tensor a = Tensor::from_vector({-1, 0, 4});
+  EXPECT_EQ((a + 1.0f).to_vector(), (std::vector<float>{0, 1, 5}));
+  EXPECT_EQ((a * 2.0f).to_vector(), (std::vector<float>{-2, 0, 8}));
+  EXPECT_EQ(relu(a).to_vector(), (std::vector<float>{0, 0, 4}));
+  EXPECT_EQ(abs(a).to_vector(), (std::vector<float>{1, 0, 4}));
+  EXPECT_EQ(neg(a).to_vector(), (std::vector<float>{1, 0, -4}));
+  EXPECT_FLOAT_EQ(sqrt(a)[2], 2.0f);
+  EXPECT_EQ(clamp(a, -0.5f, 2.0f).to_vector(), (std::vector<float>{-0.5f, 0, 2}));
+}
+
+TEST(ElementwiseTest, InplaceOps) {
+  Tensor a = Tensor::from_vector({1, 2});
+  Tensor b = Tensor::from_vector({10, 20});
+  add_inplace(a, b);
+  EXPECT_EQ(a.to_vector(), (std::vector<float>{11, 22}));
+  axpy_inplace(a, 0.5f, b);
+  EXPECT_EQ(a.to_vector(), (std::vector<float>{16, 32}));
+  scale_inplace(a, 0.25f);
+  EXPECT_EQ(a.to_vector(), (std::vector<float>{4, 8}));
+  Tensor wrong({3});
+  EXPECT_THROW(add_inplace(a, wrong), std::invalid_argument);
+}
+
+TEST(MatmulTest, TwoDim) {
+  Tensor a = Tensor::arange(6).reshape({2, 3});
+  Tensor b = Tensor::arange(12).reshape({3, 4});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 4}));
+  // Row 0 of a = [0,1,2]; col 0 of b = [0,4,8] -> 0*0+1*4+2*8 = 20.
+  EXPECT_EQ(c.at({0, 0}), 20.0f);
+  EXPECT_EQ(c.at({1, 3}), 3.0f * 3 + 4.0f * 7 + 5.0f * 11);
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+}
+
+TEST(MatmulTest, Batched) {
+  Tensor a = Tensor::arange(12).reshape({2, 2, 3});
+  Tensor b = Tensor::ones({2, 3, 2});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(c.at({0, 0, 0}), 0.0f + 1 + 2);
+  EXPECT_EQ(c.at({1, 1, 1}), 9.0f + 10 + 11);
+}
+
+TEST(ReduceTest, SumMeanFullAndAxis) {
+  Tensor a = Tensor::arange(6).reshape({2, 3});
+  EXPECT_EQ(sum(a).item(), 15.0f);
+  EXPECT_FLOAT_EQ(mean(a).item(), 2.5f);
+  Tensor s0 = sum(a, 0);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_EQ(s0.to_vector(), (std::vector<float>{3, 5, 7}));
+  Tensor s1 = sum(a, 1, /*keepdim=*/true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s1[0], 3.0f);
+  EXPECT_EQ(s1[1], 12.0f);
+  Tensor m1 = mean(a, 1);
+  EXPECT_EQ(m1.to_vector(), (std::vector<float>{1, 4}));
+}
+
+TEST(ReduceTest, MaxAndArgmax) {
+  Tensor a({2, 3}, {3, 9, 1, 7, 2, 8});
+  Tensor mx = max(a, 1);
+  EXPECT_EQ(mx.to_vector(), (std::vector<float>{9, 8}));
+  Tensor am = argmax(a, 1);
+  EXPECT_EQ(am.to_vector(), (std::vector<float>{1, 2}));
+  EXPECT_EQ(argmax_flat(a), 1);
+  EXPECT_EQ(max_value(a), 9.0f);
+  EXPECT_EQ(min_value(a), 1.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndInvariance) {
+  Tensor a({2, 3}, {1, 2, 3, 1000, 1001, 1002});  // shift-invariance check
+  Tensor s = softmax(a, 1);
+  for (int64_t r = 0; r < 2; ++r) {
+    float z = 0.0f;
+    for (int64_t c = 0; c < 3; ++c) z += s.at({r, c});
+    EXPECT_NEAR(z, 1.0f, 1e-5f);
+  }
+  // Both rows have the same relative logits, so the same probabilities.
+  EXPECT_NEAR(s.at({0, 0}), s.at({1, 0}), 1e-5f);
+  EXPECT_NEAR(s.at({0, 2}), s.at({1, 2}), 1e-5f);
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(7);
+  Tensor a = Tensor::randn({3, 5}, rng);
+  Tensor ls = log_softmax(a, 1);
+  Tensor ref = log(softmax(a, 1));
+  EXPECT_TRUE(allclose(ls, ref, 1e-4f, 1e-5f));
+}
+
+TEST(ConcatTest, AlongBothAxes) {
+  Tensor a = Tensor::ones({2, 2});
+  Tensor b = Tensor::zeros({1, 2});
+  Tensor c = concat({a, b}, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_EQ(c.at({2, 0}), 0.0f);
+  Tensor d = concat({a, Tensor::full({2, 3}, 2.0f)}, 1);
+  EXPECT_EQ(d.shape(), (Shape{2, 5}));
+  EXPECT_EQ(d.at({1, 4}), 2.0f);
+  EXPECT_THROW(concat({a, b}, 1), std::invalid_argument);
+}
+
+TEST(ReduceToShapeTest, SumsBroadcastDims) {
+  Tensor g = Tensor::ones({4, 2, 3});
+  Tensor r = reduce_to_shape(g, {2, 3});
+  EXPECT_EQ(r.shape(), (Shape{2, 3}));
+  EXPECT_EQ(r[0], 4.0f);
+  Tensor r2 = reduce_to_shape(g, {1, 3});
+  EXPECT_EQ(r2.shape(), (Shape{1, 3}));
+  EXPECT_EQ(r2[0], 8.0f);
+}
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+    EXPECT_EQ(a.randint(0, 100), b.randint(0, 100));
+  }
+  Rng c(43);
+  bool any_diff = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) any_diff |= (a2.uniform() != c.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ConvTest, Identity1x1Kernel) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 2;
+  spec.kernel_h = spec.kernel_w = 1;
+  spec.stride_h = spec.stride_w = 1;
+  spec.pad_h = spec.pad_w = 0;
+  // Identity weight: out c = in c.
+  Tensor w({2, 2, 1, 1});
+  w.at({0, 0, 0, 0}) = 1.0f;
+  w.at({1, 1, 0, 0}) = 1.0f;
+  Tensor y = conv2d_forward(x, w, Tensor(), spec);
+  EXPECT_TRUE(allclose(y, x, 1e-6f, 1e-6f));
+}
+
+// Reference convolution written as the direct 7-loop formula.
+Tensor conv2d_reference(const Tensor& x, const Tensor& w, const Tensor& b,
+                        const Conv2dSpec& s) {
+  const int64_t n = x.size(0), h = x.size(2), wi = x.size(3);
+  const int64_t oh = s.out_height(h), ow = s.out_width(wi);
+  Tensor y({n, s.out_channels, oh, ow});
+  for (int64_t ni = 0; ni < n; ++ni)
+    for (int64_t co = 0; co < s.out_channels; ++co)
+      for (int64_t oy = 0; oy < oh; ++oy)
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = b.defined() ? b[co] : 0.0f;
+          for (int64_t ci = 0; ci < s.in_channels; ++ci)
+            for (int64_t ky = 0; ky < s.kernel_h; ++ky)
+              for (int64_t kx = 0; kx < s.kernel_w; ++kx) {
+                const int64_t iy = oy * s.stride_h + ky - s.pad_h;
+                const int64_t ix = ox * s.stride_w + kx - s.pad_w;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wi) continue;
+                acc += x.at({ni, ci, iy, ix}) * w.at({co, ci, ky, kx});
+              }
+          y.at({ni, co, oy, ox}) = acc;
+        }
+  return y;
+}
+
+struct ConvCase {
+  int64_t in_c, out_c, k, stride, pad, h, w, n;
+};
+
+class ConvParamTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParamTest, MatchesDirectReference) {
+  const ConvCase cfg = GetParam();
+  Rng rng(99);
+  Tensor x = Tensor::randn({cfg.n, cfg.in_c, cfg.h, cfg.w}, rng);
+  Tensor w = Tensor::randn({cfg.out_c, cfg.in_c, cfg.k, cfg.k}, rng);
+  Tensor b = Tensor::randn({cfg.out_c}, rng);
+  Conv2dSpec spec;
+  spec.in_channels = cfg.in_c;
+  spec.out_channels = cfg.out_c;
+  spec.kernel_h = spec.kernel_w = cfg.k;
+  spec.stride_h = spec.stride_w = cfg.stride;
+  spec.pad_h = spec.pad_w = cfg.pad;
+  Tensor got = conv2d_forward(x, w, b, spec);
+  Tensor want = conv2d_reference(x, w, b, spec);
+  EXPECT_TRUE(allclose(got, want, 1e-4f, 1e-4f))
+      << "max diff " << max_abs_diff(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvParamTest,
+    ::testing::Values(ConvCase{1, 1, 3, 1, 1, 5, 5, 1},
+                      ConvCase{3, 4, 3, 1, 1, 6, 8, 2},
+                      ConvCase{2, 3, 3, 2, 1, 8, 8, 1},
+                      ConvCase{3, 2, 5, 2, 2, 9, 7, 2},
+                      ConvCase{4, 4, 1, 1, 0, 4, 6, 3},
+                      ConvCase{2, 2, 3, 3, 0, 9, 9, 1}));
+
+TEST(ConvTest, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // of the adjoint used in the backward pass.
+  Rng rng(5);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 1;
+  spec.kernel_h = spec.kernel_w = 3;
+  spec.stride_h = spec.stride_w = 2;
+  spec.pad_h = spec.pad_w = 1;
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  Tensor cx = im2col(x, spec);
+  Tensor y = Tensor::randn(cx.shape(), rng);
+  Tensor ay = col2im(y, spec, 6, 6);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < cx.numel(); ++i) lhs += cx[i] * y[i];
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * ay[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(PoolTest, MaxPoolForwardAndBackward) {
+  Tensor x({1, 1, 4, 4}, {1, 2, 5, 6,    //
+                          3, 4, 7, 8,    //
+                          9, 10, 13, 14, //
+                          11, 12, 15, 16});
+  MaxPoolResult res = max_pool2x2_forward(x);
+  EXPECT_EQ(res.output.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(res.output.to_vector(), (std::vector<float>{4, 8, 12, 16}));
+  Tensor go = Tensor::ones({1, 1, 2, 2});
+  Tensor gi = max_pool2x2_backward(go, res.argmax, x.shape());
+  // Gradient lands only on the max positions.
+  EXPECT_EQ(gi.at({0, 0, 1, 1}), 1.0f);
+  EXPECT_EQ(gi.at({0, 0, 0, 0}), 0.0f);
+  EXPECT_EQ(sum(gi).item(), 4.0f);
+}
+
+TEST(PoolTest, GlobalAvgPool) {
+  Tensor x = Tensor::arange(8).reshape({1, 2, 2, 2});
+  Tensor y = global_avg_pool_forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 1.5f);
+  EXPECT_FLOAT_EQ(y[1], 5.5f);
+  Tensor gi = global_avg_pool_backward(Tensor::ones({1, 2}), x.shape());
+  EXPECT_FLOAT_EQ(gi[0], 0.25f);
+}
+
+}  // namespace
+}  // namespace yollo
+
+// -- appended: view ops and edge cases ----------------------------------------
+namespace yollo {
+namespace {
+
+TEST(TensorTest, UnsqueezeSqueezeRoundTrip) {
+  Tensor a = Tensor::arange(6).reshape({2, 3});
+  Tensor u = a.unsqueeze(1);
+  EXPECT_EQ(u.shape(), (Shape{2, 1, 3}));
+  EXPECT_EQ(u.squeeze(1).shape(), (Shape{2, 3}));
+  Tensor tail = a.unsqueeze(-1);
+  EXPECT_EQ(tail.shape(), (Shape{2, 3, 1}));
+  EXPECT_THROW(a.squeeze(0), std::invalid_argument);  // extent 2, not 1
+}
+
+TEST(TensorTest, MapAppliesElementwise) {
+  Tensor a = Tensor::from_vector({1, 2, 3});
+  Tensor doubled = a.map([](float x) { return 2 * x; });
+  EXPECT_EQ(doubled.to_vector(), (std::vector<float>{2, 4, 6}));
+  EXPECT_EQ(a.to_vector(), (std::vector<float>{1, 2, 3}));  // unchanged
+}
+
+TEST(TensorTest, IndexSelectMiddleAxis) {
+  Tensor a = Tensor::arange(24).reshape({2, 4, 3});
+  Tensor sel = a.index_select(1, {3, 1});
+  EXPECT_EQ(sel.shape(), (Shape{2, 2, 3}));
+  EXPECT_EQ(sel.at({0, 0, 0}), a.at({0, 3, 0}));
+  EXPECT_EQ(sel.at({1, 1, 2}), a.at({1, 1, 2}));
+}
+
+TEST(TensorTest, CopyFromValidatesShape) {
+  Tensor a({2, 2});
+  Tensor b = Tensor::ones({2, 2});
+  a.copy_from(b);
+  EXPECT_EQ(a[3], 1.0f);
+  Tensor c({4});
+  EXPECT_THROW(a.copy_from(c), std::invalid_argument);
+}
+
+TEST(TensorTest, UndefinedTensorThrowsOnAccess) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.data(), std::logic_error);
+  EXPECT_THROW(t.clone(), std::logic_error);
+  EXPECT_EQ(t.to_string(), "Tensor(undefined)");
+}
+
+TEST(TensorTest, ToStringTruncatesLargeTensors) {
+  Tensor big = Tensor::zeros({100});
+  const std::string s = big.to_string(/*max_per_dim=*/2);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(ConcatTest, ThreeDimMiddleAxis) {
+  Tensor a = Tensor::ones({2, 1, 3});
+  Tensor b = Tensor::full({2, 2, 3}, 2.0f);
+  Tensor c = concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 3}));
+  EXPECT_EQ(c.at({0, 0, 0}), 1.0f);
+  EXPECT_EQ(c.at({1, 2, 2}), 2.0f);
+}
+
+TEST(ElementwiseTest, MinimumMaximumPow) {
+  Tensor a = Tensor::from_vector({1, 4, 9});
+  Tensor b = Tensor::from_vector({2, 3, 10});
+  EXPECT_EQ(maximum(a, b).to_vector(), (std::vector<float>{2, 4, 10}));
+  EXPECT_EQ(minimum(a, b).to_vector(), (std::vector<float>{1, 3, 9}));
+  EXPECT_TRUE(allclose(pow(a, 0.5f), Tensor::from_vector({1, 2, 3})));
+}
+
+}  // namespace
+}  // namespace yollo

@@ -1,0 +1,60 @@
+// Shared helpers for the yollo test suites.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace yollo::testing {
+
+// Finite-difference gradient check.
+//
+// `fn` maps the list of leaf Variables to a scalar Variable. For every leaf
+// that requires grad, each element is perturbed by +/- eps and the numeric
+// derivative is compared against the autograd gradient.
+//
+// Build the graph fresh inside `fn` on every call: the helper re-invokes it
+// after each perturbation.
+inline void check_gradients(
+    const std::function<ag::Variable(std::vector<ag::Variable>&)>& fn,
+    std::vector<ag::Variable>& leaves, float eps = 1e-3f, float tol = 2e-2f) {
+  // Analytic gradients.
+  for (ag::Variable& leaf : leaves) leaf.zero_grad();
+  ag::Variable loss = fn(leaves);
+  ASSERT_EQ(loss.numel(), 1) << "gradcheck target must be scalar";
+  loss.backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (ag::Variable& leaf : leaves) {
+    analytic.push_back(leaf.has_grad() ? leaf.grad().clone()
+                                       : Tensor(leaf.shape()));
+  }
+
+  // Numeric gradients.
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    ag::Variable& leaf = leaves[li];
+    if (!leaf.requires_grad()) continue;
+    float* data = leaf.value().data();
+    for (int64_t i = 0; i < leaf.numel(); ++i) {
+      const float saved = data[i];
+      data[i] = saved + eps;
+      const float up = fn(leaves).value().item();
+      data[i] = saved - eps;
+      const float down = fn(leaves).value().item();
+      data[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float got = analytic[li][i];
+      const float scale = std::max({1.0f, std::fabs(numeric), std::fabs(got)});
+      EXPECT_NEAR(got, numeric, tol * scale)
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+}  // namespace yollo::testing

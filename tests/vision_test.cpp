@@ -1,0 +1,245 @@
+// Tests for the vision substrate: boxes, IoU, NMS, anchors, backbone.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "vision/anchors.h"
+#include "vision/backbone.h"
+#include "vision/box.h"
+
+namespace yollo::vision {
+namespace {
+
+TEST(BoxTest, Accessors) {
+  Box b{10, 20, 30, 40};
+  EXPECT_FLOAT_EQ(b.cx(), 25.0f);
+  EXPECT_FLOAT_EQ(b.cy(), 40.0f);
+  EXPECT_FLOAT_EQ(b.x2(), 40.0f);
+  EXPECT_FLOAT_EQ(b.y2(), 60.0f);
+  EXPECT_FLOAT_EQ(b.area(), 1200.0f);
+  Box c = Box::from_center(25, 40, 30, 40);
+  EXPECT_FLOAT_EQ(c.x, 10.0f);
+  EXPECT_FLOAT_EQ(c.y, 20.0f);
+}
+
+TEST(BoxTest, IouBasics) {
+  Box a{0, 0, 10, 10};
+  EXPECT_FLOAT_EQ(iou(a, a), 1.0f);                       // self
+  EXPECT_FLOAT_EQ(iou(a, Box{20, 20, 5, 5}), 0.0f);       // disjoint
+  EXPECT_FLOAT_EQ(iou(a, Box{5, 0, 10, 10}), 50.0f / 150.0f);  // half overlap
+  EXPECT_FLOAT_EQ(iou(a, Box{0, 0, 0, 0}), 0.0f);         // degenerate
+}
+
+TEST(BoxTest, IouIsSymmetricAndBounded) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Box a{rng.uniform(0, 50), rng.uniform(0, 50), rng.uniform(1, 30),
+          rng.uniform(1, 30)};
+    Box b{rng.uniform(0, 50), rng.uniform(0, 50), rng.uniform(1, 30),
+          rng.uniform(1, 30)};
+    const float ab = iou(a, b);
+    EXPECT_FLOAT_EQ(ab, iou(b, a));
+    EXPECT_GE(ab, 0.0f);
+    EXPECT_LE(ab, 1.0f);
+  }
+}
+
+TEST(BoxTest, ContainedBoxIou) {
+  Box outer{0, 0, 20, 20};
+  Box inner{5, 5, 10, 10};
+  EXPECT_FLOAT_EQ(iou(outer, inner), 100.0f / 400.0f);
+}
+
+TEST(BoxTest, ClipBox) {
+  Box b{-5, -5, 20, 20};
+  Box c = clip_box(b, 10, 10);
+  EXPECT_FLOAT_EQ(c.x, 0.0f);
+  EXPECT_FLOAT_EQ(c.y, 0.0f);
+  EXPECT_FLOAT_EQ(c.w, 10.0f);
+  EXPECT_FLOAT_EQ(c.h, 10.0f);
+}
+
+TEST(BoxDeltaTest, EncodeDecodeRoundTrip) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    Box anchor = Box::from_center(rng.uniform(10, 80), rng.uniform(10, 50),
+                                  rng.uniform(8, 30), rng.uniform(8, 30));
+    Box target = Box::from_center(rng.uniform(10, 80), rng.uniform(10, 50),
+                                  rng.uniform(5, 35), rng.uniform(5, 35));
+    const Box back = decode_delta(anchor, encode_delta(anchor, target));
+    EXPECT_NEAR(back.x, target.x, 1e-3f);
+    EXPECT_NEAR(back.y, target.y, 1e-3f);
+    EXPECT_NEAR(back.w, target.w, 1e-3f);
+    EXPECT_NEAR(back.h, target.h, 1e-3f);
+  }
+}
+
+TEST(BoxDeltaTest, ZeroDeltaIsIdentity) {
+  Box anchor{10, 10, 20, 20};
+  Box out = decode_delta(anchor, BoxDelta{});
+  EXPECT_NEAR(iou(anchor, out), 1.0f, 1e-5f);
+}
+
+TEST(BoxDeltaTest, DecodeClampsExtremeSizes) {
+  Box anchor{10, 10, 20, 20};
+  Box out = decode_delta(anchor, BoxDelta{0, 0, 100.0f, 100.0f});
+  EXPECT_TRUE(std::isfinite(out.w));
+  EXPECT_TRUE(std::isfinite(out.h));
+}
+
+TEST(NmsTest, SuppressesOverlapsKeepsBestFirst) {
+  std::vector<Box> boxes = {
+      {0, 0, 10, 10}, {1, 1, 10, 10}, {30, 30, 10, 10}, {0, 0, 10, 10}};
+  std::vector<float> scores = {0.8f, 0.9f, 0.5f, 0.2f};
+  const auto keep = nms(boxes, scores, 0.5f);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep[0], 1);  // highest score
+  EXPECT_EQ(keep[1], 2);  // distinct region
+}
+
+TEST(NmsTest, MaxKeepLimits) {
+  std::vector<Box> boxes = {{0, 0, 5, 5}, {20, 0, 5, 5}, {40, 0, 5, 5}};
+  std::vector<float> scores = {0.1f, 0.9f, 0.5f};
+  const auto keep = nms(boxes, scores, 0.5f, /*max_keep=*/2);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep[0], 1);
+  EXPECT_EQ(keep[1], 2);
+}
+
+TEST(AnchorTest, CountAndCoverage) {
+  AnchorConfig cfg;
+  const auto anchors = generate_anchors(cfg, 8, 12);
+  EXPECT_EQ(anchors.size(), 8u * 12u * 9u);
+  // First anchor centres on the first cell centre.
+  EXPECT_FLOAT_EQ(anchors[0].cx(), 4.0f);
+  EXPECT_FLOAT_EQ(anchors[0].cy(), 4.0f);
+  // Aspect ratios preserve area within a scale triple.
+  EXPECT_NEAR(anchors[0].area(), anchors[1].area(), 1.0f);
+  EXPECT_NEAR(anchors[1].area(), anchors[2].area(), 1.0f);
+}
+
+TEST(AnchorTest, EveryModerateBoxHasAGoodAnchor) {
+  // Property: any reasonably-sized box inside the canvas should overlap
+  // some anchor with IoU >= 0.3, otherwise training signals vanish.
+  AnchorConfig cfg;
+  const auto anchors = generate_anchors(cfg, 8, 12);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const float w = rng.uniform(9.0f, 40.0f);
+    const float h = rng.uniform(9.0f, 40.0f);
+    const float x = rng.uniform(0.0f, 96.0f - w);
+    const float y = rng.uniform(0.0f, 64.0f - h);
+    const Box target{x, y, w, h};
+    float best = 0.0f;
+    for (const Box& a : anchors) best = std::max(best, iou(a, target));
+    EXPECT_GE(best, 0.3f) << "box " << x << "," << y << " " << w << "x" << h;
+  }
+}
+
+TEST(AnchorTest, LabelsPartitionByIoU) {
+  AnchorConfig cfg;
+  const auto anchors = generate_anchors(cfg, 8, 12);
+  const Box target{40, 24, 20, 16};
+  const AnchorLabels labels = label_anchors(anchors, target, 0.5f, 0.25f);
+  EXPECT_FALSE(labels.positive.empty());
+  EXPECT_FALSE(labels.negative.empty());
+  for (int64_t idx : labels.positive) {
+    EXPECT_GE(iou(anchors[static_cast<size_t>(idx)], target), 0.25f);
+  }
+  for (int64_t idx : labels.negative) {
+    EXPECT_LE(iou(anchors[static_cast<size_t>(idx)], target), 0.25f);
+  }
+  // Positive and negative sets are disjoint.
+  for (int64_t p : labels.positive) {
+    for (int64_t n : labels.negative) EXPECT_NE(p, n);
+  }
+}
+
+TEST(AnchorTest, TinyTargetStillGetsForcedPositive) {
+  AnchorConfig cfg;
+  const auto anchors = generate_anchors(cfg, 8, 12);
+  const Box tiny{1, 1, 3, 3};  // below every anchor scale
+  const AnchorLabels labels = label_anchors(anchors, tiny, 0.5f, 0.25f);
+  ASSERT_EQ(labels.positive.size(), 1u);  // forced best-IoU anchor
+}
+
+TEST(BackboneTest, OutputGeometryStride8) {
+  Rng rng(10);
+  vision::Backbone net(BackboneConfig::r50_lite(), rng);
+  ag::Variable img = ag::Variable::constant(Tensor::randn({2, 3, 64, 96}, rng));
+  ag::Variable feat = net.forward(img);
+  EXPECT_EQ(feat.shape(),
+            (Shape{2, BackboneConfig::r50_lite().out_channels(), 8, 12}));
+}
+
+TEST(BackboneTest, DeeperVariantHasMoreParameters) {
+  Rng rng(11);
+  vision::Backbone shallow(BackboneConfig::r50_lite(), rng);
+  vision::Backbone deep(BackboneConfig::r101_lite(), rng);
+  EXPECT_GT(deep.parameter_count(), shallow.parameter_count());
+}
+
+TEST(BackboneTest, GradientsReachStem) {
+  Rng rng(12);
+  vision::Backbone net(BackboneConfig::r50_lite(), rng);
+  ag::Variable img = ag::Variable::constant(Tensor::randn({1, 3, 16, 16}, rng));
+  ag::Variable feat = net.forward(img);
+  ag::sum(ag::square(feat)).backward();
+  bool any_nonzero = false;
+  const auto params = net.parameters();
+  ASSERT_FALSE(params.empty());
+  for (ag::Variable* p : params) {
+    if (p->has_grad() && max_value(abs(p->grad())) > 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  // Specifically the first (stem) parameter must receive gradient.
+  EXPECT_TRUE(params.front()->has_grad());
+}
+
+TEST(BackboneTest, EvalModeIsDeterministic) {
+  Rng rng(13);
+  vision::Backbone net(BackboneConfig::r50_lite(), rng);
+  net.set_training(false);
+  ag::Variable img = ag::Variable::constant(Tensor::randn({1, 3, 32, 32}, rng));
+  Tensor a = net.forward(img).value();
+  Tensor b = net.forward(img).value();
+  EXPECT_TRUE(allclose(a, b));
+}
+
+}  // namespace
+}  // namespace yollo::vision
+
+// -- appended: backbone variants --------------------------------------------
+namespace yollo::vision {
+namespace {
+
+TEST(BackboneTest, VggVariantSameGeometryFewerParams) {
+  Rng rng(20);
+  Backbone res(BackboneConfig::r50_lite(), rng);
+  Backbone vgg(BackboneConfig::vgg_lite(), rng);
+  ag::Variable img = ag::Variable::constant(Tensor::randn({1, 3, 32, 48}, rng));
+  EXPECT_EQ(vgg.forward(img).shape(), res.forward(img).shape());
+  // Plain blocks drop the projection convolutions.
+  EXPECT_LT(vgg.parameter_count(), res.parameter_count());
+}
+
+TEST(BackboneTest, VggVariantTrainsGradients) {
+  Rng rng(21);
+  Backbone vgg(BackboneConfig::vgg_lite(), rng);
+  ag::Variable img = ag::Variable::constant(Tensor::randn({1, 3, 16, 16}, rng));
+  ag::sum(ag::square(vgg.forward(img))).backward();
+  int with_grad = 0;
+  for (auto* p : vgg.parameters()) with_grad += p->has_grad();
+  EXPECT_GT(with_grad, 0);
+}
+
+TEST(BackboneConfigTest, PresetNames) {
+  EXPECT_EQ(BackboneConfig::r50_lite().name, "r50-lite");
+  EXPECT_EQ(BackboneConfig::r101_lite().name, "r101-lite");
+  EXPECT_EQ(BackboneConfig::vgg_lite().name, "vgg-lite");
+  EXPECT_FALSE(BackboneConfig::vgg_lite().residual);
+  EXPECT_EQ(BackboneConfig::r50_lite().stride(), 8);
+}
+
+}  // namespace
+}  // namespace yollo::vision

@@ -1,0 +1,117 @@
+// Tests for the Word2Vec pre-training substrate.
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/vocab.h"
+#include "word2vec/word2vec.h"
+
+namespace yollo::word2vec {
+namespace {
+
+using data::Vocab;
+
+TEST(Word2VecTest, EmbeddingShape) {
+  Word2VecConfig cfg;
+  cfg.dim = 16;
+  Word2Vec model(50, cfg);
+  EXPECT_EQ(model.embeddings().shape(), (Shape{50, 16}));
+}
+
+TEST(Word2VecTest, TrainingReducesLoss) {
+  // Tiny corpus with strong co-occurrence structure.
+  Word2VecConfig cfg;
+  cfg.dim = 12;
+  cfg.epochs = 1;
+  cfg.seed = 1;
+  std::vector<std::vector<int64_t>> corpus;
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    // Words 2..5 always co-occur; 6..9 always co-occur.
+    if (rng.bernoulli(0.5f)) {
+      corpus.push_back({2, 3, 4, 5});
+    } else {
+      corpus.push_back({6, 7, 8, 9});
+    }
+  }
+  Word2Vec model(10, cfg);
+  const float first = model.train(corpus);
+  Word2VecConfig cfg10 = cfg;
+  cfg10.epochs = 10;
+  Word2Vec model10(10, cfg10);
+  const float tenth = model10.train(corpus);
+  EXPECT_LT(tenth, first);
+}
+
+TEST(Word2VecTest, CooccurringWordsEndUpSimilar) {
+  Word2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 12;
+  cfg.seed = 3;
+  std::vector<std::vector<int64_t>> corpus;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    if (rng.bernoulli(0.5f)) {
+      corpus.push_back({2, 3, 2, 3, 2, 3});
+    } else {
+      corpus.push_back({4, 5, 4, 5, 4, 5});
+    }
+  }
+  Word2Vec model(6, cfg);
+  model.train(corpus);
+  // Words in the same cluster should be more similar than across clusters.
+  EXPECT_GT(model.similarity(2, 3), model.similarity(2, 5));
+  EXPECT_GT(model.similarity(4, 5), model.similarity(4, 3));
+}
+
+TEST(Word2VecTest, MostSimilarExcludesSelfAndRespectsK) {
+  Word2VecConfig cfg;
+  cfg.dim = 8;
+  Word2Vec model(20, cfg);
+  const auto sims = model.most_similar(5, 3);
+  EXPECT_EQ(sims.size(), 3u);
+  for (int64_t id : sims) {
+    EXPECT_NE(id, 5);
+    EXPECT_GT(id, Vocab::kUnk);
+  }
+}
+
+TEST(Word2VecTest, PretrainGroundingEmbeddingsAlignsWithVocab) {
+  Vocab vocab = Vocab::grounding_vocab();
+  Word2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 2;
+  const Tensor emb = pretrain_grounding_embeddings(vocab, cfg,
+                                                   /*corpus_scenes=*/60);
+  EXPECT_EQ(emb.shape(), (Shape{vocab.size(), 16}));
+  // Colour words co-occur with shape nouns, so trained vectors must not be
+  // all-zero (they start near zero and move during training).
+  EXPECT_GT(max_value(abs(emb)), 0.05f);
+}
+
+}  // namespace
+}  // namespace yollo::word2vec
+
+// -- appended: persistence ----------------------------------------------------
+namespace yollo::word2vec {
+namespace {
+
+TEST(Word2VecTest, SaveLoadEmbeddingsRoundTrip) {
+  Rng rng(9);
+  const Tensor emb = Tensor::randn({12, 6}, rng);
+  const std::string path = ::testing::TempDir() + "/emb.bin";
+  save_embeddings(emb, path);
+  const Tensor back = load_embeddings(path);
+  EXPECT_EQ(back.shape(), emb.shape());
+  EXPECT_TRUE(allclose(back, emb));
+}
+
+TEST(Word2VecTest, LoadEmbeddingsRejectsMissingAndCorrupt) {
+  EXPECT_THROW(load_embeddings("/nonexistent/emb.bin"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/bad.bin";
+  { std::ofstream out(path, std::ios::binary); out << "xx"; }
+  EXPECT_THROW(load_embeddings(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace yollo::word2vec
