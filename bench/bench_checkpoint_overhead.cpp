@@ -1,0 +1,104 @@
+// Checkpoint overhead — what fault tolerance costs per training step.
+//
+// Trains the same small model three ways (no checkpointing, every 20 steps,
+// every 5 steps), reports seconds/step and the overhead percentage, plus
+// the raw save/load latency and on-disk size of one full-state checkpoint.
+// Also reports the stability counters now carried by TrainResult.
+#include <cstdio>
+#include <filesystem>
+
+#include "common.h"
+#include "eval/metrics.h"
+#include "optim/optim.h"
+#include "runtime/checkpoint.h"
+
+namespace yollo {
+namespace {
+
+struct RunStats {
+  double sec_per_step = 0.0;
+  core::TrainResult result;
+};
+
+RunStats timed_run(const data::GroundingDataset& dataset,
+                   const data::Vocab& vocab, int64_t checkpoint_every,
+                   const std::string& dir, int64_t steps) {
+  core::BuildOptions options;
+  options.config.num_rel2att = 2;
+  options.pretrain_embeddings = false;
+  auto model = core::build_yollo(dataset, vocab, options);
+
+  core::TrainConfig tc;
+  tc.epochs = 100000;  // step-capped
+  tc.max_steps = steps;
+  tc.batch_size = 16;
+  tc.checkpoint_every = checkpoint_every;
+  if (checkpoint_every > 0) tc.checkpoint_dir = dir;
+
+  RunStats stats;
+  stats.result = core::train_yollo(*model, dataset.train(), tc);
+  stats.sec_per_step =
+      stats.result.seconds / static_cast<double>(stats.result.steps);
+  return stats;
+}
+
+}  // namespace
+}  // namespace yollo
+
+int main() {
+  using namespace yollo;
+
+  const bench::BenchScale scale = bench::BenchScale::from_env();
+  const int64_t steps = scale.quick ? 60 : 200;
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(
+      bench::bench_dataset_config(0, scale), vocab);
+  const std::string dir = bench::cache_dir() + "/ckpt_overhead";
+
+  std::printf("== Checkpoint overhead (%lld steps, batch 16) ==\n",
+              static_cast<long long>(steps));
+
+  const RunStats base = timed_run(dataset, vocab, 0, dir, steps);
+  const RunStats sparse = timed_run(dataset, vocab, 20, dir, steps);
+  const RunStats dense = timed_run(dataset, vocab, 5, dir, steps);
+
+  auto report = [&](const char* name, const RunStats& s) {
+    std::printf(
+        "%-18s %8.2f ms/step  (+%5.1f%%)  final loss %.4f  "
+        "skipped %lld  rollbacks %lld\n",
+        name, s.sec_per_step * 1e3,
+        100.0 * (s.sec_per_step / base.sec_per_step - 1.0),
+        s.result.final_loss, static_cast<long long>(s.result.skipped_steps),
+        static_cast<long long>(s.result.rollbacks));
+  };
+  report("no checkpoints", base);
+  report("every 20 steps", sparse);
+  report("every 5 steps", dense);
+
+  // Raw save / load latency and file size for one full-state checkpoint.
+  core::BuildOptions options;
+  options.config.num_rel2att = 2;
+  options.pretrain_embeddings = false;
+  auto model = core::build_yollo(dataset, vocab, options);
+  optim::Adam adam(model->parameters(), 1e-3f);
+  runtime::CheckpointManager mgr(dir);
+  runtime::TrainState state;
+  state.step = steps;
+
+  eval::Stopwatch save_watch;
+  mgr.save(*model, adam, state);
+  const double save_ms = save_watch.elapsed_seconds() * 1e3;
+
+  eval::Stopwatch load_watch;
+  runtime::TrainState loaded;
+  mgr.load_latest(*model, adam, loaded);
+  const double load_ms = load_watch.elapsed_seconds() * 1e3;
+
+  const auto bytes = std::filesystem::file_size(mgr.latest_path());
+  std::printf(
+      "\ncheckpoint file: %.2f MiB  save %.2f ms  load %.2f ms  "
+      "(params %lld)\n",
+      static_cast<double>(bytes) / (1024.0 * 1024.0), save_ms, load_ms,
+      static_cast<long long>(model->parameter_count()));
+  return 0;
+}

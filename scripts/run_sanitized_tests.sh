@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Second ctest configuration: build in a separate tree with
+# AddressSanitizer + UndefinedBehaviorSanitizer and run the tier-1 suite.
+#
+#   scripts/run_sanitized_tests.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build-asan}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DYOLLO_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

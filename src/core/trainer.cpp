@@ -1,13 +1,29 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 
 #include "optim/optim.h"
+#include "runtime/checkpoint.h"
+#include "runtime/fault.h"
 #include "word2vec/word2vec.h"
 
 namespace yollo::core {
+namespace {
+
+// The batch stream must be a pure function of (seed, epoch) so that a run
+// resumed mid-epoch can regenerate the epoch's shuffle without replaying
+// every draw since step 0. The per-step loss RNG is separate (it lives in
+// the checkpoint as engine state).
+Rng epoch_batch_rng(uint64_t seed, int64_t epoch) {
+  return Rng(seed ^ (0x9e3779b97f4a7c15ULL *
+                     static_cast<uint64_t>(epoch + 1)));
+}
+
+}  // namespace
 
 TrainResult train_yollo(YolloModel& model,
                         const std::vector<data::GroundingSample>& samples,
@@ -20,73 +36,158 @@ TrainResult train_yollo(YolloModel& model,
   auto params = model.parameters();
   optim::Adam adam(params, config.lr);
 
-  // Cosine decay with a short warmup over the planned step budget.
+  // Cosine decay with a short warmup over the planned step budget. Warmup
+  // is clamped to [1, total_steps] so very short runs (under 10 steps)
+  // still ramp instead of getting a zero-length warmup.
   const int64_t steps_per_epoch =
       (static_cast<int64_t>(samples.size()) + config.batch_size - 1) /
       config.batch_size;
   int64_t total_steps = config.epochs * steps_per_epoch;
   if (config.max_steps > 0) total_steps = std::min(total_steps, config.max_steps);
-  const optim::CosineSchedule schedule(config.lr,
-                                       std::min<int64_t>(20, total_steps / 10),
-                                       total_steps);
+  const int64_t warmup_steps = std::min(
+      total_steps,
+      std::max<int64_t>(1, std::min<int64_t>(20, total_steps / 10)));
+  const optim::CosineSchedule schedule(config.lr, warmup_steps, total_steps);
+
+  std::unique_ptr<runtime::CheckpointManager> ckpt;
+  if (!config.checkpoint_dir.empty()) {
+    ckpt = std::make_unique<runtime::CheckpointManager>(config.checkpoint_dir);
+  }
+  runtime::FaultInjector& faults = runtime::FaultInjector::instance();
 
   TrainResult result;
-  eval::Stopwatch watch;
-  int64_t step = 0;
-  bool done = false;
-  for (int64_t epoch = 0; epoch < config.epochs && !done; ++epoch) {
-    const auto batches = data::make_batches(
-        static_cast<int64_t>(samples.size()), config.batch_size, rng);
-    for (const std::vector<int64_t>& batch : batches) {
-      const Tensor images = data::render_batch(samples, batch);
-      const std::vector<int64_t> tokens = data::batch_tokens(
-          samples, batch, model.config().max_query_len);
-      std::vector<vision::Box> targets;
-      targets.reserve(batch.size());
-      for (int64_t idx : batch) {
-        targets.push_back(samples[static_cast<size_t>(idx)].target_box());
+  int64_t step = 0;  // global step = index into the (seed-pure) batch stream
+  if (ckpt && config.resume) {
+    runtime::TrainState state;
+    std::string which;
+    if (ckpt->load_latest(model, adam, state, &which)) {
+      rng = state.rng;
+      step = state.step;
+      result.resumed = true;
+      result.start_step = step;
+      if (config.verbose) {
+        std::printf("resumed from %s at step %lld\n", which.c_str(),
+                    static_cast<long long>(step));
       }
+    }
+  }
 
-      adam.zero_grad();
-      adam.set_lr(schedule.lr_at(step));
-      const YolloModel::Output out = model.forward(images, tokens);
-      const YolloModel::Losses losses =
-          model.compute_loss(out, targets, rng);
+  eval::Stopwatch watch;
+  std::vector<std::vector<int64_t>> batches;
+  int64_t batches_epoch = -1;
+  int64_t bad_streak = 0;
+  // Replay after a rollback is bit-exact, so a deterministic divergence
+  // would recur at the same step; each rollback must therefore fire at a
+  // strictly later step than the last, or we skip forward instead.
+  int64_t last_rollback_step = -1;
+  float last_loss = 0.0f;
+  while (step < total_steps) {
+    const int64_t epoch = step / steps_per_epoch;
+    if (epoch != batches_epoch) {
+      Rng brng = epoch_batch_rng(config.seed, epoch);
+      batches = data::make_batches(static_cast<int64_t>(samples.size()),
+                                   config.batch_size, brng);
+      batches_epoch = epoch;
+    }
+    faults.check_halt(step);
+    const std::vector<int64_t>& batch =
+        batches[static_cast<size_t>(step % steps_per_epoch)];
+    const Tensor images = data::render_batch(samples, batch);
+    const std::vector<int64_t> tokens = data::batch_tokens(
+        samples, batch, model.config().max_query_len);
+    std::vector<vision::Box> targets;
+    targets.reserve(batch.size());
+    for (int64_t idx : batch) {
+      targets.push_back(samples[static_cast<size_t>(idx)].target_box());
+    }
+
+    adam.zero_grad();
+    adam.set_lr(schedule.lr_at(step));
+    const YolloModel::Output out = model.forward(images, tokens);
+    const YolloModel::Losses losses = model.compute_loss(out, targets, rng);
+    const float total_val =
+        faults.filter_loss(losses.total.value().item(), step);
+
+    // Divergence guard: never backprop a non-finite loss, never apply a
+    // non-finite or exploding gradient. A bad step is skipped (Adam state
+    // untouched); a streak of them triggers a rollback to the last intact
+    // checkpoint rather than continuing from a possibly-poisoned state.
+    bool bad = !std::isfinite(total_val);
+    if (!bad) {
       losses.total.backward();
-      adam.clip_grad_norm(config.grad_clip);
-      adam.step();
-      ++step;
-
-      if (step % config.log_every == 0 || step == 1) {
-        CurvePoint point;
-        point.step = step;
-        point.total = losses.total.value().item();
-        point.att = losses.att.value().item();
-        point.cls = losses.cls.value().item();
-        point.reg = losses.reg.value().item();
-        result.curve.push_back(point);
-        if (config.verbose) {
-          std::printf(
-              "step %5lld  total %.4f  att %.4f  cls %.4f  reg %.4f\n",
-              static_cast<long long>(step), point.total, point.att, point.cls,
-              point.reg);
-          std::fflush(stdout);
+      const float norm = adam.clip_grad_norm(config.grad_clip);
+      bad = !std::isfinite(norm) || norm > config.explode_norm;
+    }
+    if (bad) {
+      ++result.skipped_steps;
+      ++bad_streak;
+      adam.zero_grad();
+      if (config.verbose) {
+        std::printf("step %5lld  divergence guard: skipped (streak %lld)\n",
+                    static_cast<long long>(step + 1),
+                    static_cast<long long>(bad_streak));
+      }
+      if (bad_streak >= config.divergence_patience && ckpt &&
+          ckpt->has_checkpoint() && step > last_rollback_step) {
+        runtime::TrainState state;
+        std::string which;
+        if (ckpt->load_latest(model, adam, state, &which)) {
+          last_rollback_step = step;
+          rng = state.rng;
+          step = state.step;
+          batches_epoch = -1;  // epoch shuffle must be regenerated
+          ++result.rollbacks;
+          bad_streak = 0;
+          if (config.verbose) {
+            std::printf("divergence guard: rolled back to %s (step %lld)\n",
+                        which.c_str(), static_cast<long long>(step));
+          }
+          continue;
         }
       }
-      if (config.max_steps > 0 && step >= config.max_steps) {
-        done = true;
-        break;
+      ++step;
+      continue;
+    }
+    bad_streak = 0;
+    adam.step();
+    ++step;
+    last_loss = total_val;
+
+    if (step % config.log_every == 0 || step == 1) {
+      CurvePoint point;
+      point.step = step;
+      point.total = total_val;
+      point.att = losses.att.value().item();
+      point.cls = losses.cls.value().item();
+      point.reg = losses.reg.value().item();
+      result.curve.push_back(point);
+      if (config.verbose) {
+        std::printf(
+            "step %5lld  total %.4f  att %.4f  cls %.4f  reg %.4f\n",
+            static_cast<long long>(step), point.total, point.att, point.cls,
+            point.reg);
+        std::fflush(stdout);
       }
+    }
+    if (ckpt && config.checkpoint_every > 0 &&
+        step % config.checkpoint_every == 0) {
+      runtime::TrainState state;
+      state.step = step;
+      state.epoch = step / steps_per_epoch;
+      state.rng = rng;
+      ckpt->save(model, adam, state);
     }
   }
   result.seconds = watch.elapsed_seconds();
   result.steps = step;
+  result.final_loss = last_loss;
   return result;
 }
 
 std::vector<eval::Prediction> evaluate_yollo(
     YolloModel& model, const std::vector<data::GroundingSample>& samples,
     int64_t batch_size) {
+  const bool was_training = model.training();
   model.set_training(false);
   std::vector<eval::Prediction> preds;
   preds.reserve(samples.size());
@@ -105,7 +206,7 @@ std::vector<eval::Prediction> evaluate_yollo(
            samples[static_cast<size_t>(indices[i])].target_box()});
     }
   }
-  model.set_training(true);
+  model.set_training(was_training);
   return preds;
 }
 
@@ -113,6 +214,7 @@ void recalibrate_batchnorm(YolloModel& model,
                            const std::vector<data::GroundingSample>& samples,
                            int64_t batches, int64_t batch_size) {
   Rng rng(4242);
+  const bool was_training = model.training();
   model.set_training(true);
   const auto batch_lists = data::make_batches(
       static_cast<int64_t>(samples.size()), batch_size, rng);
@@ -124,7 +226,7 @@ void recalibrate_batchnorm(YolloModel& model,
         samples, batch_lists[i], model.config().max_query_len);
     model.forward(images, tokens);  // training-mode pass updates BN stats
   }
-  model.set_training(false);
+  model.set_training(was_training);
 }
 
 std::unique_ptr<YolloModel> build_yollo(const data::GroundingDataset& dataset,

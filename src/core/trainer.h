@@ -23,6 +23,27 @@ struct TrainConfig {
   int64_t log_every = 5;   // curve sampling period in steps
   uint64_t seed = 99;
   bool verbose = false;
+
+  // --- fault tolerance (see runtime/checkpoint.h) ---------------------------
+  // Directory for atomic full-state checkpoints; empty disables
+  // checkpointing entirely.
+  std::string checkpoint_dir;
+  // Write a checkpoint every N steps (0 = never, even when a dir is set —
+  // the dir is then only used for divergence rollbacks, if one was written
+  // by an earlier run).
+  int64_t checkpoint_every = 0;
+  // Resume from the newest intact checkpoint in checkpoint_dir (falls back
+  // to `previous` when `latest` is corrupt; starts fresh when neither
+  // loads). Resumption is bit-exact: model, Adam moments, RNG stream, and
+  // step/epoch counters all restore.
+  bool resume = false;
+  // Divergence guard: a step whose loss is non-finite or whose pre-clip
+  // gradient norm is non-finite or above `explode_norm` is skipped (no
+  // optimiser update). After `divergence_patience` consecutive bad steps
+  // the run rolls back to the last checkpoint instead of continuing from a
+  // possibly-poisoned state.
+  float explode_norm = 1e6f;
+  int64_t divergence_patience = 3;
 };
 
 // One point of the Figure-4 training curve.
@@ -38,6 +59,12 @@ struct TrainResult {
   std::vector<CurvePoint> curve;
   double seconds = 0.0;
   int64_t steps = 0;
+  // --- training stability (reported by benches alongside speed) -------------
+  float final_loss = 0.0f;    // total loss of the last applied step
+  int64_t skipped_steps = 0;  // steps rejected by the divergence guard
+  int64_t rollbacks = 0;      // checkpoint rollbacks the guard triggered
+  bool resumed = false;       // run continued from a checkpoint
+  int64_t start_step = 0;     // first step of this run (> 0 when resumed)
 };
 
 // Train the model on a sample list (typically dataset.train()).

@@ -1,6 +1,5 @@
 #include "nn/module.h"
 
-#include <fstream>
 #include <stdexcept>
 
 namespace yollo::nn {
@@ -73,75 +72,69 @@ void Module::register_module(std::string name, Module& child) {
   children_.push_back({std::move(name), &child});
 }
 
-void save_parameters(Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+void write_module_state(io::PayloadWriter& writer, Module& module) {
   const auto params = module.parameters();
-  const int64_t count = static_cast<int64_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  writer.write_pod<int64_t>(static_cast<int64_t>(params.size()));
   for (ag::Variable* p : params) {
-    const int64_t n = p->numel();
-    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    out.write(reinterpret_cast<const char*>(p->value().data()),
-              static_cast<std::streamsize>(n * sizeof(float)));
+    writer.write_pod<int64_t>(p->numel());
+    writer.write(p->value().data(),
+                 static_cast<size_t>(p->numel()) * sizeof(float));
   }
-  // Buffer section (running statistics etc.); optional on read so files
-  // from before this section existed stay loadable.
   const auto buffers = module.named_buffers();
-  const int64_t buffer_count = static_cast<int64_t>(buffers.size());
-  out.write(reinterpret_cast<const char*>(&buffer_count),
-            sizeof(buffer_count));
+  writer.write_pod<int64_t>(static_cast<int64_t>(buffers.size()));
   for (const Module::NamedBuffer& b : buffers) {
-    const int64_t n = b.buffer->numel();
-    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    out.write(reinterpret_cast<const char*>(b.buffer->data()),
-              static_cast<std::streamsize>(n * sizeof(float)));
+    writer.write_pod<int64_t>(b.buffer->numel());
+    writer.write(b.buffer->data(),
+                 static_cast<size_t>(b.buffer->numel()) * sizeof(float));
   }
 }
 
-bool load_parameters(Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+bool read_module_state(io::PayloadReader& reader, Module& module,
+                       const std::string& context) {
   const auto params = module.parameters();
-  int64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const int64_t count = reader.read_pod<int64_t>();
   if (count != static_cast<int64_t>(params.size())) {
-    throw std::runtime_error("load_parameters: parameter count mismatch in " +
-                             path);
+    throw std::runtime_error(context + ": parameter count mismatch (file " +
+                             std::to_string(count) + ", module " +
+                             std::to_string(params.size()) + ")");
   }
   for (ag::Variable* p : params) {
-    int64_t n = 0;
-    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    const int64_t n = reader.read_pod<int64_t>();
     if (n != p->numel()) {
-      throw std::runtime_error("load_parameters: tensor size mismatch in " +
-                               path);
+      throw std::runtime_error(context + ": tensor size mismatch");
     }
-    in.read(reinterpret_cast<char*>(p->value().data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
+    reader.read(p->value().data(), static_cast<size_t>(n) * sizeof(float));
   }
-  if (!in) throw std::runtime_error("load_parameters: truncated file " + path);
 
-  // Optional buffer section.
-  int64_t buffer_count = 0;
-  in.read(reinterpret_cast<char*>(&buffer_count), sizeof(buffer_count));
-  if (!in) return false;  // legacy file: parameters only
+  // Buffer section: always present in versioned payloads, optional (by
+  // end-of-payload) in legacy ones.
+  if (reader.legacy() && reader.at_end()) return false;
+  const int64_t buffer_count = reader.read_pod<int64_t>();
   const auto buffers = module.named_buffers();
   if (buffer_count != static_cast<int64_t>(buffers.size())) {
-    throw std::runtime_error("load_parameters: buffer count mismatch in " +
-                             path);
+    throw std::runtime_error(context + ": buffer count mismatch (file " +
+                             std::to_string(buffer_count) + ", module " +
+                             std::to_string(buffers.size()) + ")");
   }
   for (const Module::NamedBuffer& b : buffers) {
-    int64_t n = 0;
-    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    const int64_t n = reader.read_pod<int64_t>();
     if (n != b.buffer->numel()) {
-      throw std::runtime_error("load_parameters: buffer size mismatch in " +
-                               path);
+      throw std::runtime_error(context + ": buffer size mismatch");
     }
-    in.read(reinterpret_cast<char*>(b.buffer->data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
+    reader.read(b.buffer->data(), static_cast<size_t>(n) * sizeof(float));
   }
-  if (!in) throw std::runtime_error("load_parameters: truncated file " + path);
   return true;
+}
+
+void save_parameters(Module& module, const std::string& path) {
+  io::PayloadWriter writer;
+  write_module_state(writer, module);
+  writer.commit(path, kParamsMagic, kParamsVersion);
+}
+
+bool load_parameters(Module& module, const std::string& path) {
+  io::PayloadReader reader(path, kParamsMagic, kParamsVersion);
+  return read_module_state(reader, module, "load_parameters: " + path);
 }
 
 }  // namespace yollo::nn

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "tensor/serialize.h"
 
 namespace yollo::nn {
 
@@ -81,13 +82,30 @@ class Module {
                        std::vector<NamedBuffer>& out);
 };
 
-// Serialise / restore all parameters AND registered buffers of a module to a
-// flat binary file (count + per-tensor numel + raw float data for each
-// section). Files written before buffers existed load cleanly: the buffer
-// section is optional on read (the caller should then recalibrate
-// statistics, e.g. with core::recalibrate_batchnorm).
-// Returns true when the file contained a buffer section.
+// Module-state payload layout (count + per-tensor numel + raw float data
+// for the parameter section, then the same for the buffer section).
+// Exposed so runtime checkpoints can embed a module's state inside a larger
+// bundle; save_parameters/load_parameters wrap these with a standalone file.
+void write_module_state(io::PayloadWriter& writer, Module& module);
+// Returns true when the payload contained a buffer section (legacy payloads
+// written before buffers existed end after the parameters).
+bool read_module_state(io::PayloadReader& reader, Module& module,
+                       const std::string& context);
+
+// Serialise / restore all parameters AND registered buffers of a module.
+// Files carry the io container header (magic "YLPM", format version, CRC-32
+// over the payload) and are published atomically via temp-file + rename;
+// loads reject truncated, corrupted, or newer-versioned files with
+// descriptive errors. Headerless files from before versioning land on a
+// legacy fallback path and stay loadable (their optional buffer section is
+// detected by end-of-file, as before; the caller should recalibrate
+// statistics when absent, e.g. with core::recalibrate_batchnorm).
+// load_parameters returns true when the file contained a buffer section.
 void save_parameters(Module& module, const std::string& path);
 bool load_parameters(Module& module, const std::string& path);
+
+// Format constants for the parameters file (exposed for tests).
+inline constexpr uint32_t kParamsMagic = 0x4D504C59u;  // "YLPM"
+inline constexpr uint32_t kParamsVersion = 2;
 
 }  // namespace yollo::nn

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace yollo::optim {
 
@@ -94,6 +96,38 @@ void Adam::step() {
       w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::save_state(io::PayloadWriter& writer) const {
+  writer.write_pod<int64_t>(t_);
+  writer.write_pod<int64_t>(static_cast<int64_t>(m_.size()));
+  for (size_t i = 0; i < m_.size(); ++i) {
+    writer.write_pod<int64_t>(m_[i].numel());
+    writer.write(m_[i].data(),
+                 static_cast<size_t>(m_[i].numel()) * sizeof(float));
+    writer.write(v_[i].data(),
+                 static_cast<size_t>(v_[i].numel()) * sizeof(float));
+  }
+}
+
+void Adam::load_state(io::PayloadReader& reader) {
+  const int64_t t = reader.read_pod<int64_t>();
+  const int64_t count = reader.read_pod<int64_t>();
+  if (count != static_cast<int64_t>(m_.size())) {
+    throw std::runtime_error(
+        "Adam::load_state: moment count mismatch (state " +
+        std::to_string(count) + ", optimiser " + std::to_string(m_.size()) +
+        ")");
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    const int64_t n = reader.read_pod<int64_t>();
+    if (n != m_[i].numel()) {
+      throw std::runtime_error("Adam::load_state: moment size mismatch");
+    }
+    reader.read(m_[i].data(), static_cast<size_t>(n) * sizeof(float));
+    reader.read(v_[i].data(), static_cast<size_t>(n) * sizeof(float));
+  }
+  t_ = t;
 }
 
 CosineSchedule::CosineSchedule(float base_lr, int64_t warmup_steps,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "tensor/serialize.h"
 
 namespace yollo::optim {
 
@@ -55,6 +56,13 @@ class Adam : public Optimizer {
   void step() override;
 
   int64_t step_count() const { return t_; }
+
+  // Stream the full optimiser state (step count + first/second moments)
+  // into / out of a checkpoint payload. load_state validates that the
+  // moment shapes match this optimiser's parameters and restores bit-exact:
+  // an Adam rebuilt from a saved state produces identical updates.
+  void save_state(io::PayloadWriter& writer) const;
+  void load_state(io::PayloadReader& reader);
 
  private:
   float beta1_;

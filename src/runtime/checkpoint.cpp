@@ -1,0 +1,76 @@
+#include "runtime/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "tensor/serialize.h"
+
+namespace yollo::runtime {
+
+CheckpointManager::CheckpointManager(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+void CheckpointManager::save(nn::Module& model, const optim::Adam& adam,
+                             const TrainState& state) {
+  io::PayloadWriter writer;
+  writer.write_pod<int64_t>(state.step);
+  writer.write_pod<int64_t>(state.epoch);
+  writer.write_string(state.rng.state());
+  nn::write_module_state(writer, model);
+  adam.save_state(writer);
+
+  // Stage the new checkpoint fully before touching the rotation; a crash
+  // inside commit() leaves latest/previous untouched.
+  const std::string staged = dir_ + "/ckpt.staged";
+  writer.commit(staged, kCheckpointMagic, kCheckpointVersion);
+
+  // latest -> previous (nothing to rotate on the first save). Between the
+  // two renames only `previous` exists, which load_latest handles.
+  std::rename(latest_path().c_str(), previous_path().c_str());
+  if (std::rename(staged.c_str(), latest_path().c_str()) != 0) {
+    throw std::runtime_error("CheckpointManager: rename " + staged + " -> " +
+                             latest_path() + " failed");
+  }
+}
+
+bool CheckpointManager::load_latest(nn::Module& model, optim::Adam& adam,
+                                    TrainState& state,
+                                    std::string* which) const {
+  for (const std::string& path : {latest_path(), previous_path()}) {
+    try {
+      load_file(path, model, adam, state);
+      if (which) *which = path;
+      return true;
+    } catch (const std::exception&) {
+      // Missing or failed integrity checks; fall through to the older one.
+    }
+  }
+  return false;
+}
+
+bool CheckpointManager::has_checkpoint() const {
+  return std::filesystem::exists(latest_path()) ||
+         std::filesystem::exists(previous_path());
+}
+
+void CheckpointManager::load_file(const std::string& path, nn::Module& model,
+                                  optim::Adam& adam, TrainState& state) {
+  io::PayloadReader reader(path, kCheckpointMagic, kCheckpointVersion);
+  if (reader.legacy()) {
+    throw std::runtime_error("checkpoint " + path +
+                             " has no YLCK header (not a checkpoint file)");
+  }
+  state.step = reader.read_pod<int64_t>();
+  state.epoch = reader.read_pod<int64_t>();
+  state.rng.set_state(reader.read_string());
+  nn::read_module_state(reader, model, "checkpoint " + path);
+  adam.load_state(reader);
+  if (!reader.at_end()) {
+    throw std::runtime_error("checkpoint " + path +
+                             " has trailing bytes (corrupt)");
+  }
+}
+
+}  // namespace yollo::runtime

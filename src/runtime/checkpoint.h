@@ -1,0 +1,73 @@
+// Atomic full-state training checkpoints.
+//
+// A checkpoint is one file bundling everything needed to resume training
+// bit-exact: model parameters + buffers (BatchNorm running statistics),
+// Adam first/second moments and step count, the training RNG engine state,
+// and the global step/epoch counters. Files use the io container layout
+// (magic "YLCK", version, CRC-32 over the payload) and are written to a
+// temp file then rename()d, so a crash mid-write never corrupts anything
+// already on disk.
+//
+// The manager keeps a two-deep rotation inside `dir`:
+//
+//   save():  write ckpt.tmp fully  ->  latest.ckpt becomes previous.ckpt
+//            ->  ckpt.tmp becomes latest.ckpt
+//
+// A crash at any point leaves at least one intact checkpoint: mid-write
+// kills only the tmp file; between the renames, `previous` still holds the
+// last good state. load_latest() mirrors that: it tries `latest`, and on
+// any integrity failure (missing, truncated, CRC mismatch, wrong version)
+// falls back to `previous`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.h"
+#include "optim/optim.h"
+#include "tensor/random.h"
+
+namespace yollo::runtime {
+
+inline constexpr uint32_t kCheckpointMagic = 0x4B434C59u;  // "YLCK"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+// Mutable training state a checkpoint captures besides the model weights.
+struct TrainState {
+  int64_t step = 0;
+  int64_t epoch = 0;
+  Rng rng;
+};
+
+class CheckpointManager {
+ public:
+  // `dir` is created (recursively) if missing.
+  explicit CheckpointManager(std::string dir);
+
+  std::string latest_path() const { return dir_ + "/latest.ckpt"; }
+  std::string previous_path() const { return dir_ + "/previous.ckpt"; }
+
+  // Atomically write a checkpoint and rotate latest -> previous.
+  void save(nn::Module& model, const optim::Adam& adam,
+            const TrainState& state);
+
+  // Restore from the newest intact checkpoint (latest, else previous).
+  // Returns false when neither exists or is readable; `which`, when
+  // non-null, receives the path actually loaded.
+  bool load_latest(nn::Module& model, optim::Adam& adam, TrainState& state,
+                   std::string* which = nullptr) const;
+
+  // True when at least one checkpoint file exists on disk (it may still
+  // fail integrity checks at load time).
+  bool has_checkpoint() const;
+
+  // Restore from one specific file; throws std::runtime_error on missing /
+  // truncated / corrupt / wrong-version files.
+  static void load_file(const std::string& path, nn::Module& model,
+                        optim::Adam& adam, TrainState& state);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace yollo::runtime

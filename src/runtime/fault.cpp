@@ -1,0 +1,77 @@
+#include "runtime/fault.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "tensor/serialize.h"
+
+namespace yollo::runtime {
+namespace {
+
+int64_t env_int(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  Config config;
+  config.crash_write_after_bytes =
+      env_int("YOLLO_FAULT_CRASH_WRITE_BYTES", -1);
+  config.halt_at_step = env_int("YOLLO_FAULT_HALT_STEP", -1);
+  config.poison_loss_at_step = env_int("YOLLO_FAULT_POISON_STEP", -1);
+  config.poison_count = env_int("YOLLO_FAULT_POISON_COUNT", 1);
+  configure(config);
+}
+
+void FaultInjector::configure(const Config& config) {
+  config_ = config;
+  poisons_fired_ = 0;
+  max_poisoned_step_ = -1;
+  if (config_.crash_write_after_bytes >= 0) {
+    install_write_hook();
+  } else {
+    io::set_write_fault_hook(nullptr);
+  }
+}
+
+void FaultInjector::reset() { configure(Config{}); }
+
+void FaultInjector::install_write_hook() {
+  io::set_write_fault_hook([this](size_t written, size_t) {
+    if (config_.crash_write_after_bytes < 0) return;
+    if (static_cast<int64_t>(written) >= config_.crash_write_after_bytes) {
+      config_.crash_write_after_bytes = -1;  // one-shot
+      throw InjectedFault("crash during serialisation after " +
+                          std::to_string(written) + " payload bytes");
+    }
+  });
+}
+
+void FaultInjector::check_halt(int64_t step) {
+  if (config_.halt_at_step >= 0 && step == config_.halt_at_step) {
+    config_.halt_at_step = -1;  // one-shot
+    throw InjectedFault("training halted at step " + std::to_string(step));
+  }
+}
+
+float FaultInjector::filter_loss(float loss, int64_t step) {
+  if (config_.poison_loss_at_step < 0) return loss;
+  if (step < config_.poison_loss_at_step) return loss;
+  if (poisons_fired_ >= config_.poison_count) return loss;
+  // Each step poisons at most once: a rollback that replays this step must
+  // see the true loss, otherwise the run could never make progress.
+  if (step <= max_poisoned_step_) return loss;
+  ++poisons_fired_;
+  max_poisoned_step_ = step;
+  return std::numeric_limits<float>::quiet_NaN();
+}
+
+}  // namespace yollo::runtime

@@ -1,0 +1,82 @@
+// Fault injection for crash-safety testing.
+//
+// A process-wide FaultInjector lets tests (and manual chaos runs via
+// environment variables) inject three failure classes into the training
+// stack without patching any production code path:
+//
+//   - crash mid-write:  kills serialisation after N payload bytes, proving
+//                       that atomic commit + checkpoint rotation never lose
+//                       the last good file;
+//   - halt at step:     aborts train_yollo at a chosen global step, standing
+//                       in for SIGKILL between two checkpoints;
+//   - poison loss:      replaces the training loss with NaN for a chosen
+//                       number of steps, exercising the divergence guard and
+//                       checkpoint rollback.
+//
+// Injected failures surface as InjectedFault so tests can distinguish them
+// from genuine errors. All faults are disarmed by default; configure()
+// or the YOLLO_FAULT_* environment variables arm them.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace yollo::runtime {
+
+// Thrown at every injection point; stands in for the process dying.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error("injected fault: " + what) {}
+};
+
+class FaultInjector {
+ public:
+  struct Config {
+    // Throw from inside serialisation once this many payload bytes have
+    // been written (one-shot). -1 = disarmed.
+    int64_t crash_write_after_bytes = -1;
+    // Throw from train_yollo when the run reaches this global step
+    // (one-shot). -1 = disarmed.
+    int64_t halt_at_step = -1;
+    // Starting at this global step, report the loss as NaN for
+    // `poison_count` steps (each step fires at most once, so a rollback
+    // that replays the step sees the true loss). -1 = disarmed.
+    int64_t poison_loss_at_step = -1;
+    int64_t poison_count = 1;
+  };
+
+  // Process-wide instance. On first access, faults named in the
+  // environment (YOLLO_FAULT_CRASH_WRITE_BYTES, YOLLO_FAULT_HALT_STEP,
+  // YOLLO_FAULT_POISON_STEP, YOLLO_FAULT_POISON_COUNT) are armed.
+  static FaultInjector& instance();
+
+  // Arm the given faults (replaces the current config and re-installs or
+  // removes the io write hook as needed).
+  void configure(const Config& config);
+
+  // Disarm everything and detach from the io layer.
+  void reset();
+
+  // Called by train_yollo before processing a step; throws InjectedFault
+  // when the halt fault is armed for this step.
+  void check_halt(int64_t step);
+
+  // Called by train_yollo with each step's loss; returns NaN while the
+  // poison fault is armed for this step (consuming one shot), otherwise
+  // returns `loss` unchanged.
+  float filter_loss(float loss, int64_t step);
+
+  const Config& config() const { return config_; }
+
+ private:
+  FaultInjector();
+  void install_write_hook();
+
+  Config config_;
+  int64_t poisons_fired_ = 0;
+  int64_t max_poisoned_step_ = -1;  // steps <= this have already fired
+};
+
+}  // namespace yollo::runtime

@@ -1,5 +1,8 @@
 #include "tensor/random.h"
 
+#include <sstream>
+#include <stdexcept>
+
 namespace yollo {
 
 float Rng::uniform(float lo, float hi) {
@@ -27,6 +30,20 @@ Rng Rng::fork() {
   const uint64_t a = engine_();
   const uint64_t b = engine_();
   return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+std::string Rng::state() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+void Rng::set_state(const std::string& state) {
+  std::istringstream in(state);
+  in >> engine_;
+  if (in.fail()) {
+    throw std::runtime_error("Rng::set_state: malformed engine state");
+  }
 }
 
 }  // namespace yollo

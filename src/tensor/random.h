@@ -35,6 +35,11 @@ class Rng {
   // to give each dataset/model component its own stream from one root seed.
   Rng fork();
 
+  // Full engine state as a portable text snapshot / restore, so training
+  // checkpoints can resume the exact random stream bit-for-bit.
+  std::string state() const;
+  void set_state(const std::string& state);
+
  private:
   std::mt19937_64 engine_;
 };

@@ -1,0 +1,161 @@
+#include "tensor/serialize.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace yollo::io {
+namespace {
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+WriteFaultHook& fault_hook() {
+  static WriteFaultHook hook;
+  return hook;
+}
+
+// Container header. Serialised field-by-field (not as a struct) so padding
+// can never leak into the format.
+constexpr size_t kHeaderSize =
+    sizeof(uint32_t) * 2 + sizeof(uint64_t) + sizeof(uint32_t);
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void set_write_fault_hook(WriteFaultHook hook) {
+  fault_hook() = std::move(hook);
+}
+
+void PayloadWriter::write(const void* data, size_t len) {
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+void PayloadWriter::write_string(const std::string& s) {
+  write_pod<uint64_t>(s.size());
+  write(s.data(), s.size());
+}
+
+void PayloadWriter::commit(const std::string& path, uint32_t magic,
+                           uint32_t version) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("PayloadWriter: cannot open " + tmp);
+    }
+    const uint64_t payload_size = buf_.size();
+    const uint32_t crc = crc32(buf_.data(), buf_.size());
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&payload_size),
+              sizeof(payload_size));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    // Chunked payload writes so the fault hook can kill us at a chosen
+    // offset, exactly like a real mid-file crash.
+    constexpr size_t kChunk = 4096;
+    size_t written = 0;
+    while (written < buf_.size()) {
+      if (fault_hook()) fault_hook()(written, buf_.size());
+      const size_t n = std::min(kChunk, buf_.size() - written);
+      out.write(buf_.data() + written, static_cast<std::streamsize>(n));
+      written += n;
+    }
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("PayloadWriter: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("PayloadWriter: rename " + tmp + " -> " + path +
+                             " failed");
+  }
+}
+
+PayloadReader::PayloadReader(const std::string& path, uint32_t magic,
+                             uint32_t max_version)
+    : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("PayloadReader: cannot open " + path);
+  }
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  uint32_t file_magic = 0;
+  if (file.size() >= sizeof(file_magic)) {
+    std::memcpy(&file_magic, file.data(), sizeof(file_magic));
+  }
+  if (file_magic != magic) {
+    // Headerless legacy file: the whole byte stream is the payload and the
+    // caller's legacy parsing path takes over. No integrity check possible.
+    legacy_ = true;
+    payload_ = std::move(file);
+    return;
+  }
+  if (file.size() < kHeaderSize) {
+    throw std::runtime_error("PayloadReader: truncated header in " + path);
+  }
+  uint64_t payload_size = 0;
+  uint32_t crc = 0;
+  std::memcpy(&version_, file.data() + 4, sizeof(version_));
+  std::memcpy(&payload_size, file.data() + 8, sizeof(payload_size));
+  std::memcpy(&crc, file.data() + 16, sizeof(crc));
+  if (version_ == 0 || version_ > max_version) {
+    throw std::runtime_error(
+        "PayloadReader: " + path + " has format version " +
+        std::to_string(version_) + " but this build supports at most " +
+        std::to_string(max_version));
+  }
+  if (file.size() - kHeaderSize != payload_size) {
+    throw std::runtime_error(
+        "PayloadReader: " + path + " is truncated or padded (header claims " +
+        std::to_string(payload_size) + " payload bytes, file holds " +
+        std::to_string(file.size() - kHeaderSize) + ")");
+  }
+  payload_ = file.substr(kHeaderSize);
+  if (crc32(payload_.data(), payload_.size()) != crc) {
+    throw std::runtime_error("PayloadReader: CRC mismatch in " + path +
+                             " (file is corrupt)");
+  }
+}
+
+void PayloadReader::read(void* out, size_t len) {
+  if (pos_ + len > payload_.size()) {
+    throw std::runtime_error("PayloadReader: truncated payload in " + path_);
+  }
+  std::memcpy(out, payload_.data() + pos_, len);
+  pos_ += len;
+}
+
+std::string PayloadReader::read_string() {
+  const uint64_t n = read_pod<uint64_t>();
+  if (pos_ + n > payload_.size()) {
+    throw std::runtime_error("PayloadReader: truncated payload in " + path_);
+  }
+  std::string s = payload_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace yollo::io

@@ -1,0 +1,95 @@
+// Versioned, integrity-checked binary serialisation primitives.
+//
+// Every on-disk artifact in the repository (module parameters, Word2Vec
+// embeddings, training checkpoints) shares one container layout:
+//
+//   [u32 magic][u32 version][u64 payload_size][u32 crc32][payload bytes]
+//
+// The 20-byte header carries a per-format magic number, a format version,
+// the exact payload length, and a CRC-32 (IEEE 802.3) over the payload.
+// Readers reject truncated files, payload corruption, and versions newer
+// than they understand with descriptive errors — and fall back to treating
+// the whole file as a headerless payload when the magic is absent, which
+// keeps legacy (pre-header) files loadable.
+//
+// Writers buffer the payload in memory and publish it atomically: bytes go
+// to `<path>.tmp` and the file is rename()d into place only after a clean
+// flush, so a crash mid-write can never destroy an existing good file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace yollo::io {
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected). `crc` chains
+// incremental computations; pass the previous return value.
+uint32_t crc32(const void* data, size_t len, uint32_t crc = 0);
+
+// Fault-injection hook for crash testing: invoked before each low-level
+// chunk write with (payload bytes already written, total payload bytes).
+// A throwing hook simulates the process dying mid-write. Installed by
+// runtime::FaultInjector; pass nullptr to disable.
+using WriteFaultHook = std::function<void(size_t written, size_t total)>;
+void set_write_fault_hook(WriteFaultHook hook);
+
+// Accumulates a payload in memory, then atomically publishes it under the
+// container header via temp-file + rename.
+class PayloadWriter {
+ public:
+  void write(const void* data, size_t len);
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(&value, sizeof(value));
+  }
+  void write_string(const std::string& s);
+
+  size_t size() const { return buf_.size(); }
+  const std::string& payload() const { return buf_; }
+
+  // Write header + payload + CRC to `path + ".tmp"`, then rename into
+  // place. Throws std::runtime_error on any I/O failure (the target file,
+  // if it existed, is left untouched).
+  void commit(const std::string& path, uint32_t magic,
+              uint32_t version) const;
+
+ private:
+  std::string buf_;
+};
+
+// Reads a container file back. Construction loads the whole file and
+// verifies the header: magic + version + size + CRC. When the magic is
+// absent the reader enters legacy mode (whole file = payload, version 0)
+// so callers can parse pre-header formats.
+class PayloadReader {
+ public:
+  PayloadReader(const std::string& path, uint32_t magic,
+                uint32_t max_version);
+
+  bool legacy() const { return legacy_; }
+  uint32_t version() const { return version_; }
+
+  void read(void* out, size_t len);
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    read(&value, sizeof(value));
+    return value;
+  }
+  std::string read_string();
+
+  size_t remaining() const { return payload_.size() - pos_; }
+  bool at_end() const { return remaining() == 0; }
+
+ private:
+  std::string path_;
+  std::string payload_;  // payload bytes only (header stripped unless legacy)
+  size_t pos_ = 0;
+  bool legacy_ = false;
+  uint32_t version_ = 0;
+};
+
+}  // namespace yollo::io

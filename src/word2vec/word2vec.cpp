@@ -1,12 +1,12 @@
 #include "word2vec/word2vec.h"
 
 #include <algorithm>
-#include <fstream>
 #include <stdexcept>
 #include <cmath>
 #include <numeric>
 
 #include "data/grammar.h"
+#include "tensor/serialize.h"
 
 namespace yollo::word2vec {
 namespace {
@@ -160,30 +160,31 @@ Tensor pretrain_grounding_embeddings(const data::Vocab& vocab,
 
 namespace yollo::word2vec {
 
+// Embedding files share the io container layout (magic "YLEM", version,
+// CRC-32); headerless pre-versioning files load via the legacy path below.
+namespace {
+constexpr uint32_t kEmbMagic = 0x4D454C59u;  // "YLEM"
+constexpr uint32_t kEmbVersion = 2;
+}  // namespace
+
 void save_embeddings(const Tensor& embeddings, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_embeddings: cannot open " + path);
-  const int64_t rows = embeddings.size(0);
-  const int64_t cols = embeddings.size(1);
-  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-  out.write(reinterpret_cast<const char*>(embeddings.data()),
-            static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  io::PayloadWriter writer;
+  writer.write_pod<int64_t>(embeddings.size(0));
+  writer.write_pod<int64_t>(embeddings.size(1));
+  writer.write(embeddings.data(),
+               static_cast<size_t>(embeddings.numel()) * sizeof(float));
+  writer.commit(path, kEmbMagic, kEmbVersion);
 }
 
 Tensor load_embeddings(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_embeddings: cannot open " + path);
-  int64_t rows = 0, cols = 0;
-  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-  if (!in || rows <= 0 || cols <= 0) {
+  io::PayloadReader reader(path, kEmbMagic, kEmbVersion);
+  const int64_t rows = reader.read_pod<int64_t>();
+  const int64_t cols = reader.read_pod<int64_t>();
+  if (rows <= 0 || cols <= 0) {
     throw std::runtime_error("load_embeddings: corrupt header in " + path);
   }
   Tensor out({rows, cols});
-  in.read(reinterpret_cast<char*>(out.data()),
-          static_cast<std::streamsize>(rows * cols * sizeof(float)));
-  if (!in) throw std::runtime_error("load_embeddings: truncated " + path);
+  reader.read(out.data(), static_cast<size_t>(rows * cols) * sizeof(float));
   return out;
 }
 

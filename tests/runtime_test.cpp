@@ -1,0 +1,438 @@
+// Fault-tolerance subsystem tests: versioned/CRC serialisation, atomic
+// checkpoint rotation, crash-during-save, resume-after-kill, and
+// NaN-divergence recovery — the failure scenarios a production training run
+// must survive.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "nn/layers.h"
+#include "optim/optim.h"
+#include "runtime/checkpoint.h"
+#include "runtime/fault.h"
+#include "tensor/serialize.h"
+#include "word2vec/word2vec.h"
+
+namespace yollo {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void flip_byte(const std::string& path, size_t offset) {
+  std::string bytes = read_file(path);
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x5A);
+  write_file(path, bytes);
+}
+
+void truncate_file(const std::string& path, size_t keep) {
+  std::string bytes = read_file(path);
+  ASSERT_LT(keep, bytes.size());
+  write_file(path, bytes.substr(0, keep));
+}
+
+// A guard that always leaves the process-wide injector disarmed.
+struct FaultGuard {
+  FaultGuard() { runtime::FaultInjector::instance().reset(); }
+  ~FaultGuard() { runtime::FaultInjector::instance().reset(); }
+};
+
+// --- versioned serialisation --------------------------------------------------
+
+TEST(SerializationTest, CorruptPayloadByteRejectedByCrc) {
+  Rng rng(1);
+  nn::FFN a(3, 5, 2, rng), b(3, 5, 2, rng);
+  const std::string path = ::testing::TempDir() + "/crc_params.bin";
+  nn::save_parameters(a, path);
+  flip_byte(path, 40);  // past the 20-byte header: payload corruption
+  EXPECT_THROW(nn::load_parameters(b, path), std::runtime_error);
+}
+
+TEST(SerializationTest, TruncatedFileRejected) {
+  Rng rng(2);
+  nn::FFN a(3, 5, 2, rng), b(3, 5, 2, rng);
+  const std::string path = ::testing::TempDir() + "/trunc_params.bin";
+  nn::save_parameters(a, path);
+  truncate_file(path, read_file(path).size() / 2);
+  EXPECT_THROW(nn::load_parameters(b, path), std::runtime_error);
+}
+
+TEST(SerializationTest, NewerFormatVersionRejected) {
+  Rng rng(3);
+  nn::FFN a(3, 5, 2, rng), b(3, 5, 2, rng);
+  const std::string path = ::testing::TempDir() + "/future_params.bin";
+  nn::save_parameters(a, path);
+  std::string bytes = read_file(path);
+  const uint32_t future = nn::kParamsVersion + 7;
+  std::memcpy(bytes.data() + 4, &future, sizeof(future));
+  write_file(path, bytes);
+  EXPECT_THROW(nn::load_parameters(b, path), std::runtime_error);
+}
+
+TEST(SerializationTest, LegacyHeaderlessParamsFileLoads) {
+  Rng rng(4);
+  nn::FFN a(3, 5, 2, rng), b(3, 5, 2, rng);
+  // Hand-write the pre-versioning format: param count, then numel + raw
+  // floats per tensor, no buffer section, no header, no CRC.
+  const std::string path = ::testing::TempDir() + "/legacy_params.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const auto params = a.parameters();
+    const int64_t count = static_cast<int64_t>(params.size());
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (ag::Variable* p : params) {
+      const int64_t n = p->numel();
+      out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+      out.write(reinterpret_cast<const char*>(p->value().data()),
+                static_cast<std::streamsize>(n * sizeof(float)));
+    }
+  }
+  EXPECT_FALSE(nn::load_parameters(b, path));  // no buffer section
+  ag::Variable x = ag::Variable::constant(Tensor::randn({2, 3}, rng));
+  EXPECT_TRUE(allclose(a.forward(x).value(), b.forward(x).value()));
+}
+
+TEST(SerializationTest, LegacyHeaderlessEmbeddingsFileLoads) {
+  Rng rng(5);
+  const Tensor emb = Tensor::randn({7, 4}, rng);
+  const std::string path = ::testing::TempDir() + "/legacy_emb.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const int64_t rows = emb.size(0), cols = emb.size(1);
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(emb.data()),
+              static_cast<std::streamsize>(emb.numel() * sizeof(float)));
+  }
+  const Tensor back = word2vec::load_embeddings(path);
+  EXPECT_TRUE(allclose(back, emb));
+}
+
+// --- Adam state round-trip ----------------------------------------------------
+
+TEST(AdamStateTest, SaveLoadRoundTripsBitExact) {
+  Rng rng(6);
+  // Two parameter sets with identical values, two optimisers.
+  const Tensor w0 = Tensor::randn({4, 3}, rng);
+  ag::Variable pa = ag::Variable::param(w0.clone());
+  ag::Variable pb = ag::Variable::param(w0.clone());
+  optim::Adam a({&pa}, 0.01f);
+  optim::Adam b({&pb}, 0.01f);
+
+  auto drive = [](ag::Variable& p, optim::Adam& opt, int steps) {
+    for (int i = 0; i < steps; ++i) {
+      opt.zero_grad();
+      ag::Variable loss = ag::sum(ag::square(p));
+      loss.backward();
+      opt.step();
+    }
+  };
+  // Advance `a` alone, then copy its full state into `b`.
+  drive(pa, a, 5);
+  io::PayloadWriter writer;
+  a.save_state(writer);
+  pb.value().copy_from(pa.value());
+  {
+    const std::string path = ::testing::TempDir() + "/adam_state.bin";
+    writer.commit(path, 0x7357u, 1);
+    io::PayloadReader reader(path, 0x7357u, 1);
+    b.load_state(reader);
+  }
+  EXPECT_EQ(b.step_count(), a.step_count());
+
+  // Bias correction and moment decay now match: further updates agree
+  // bit-for-bit.
+  drive(pa, a, 3);
+  drive(pb, b, 3);
+  for (int64_t i = 0; i < pa.numel(); ++i) {
+    ASSERT_EQ(pa.value()[i], pb.value()[i]) << "element " << i;
+  }
+}
+
+TEST(AdamStateTest, LoadRejectsMismatchedShape) {
+  Rng rng(7);
+  ag::Variable pa = ag::Variable::param(Tensor::randn({4, 3}, rng));
+  ag::Variable pb = ag::Variable::param(Tensor::randn({2, 2}, rng));
+  optim::Adam a({&pa}, 0.01f);
+  optim::Adam b({&pb}, 0.01f);
+  io::PayloadWriter writer;
+  a.save_state(writer);
+  const std::string path = ::testing::TempDir() + "/adam_bad.bin";
+  writer.commit(path, 0x7357u, 1);
+  io::PayloadReader reader(path, 0x7357u, 1);
+  EXPECT_THROW(b.load_state(reader), std::runtime_error);
+}
+
+// --- checkpoint rotation & crash safety ---------------------------------------
+
+int64_t saved_step(const runtime::CheckpointManager& mgr, nn::Module& model,
+                   optim::Adam& adam, std::string* which = nullptr) {
+  runtime::TrainState state;
+  EXPECT_TRUE(mgr.load_latest(model, adam, state, which));
+  return state.step;
+}
+
+TEST(CheckpointTest, RotationKeepsLatestAndPrevious) {
+  Rng rng(8);
+  nn::FFN model(3, 5, 2, rng);
+  optim::Adam adam(model.parameters(), 0.01f);
+  runtime::CheckpointManager mgr(::testing::TempDir() + "/ckpt_rot");
+
+  runtime::TrainState state;
+  state.step = 10;
+  mgr.save(model, adam, state);
+  state.step = 20;
+  mgr.save(model, adam, state);
+
+  EXPECT_EQ(saved_step(mgr, model, adam), 20);
+  runtime::TrainState prev;
+  runtime::CheckpointManager::load_file(mgr.previous_path(), model, adam,
+                                        prev);
+  EXPECT_EQ(prev.step, 10);
+}
+
+TEST(CheckpointTest, CorruptLatestFallsBackToPrevious) {
+  Rng rng(9);
+  nn::FFN model(3, 5, 2, rng);
+  optim::Adam adam(model.parameters(), 0.01f);
+  runtime::CheckpointManager mgr(::testing::TempDir() + "/ckpt_corrupt");
+
+  runtime::TrainState state;
+  state.step = 10;
+  mgr.save(model, adam, state);
+  state.step = 20;
+  mgr.save(model, adam, state);
+  flip_byte(mgr.latest_path(), 64);  // corrupt the newest checkpoint
+
+  std::string which;
+  EXPECT_EQ(saved_step(mgr, model, adam, &which), 10);
+  EXPECT_EQ(which, mgr.previous_path());
+}
+
+TEST(CheckpointTest, CrashDuringSaveLeavesLastGoodCheckpoint) {
+  FaultGuard guard;
+  Rng rng(10);
+  nn::FFN model(3, 5, 2, rng);
+  optim::Adam adam(model.parameters(), 0.01f);
+  runtime::CheckpointManager mgr(::testing::TempDir() + "/ckpt_crash");
+
+  runtime::TrainState state;
+  state.step = 10;
+  mgr.save(model, adam, state);
+
+  runtime::FaultInjector::Config faults;
+  faults.crash_write_after_bytes = 128;  // die mid-payload
+  runtime::FaultInjector::instance().configure(faults);
+  state.step = 20;
+  EXPECT_THROW(mgr.save(model, adam, state), runtime::InjectedFault);
+  runtime::FaultInjector::instance().reset();
+
+  // The interrupted save never reached the rotation: step 10 is intact.
+  EXPECT_EQ(saved_step(mgr, model, adam), 10);
+}
+
+// --- end-to-end fault tolerance -----------------------------------------------
+
+data::DatasetConfig tiny_dataset_config(uint64_t seed) {
+  data::DatasetConfig dc = data::DatasetConfig::synthref(40, seed);
+  dc.img_h = 48;
+  dc.img_w = 72;
+  return dc;
+}
+
+core::TrainConfig tiny_train_config() {
+  core::TrainConfig tc;
+  tc.epochs = 1000;
+  tc.max_steps = 30;
+  tc.batch_size = 8;
+  tc.log_every = 1;
+  return tc;
+}
+
+std::unique_ptr<core::YolloModel> tiny_model(
+    const data::GroundingDataset& dataset, const data::Vocab& vocab) {
+  core::BuildOptions options;
+  options.config.num_rel2att = 1;
+  options.pretrain_embeddings = false;
+  return core::build_yollo(dataset, vocab, options);
+}
+
+TEST(FaultToleranceTest, KilledRunResumesBitExact) {
+  FaultGuard guard;
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(tiny_dataset_config(90), vocab);
+
+  // Reference: uninterrupted 30-step run.
+  core::TrainConfig tc = tiny_train_config();
+  tc.checkpoint_dir = ::testing::TempDir() + "/resume_ref";
+  tc.checkpoint_every = 10;
+  auto ref_model = tiny_model(dataset, vocab);
+  const core::TrainResult ref =
+      core::train_yollo(*ref_model, dataset.train(), tc);
+  ASSERT_EQ(ref.steps, 30);
+
+  // Same run, killed by an injected fault at step 25 — between the
+  // checkpoints at 20 and 30.
+  tc.checkpoint_dir = ::testing::TempDir() + "/resume_kill";
+  auto killed_model = tiny_model(dataset, vocab);
+  runtime::FaultInjector::Config faults;
+  faults.halt_at_step = 25;
+  runtime::FaultInjector::instance().configure(faults);
+  EXPECT_THROW(core::train_yollo(*killed_model, dataset.train(), tc),
+               runtime::InjectedFault);
+  runtime::FaultInjector::instance().reset();
+
+  // Resume in a fresh process stand-in: new model object, resume=true.
+  tc.resume = true;
+  auto resumed_model = tiny_model(dataset, vocab);
+  const core::TrainResult resumed =
+      core::train_yollo(*resumed_model, dataset.train(), tc);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.start_step, 20);  // latest intact checkpoint
+  EXPECT_EQ(resumed.steps, 30);
+
+  // The resumed curve must match the uninterrupted run's curve point for
+  // point over the replayed range — resumption is bit-exact.
+  for (const core::CurvePoint& point : resumed.curve) {
+    const auto it =
+        std::find_if(ref.curve.begin(), ref.curve.end(),
+                     [&](const core::CurvePoint& r) {
+                       return r.step == point.step;
+                     });
+    ASSERT_NE(it, ref.curve.end()) << "step " << point.step;
+    EXPECT_FLOAT_EQ(point.total, it->total) << "step " << point.step;
+    EXPECT_FLOAT_EQ(point.att, it->att) << "step " << point.step;
+  }
+  EXPECT_FLOAT_EQ(resumed.final_loss, ref.final_loss);
+}
+
+TEST(FaultToleranceTest, ResumeFallsBackWhenLatestCheckpointCorrupt) {
+  FaultGuard guard;
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(tiny_dataset_config(91), vocab);
+
+  core::TrainConfig tc = tiny_train_config();
+  tc.max_steps = 20;
+  tc.checkpoint_dir = ::testing::TempDir() + "/resume_fallback";
+  tc.checkpoint_every = 10;
+  auto model = tiny_model(dataset, vocab);
+  core::train_yollo(*model, dataset.train(), tc);
+
+  // Corrupt `latest` (step 20); CRC must reject it and resume from
+  // `previous` (step 10).
+  runtime::CheckpointManager mgr(tc.checkpoint_dir);
+  flip_byte(mgr.latest_path(), 100);
+
+  tc.resume = true;
+  tc.max_steps = 30;
+  auto resumed_model = tiny_model(dataset, vocab);
+  const core::TrainResult resumed =
+      core::train_yollo(*resumed_model, dataset.train(), tc);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.start_step, 10);
+  EXPECT_EQ(resumed.steps, 30);
+  EXPECT_TRUE(std::isfinite(resumed.final_loss));
+}
+
+TEST(FaultToleranceTest, NanLossSkippedAndRolledBack) {
+  FaultGuard guard;
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(tiny_dataset_config(92), vocab);
+
+  core::TrainConfig tc = tiny_train_config();
+  tc.max_steps = 20;
+  tc.checkpoint_dir = ::testing::TempDir() + "/nan_recovery";
+  tc.checkpoint_every = 5;
+  tc.divergence_patience = 2;
+
+  runtime::FaultInjector::Config faults;
+  faults.poison_loss_at_step = 8;
+  faults.poison_count = 2;  // two consecutive NaN steps -> rollback fires
+  runtime::FaultInjector::instance().configure(faults);
+
+  auto model = tiny_model(dataset, vocab);
+  const core::TrainResult result =
+      core::train_yollo(*model, dataset.train(), tc);
+  runtime::FaultInjector::instance().reset();
+
+  EXPECT_EQ(result.steps, 20);
+  EXPECT_EQ(result.skipped_steps, 2);
+  EXPECT_EQ(result.rollbacks, 1);
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+  // No NaN ever reached the parameters: every logged loss is finite.
+  for (const core::CurvePoint& point : result.curve) {
+    EXPECT_TRUE(std::isfinite(point.total)) << "step " << point.step;
+  }
+}
+
+TEST(FaultToleranceTest, NanWithoutCheckpointIsSkippedNotFatal) {
+  FaultGuard guard;
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(tiny_dataset_config(93), vocab);
+
+  core::TrainConfig tc = tiny_train_config();
+  tc.max_steps = 15;  // no checkpoint_dir: guard can only skip
+
+  runtime::FaultInjector::Config faults;
+  faults.poison_loss_at_step = 4;
+  faults.poison_count = 3;
+  runtime::FaultInjector::instance().configure(faults);
+
+  auto model = tiny_model(dataset, vocab);
+  const core::TrainResult result =
+      core::train_yollo(*model, dataset.train(), tc);
+  runtime::FaultInjector::instance().reset();
+
+  EXPECT_EQ(result.steps, 15);
+  EXPECT_EQ(result.skipped_steps, 3);
+  EXPECT_EQ(result.rollbacks, 0);
+  EXPECT_TRUE(std::isfinite(result.final_loss));
+}
+
+// --- satellite: eval / recalibrate restore the caller's mode ------------------
+
+TEST(TrainerModeTest, EvaluateRestoresCallersMode) {
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(tiny_dataset_config(94), vocab);
+  auto model = tiny_model(dataset, vocab);
+
+  model->set_training(false);
+  core::evaluate_yollo(*model, dataset.val(), 8);
+  EXPECT_FALSE(model->training()) << "eval-mode caller must stay in eval";
+
+  model->set_training(true);
+  core::evaluate_yollo(*model, dataset.val(), 8);
+  EXPECT_TRUE(model->training()) << "training-mode caller must stay training";
+}
+
+TEST(TrainerModeTest, RecalibrateBatchnormRestoresCallersMode) {
+  const data::Vocab vocab = data::Vocab::grounding_vocab();
+  const data::GroundingDataset dataset(tiny_dataset_config(95), vocab);
+  auto model = tiny_model(dataset, vocab);
+
+  model->set_training(false);
+  core::recalibrate_batchnorm(*model, dataset.train(), 2, 8);
+  EXPECT_FALSE(model->training());
+
+  model->set_training(true);
+  core::recalibrate_batchnorm(*model, dataset.train(), 2, 8);
+  EXPECT_TRUE(model->training());
+}
+
+}  // namespace
+}  // namespace yollo
