@@ -14,6 +14,7 @@
 #include "core/trainer.h"
 #include "example_util.h"
 #include "data/renderer.h"
+#include "serve/validation.h"
 
 using namespace yollo;
 
@@ -64,11 +65,29 @@ int main(int argc, char** argv) {
       "\"next\" = new scene, \"quit\" = exit.\n");
 
   auto ground_and_report = [&](const std::string& query) {
+    // Validate before touching the model: an empty or all-unknown query
+    // would run the network on garbage tokens and hallucinate a box.
+    const serve::ValidatedQuery validated = serve::validate_query(
+        query, vocab, model->config().max_query_len);
+    if (!validated.status.ok()) {
+      if (validated.known_words == 0 && validated.unknown_words > 0) {
+        std::printf(
+            "I don't know any of those words (\"%s\") — try shapes, "
+            "colours, and sizes like \"red circle\" or \"small square\".\n",
+            validated.normalised.c_str());
+      } else {
+        std::printf("Please describe an object, e.g. \"red circle\".\n");
+      }
+      return;
+    }
+    if (validated.unknown_words > 0) {
+      std::printf("(ignoring %lld unknown word%s)\n",
+                  static_cast<long long>(validated.unknown_words),
+                  validated.unknown_words == 1 ? "" : "s");
+    }
     const Tensor image =
         data::render_scene(scene).reshape({1, 3, dc.img_h, dc.img_w});
-    const auto tokens =
-        data::pad_to(vocab.encode(query), model->config().max_query_len);
-    const vision::Box box = model->predict(image, tokens)[0];
+    const vision::Box box = model->predict(image, validated.tokens)[0];
     // Which object did we hit?
     float best = 0.0f;
     const data::SceneObject* hit = nullptr;
@@ -108,7 +127,8 @@ int main(int argc, char** argv) {
 
   if (!interactive) {
     std::printf("(stdin closed — running scripted demo)\n");
-    for (const char* q : {"red circle", "large square", "blue ring left"}) {
+    for (const char* q : {"red circle", "large square", "blue ring left",
+                          "zzz qqq www", "..."}) {
       std::printf("> %s\n", q);
       ground_and_report(q);
     }

@@ -1,15 +1,48 @@
 #!/usr/bin/env sh
-# Second ctest configuration: build in a separate tree with
-# AddressSanitizer + UndefinedBehaviorSanitizer and run the tier-1 suite.
+# Extra ctest configurations: build in separate trees with sanitizers on and
+# run the tier-1 suite under them.
 #
-#   scripts/run_sanitized_tests.sh [build-dir]
+#   scripts/run_sanitized_tests.sh [mode] [build-dir]
+#
+#   mode: address (default)  AddressSanitizer + UndefinedBehaviorSanitizer
+#         thread             ThreadSanitizer (races in yollo::serve)
+#         both               address tree, then thread tree
 set -eu
 
-BUILD_DIR="${1:-build-asan}"
+MODE="${1:-address}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 
-cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
-  -DYOLLO_SANITIZE=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+run_mode() {
+  mode="$1"
+  dir="$2"
+  case "$mode" in
+    address) sanitize="address;undefined" ;;
+    thread) sanitize="thread" ;;
+    *)
+      echo "unknown mode '$mode' (expected address, thread, or both)" >&2
+      exit 2
+      ;;
+  esac
+  cmake -B "$dir" -S "$SRC_DIR" \
+    -DYOLLO_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j"$(nproc)"
+}
+
+case "$MODE" in
+  both)
+    run_mode address "${2:-build-asan}"
+    run_mode thread "${3:-build-tsan}"
+    ;;
+  address)
+    run_mode address "${2:-build-asan}"
+    ;;
+  thread)
+    run_mode thread "${2:-build-tsan}"
+    ;;
+  *)
+    echo "usage: $0 [address|thread|both] [build-dir]" >&2
+    exit 2
+    ;;
+esac

@@ -208,7 +208,12 @@ vision::Box TwoStagePipeline::ground(const Tensor& image,
                                                             tokens)
                                       .value()));
   }
-  return proposals[static_cast<size_t>(argmax_flat(total))].box;
+  // Proposals were clipped against the proposer's configured canvas, which
+  // may differ from this image; re-clip so a degenerate or out-of-frame box
+  // never leaves the single-box inference path.
+  return vision::clip_box(proposals[static_cast<size_t>(argmax_flat(total))].box,
+                          static_cast<float>(image.size(2)),
+                          static_cast<float>(image.size(1)));
 }
 
 void train_listener(ListenerMatcher& listener, RegionProposalNetwork& rpn,

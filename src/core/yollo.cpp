@@ -1,6 +1,10 @@
 #include "core/yollo.h"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "runtime/fault.h"
 
 namespace yollo::core {
 
@@ -168,6 +172,94 @@ std::vector<vision::Box> YolloModel::predict(
   const Output out = forward(images, tokens);
   DetectionHead::Output head_out{out.scores, out.deltas};
   return decode_top1(head_out, head_.anchors(), config_);
+}
+
+YolloModel::InferOutcome YolloModel::infer(
+    const Tensor& images, const std::vector<int64_t>& tokens) noexcept {
+  InferOutcome outcome;
+  const auto fail = [&outcome](InferError error, std::string message) {
+    outcome.error = error;
+    outcome.message = std::move(message);
+    outcome.boxes.clear();
+    return outcome;
+  };
+
+  try {
+    // Shape contract first: forward() would throw (or worse, mis-reshape)
+    // on anything else.
+    if (!images.defined() || images.ndim() != 4 || images.size(0) < 1 ||
+        images.size(1) != 3 || images.size(2) != config_.img_h ||
+        images.size(3) != config_.img_w) {
+      return fail(InferError::kInvalidInput,
+                  "expected images [B,3," + std::to_string(config_.img_h) +
+                      "," + std::to_string(config_.img_w) + "], got " +
+                      (images.defined() ? shape_to_string(images.shape())
+                                        : std::string("<undefined>")));
+    }
+    const int64_t b = images.size(0);
+    if (static_cast<int64_t>(tokens.size()) != b * config_.max_query_len) {
+      return fail(InferError::kInvalidInput,
+                  "token count " + std::to_string(tokens.size()) +
+                      " != B*max_query_len = " +
+                      std::to_string(b * config_.max_query_len));
+    }
+    const int64_t vocab = word_emb_.weight.size(0);
+    for (const int64_t token : tokens) {
+      if (token < 0 || token >= vocab) {
+        return fail(InferError::kInvalidInput,
+                    "token id " + std::to_string(token) +
+                        " outside vocabulary [0, " + std::to_string(vocab) +
+                        ")");
+      }
+    }
+    const float* pixels = images.data();
+    for (int64_t i = 0; i < images.numel(); ++i) {
+      if (!std::isfinite(pixels[i])) {
+        return fail(InferError::kInvalidInput,
+                    "non-finite pixel at flat index " + std::to_string(i));
+      }
+    }
+
+    // Fault hooks: a slow-forward fault sleeps here, a transient forward
+    // failure throws here (caught below as kFault).
+    runtime::FaultInjector::instance().check_forward();
+
+    Output out = forward(images, tokens);
+    if (runtime::FaultInjector::instance().take_poison_forward()) {
+      // Stand-in for silently corrupted activations: the finiteness scan
+      // below must catch this, never the caller.
+      out.scores.value().fill(std::numeric_limits<float>::quiet_NaN());
+      out.deltas.value().fill(std::numeric_limits<float>::quiet_NaN());
+    }
+
+    const float* scores = out.scores.value().data();
+    for (int64_t i = 0; i < out.scores.numel(); ++i) {
+      if (!std::isfinite(scores[i])) {
+        return fail(InferError::kNonFinite,
+                    "non-finite activation in anchor scores");
+      }
+    }
+
+    DetectionHead::Output head_out{out.scores, out.deltas};
+    std::vector<vision::Box> boxes =
+        decode_top1(head_out, head_.anchors(), config_);
+    for (vision::Box& box : boxes) {
+      if (!std::isfinite(box.x) || !std::isfinite(box.y) ||
+          !std::isfinite(box.w) || !std::isfinite(box.h)) {
+        return fail(InferError::kNonFinite, "decoded box is non-finite");
+      }
+      // decode_top1 clips against the config; re-clip against the actual
+      // image so the invariant is local and survives refactors upstream.
+      box = vision::clip_box(box, static_cast<float>(images.size(3)),
+                             static_cast<float>(images.size(2)));
+    }
+    outcome.boxes = std::move(boxes);
+    return outcome;
+  } catch (const std::exception& e) {
+    return fail(InferError::kFault, e.what());
+  } catch (...) {
+    return fail(InferError::kFault, "unknown exception during forward");
+  }
 }
 
 Tensor YolloModel::attention_map(const Output& out,

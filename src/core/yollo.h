@@ -55,6 +55,28 @@ class YolloModel : public nn::Module {
   std::vector<vision::Box> predict(const Tensor& images,
                                    const std::vector<int64_t>& tokens);
 
+  // --- exception-free inference entry point (used by yollo::serve) ---------
+  enum class InferError {
+    kNone = 0,       // boxes are valid
+    kInvalidInput,   // image/token shapes do not match the config
+    kNonFinite,      // forward produced non-finite activations or boxes
+    kFault,          // forward threw (includes runtime::InjectedFault)
+  };
+  struct InferOutcome {
+    InferError error = InferError::kNone;
+    std::string message;
+    std::vector<vision::Box> boxes;  // one per batch element when ok
+    bool ok() const { return error == InferError::kNone; }
+  };
+  // Hardened predict(): validates input shapes against the config, runs the
+  // forward pass (honouring runtime::FaultInjector's inference-path faults),
+  // scans the activations and decoded boxes for non-finite values, and clips
+  // every box to the input image bounds so a degenerate or out-of-frame box
+  // can never escape. Never throws; all failures surface as a typed
+  // InferError with a message.
+  InferOutcome infer(const Tensor& images,
+                     const std::vector<int64_t>& tokens) noexcept;
+
   // Softmax image-attention map of one batch element as [grid_h, grid_w]
   // (the masks visualised in the paper's Figure 5).
   Tensor attention_map(const Output& out, int64_t batch_index) const;

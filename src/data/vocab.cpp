@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <sstream>
-#include <stdexcept>
 
 #include "data/scene.h"
 
@@ -32,8 +31,11 @@ bool Vocab::contains(const std::string& word) const {
 }
 
 const std::string& Vocab::word(int64_t id) const {
+  // Out-of-range ids (e.g. from a corrupted request or a checkpoint built
+  // against a larger vocabulary) decode as UNK instead of failing: the
+  // serving path must be able to echo any token stream back as text.
   if (id < 0 || id >= size()) {
-    throw std::out_of_range("Vocab::word: id " + std::to_string(id));
+    return words_[static_cast<size_t>(kUnk)];
   }
   return words_[static_cast<size_t>(id)];
 }

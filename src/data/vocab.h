@@ -27,6 +27,8 @@ class Vocab {
 
   bool contains(const std::string& word) const;
 
+  // Text of `id`; out-of-range ids return the "<unk>" text (never throws,
+  // never indexes out of bounds — the serving path decodes untrusted ids).
   const std::string& word(int64_t id) const;
 
   int64_t size() const { return static_cast<int64_t>(words_.size()); }

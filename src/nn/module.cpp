@@ -72,6 +72,43 @@ void Module::register_module(std::string name, Module& child) {
   children_.push_back({std::move(name), &child});
 }
 
+void copy_module_state(Module& dst, Module& src) {
+  const auto dst_params = dst.named_parameters();
+  const auto src_params = src.named_parameters();
+  if (dst_params.size() != src_params.size()) {
+    throw std::invalid_argument(
+        "copy_module_state: parameter count mismatch (dst " +
+        std::to_string(dst_params.size()) + ", src " +
+        std::to_string(src_params.size()) + ")");
+  }
+  for (size_t i = 0; i < dst_params.size(); ++i) {
+    if (dst_params[i].name != src_params[i].name ||
+        dst_params[i].param->shape() != src_params[i].param->shape()) {
+      throw std::invalid_argument("copy_module_state: parameter mismatch at " +
+                                  dst_params[i].name + " vs " +
+                                  src_params[i].name);
+    }
+    dst_params[i].param->value().copy_from(src_params[i].param->value());
+  }
+  const auto dst_buffers = dst.named_buffers();
+  const auto src_buffers = src.named_buffers();
+  if (dst_buffers.size() != src_buffers.size()) {
+    throw std::invalid_argument(
+        "copy_module_state: buffer count mismatch (dst " +
+        std::to_string(dst_buffers.size()) + ", src " +
+        std::to_string(src_buffers.size()) + ")");
+  }
+  for (size_t i = 0; i < dst_buffers.size(); ++i) {
+    if (dst_buffers[i].name != src_buffers[i].name ||
+        dst_buffers[i].buffer->shape() != src_buffers[i].buffer->shape()) {
+      throw std::invalid_argument("copy_module_state: buffer mismatch at " +
+                                  dst_buffers[i].name + " vs " +
+                                  src_buffers[i].name);
+    }
+    dst_buffers[i].buffer->copy_from(*src_buffers[i].buffer);
+  }
+}
+
 void write_module_state(io::PayloadWriter& writer, Module& module) {
   const auto params = module.parameters();
   writer.write_pod<int64_t>(static_cast<int64_t>(params.size()));

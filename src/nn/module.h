@@ -92,6 +92,13 @@ void write_module_state(io::PayloadWriter& writer, Module& module);
 bool read_module_state(io::PayloadReader& reader, Module& module,
                        const std::string& context);
 
+// Copy every parameter and buffer of `src` into `dst`, matched by
+// registration name. Both modules must have identical architecture (same
+// registration tree, same shapes); throws std::invalid_argument otherwise.
+// Used by yollo::serve to stamp out per-worker model replicas, so worker
+// threads never share mutable tensor storage.
+void copy_module_state(Module& dst, Module& src);
+
 // Serialise / restore all parameters AND registered buffers of a module.
 // Files carry the io container header (magic "YLPM", format version, CRC-32
 // over the payload) and are published atomically via temp-file + rename;

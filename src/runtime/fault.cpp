@@ -1,7 +1,9 @@
 #include "runtime/fault.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <thread>
 
 #include "tensor/serialize.h"
 
@@ -28,10 +30,15 @@ FaultInjector::FaultInjector() {
   config.halt_at_step = env_int("YOLLO_FAULT_HALT_STEP", -1);
   config.poison_loss_at_step = env_int("YOLLO_FAULT_POISON_STEP", -1);
   config.poison_count = env_int("YOLLO_FAULT_POISON_COUNT", 1);
+  config.fail_forward_count = env_int("YOLLO_FAULT_FAIL_FORWARD", 0);
+  config.poison_forward_count = env_int("YOLLO_FAULT_POISON_FORWARD", 0);
+  config.slow_forward_ms = env_int("YOLLO_FAULT_SLOW_FORWARD_MS", 0);
+  config.slow_forward_count = env_int("YOLLO_FAULT_SLOW_FORWARD_COUNT", 0);
   configure(config);
 }
 
 void FaultInjector::configure(const Config& config) {
+  std::lock_guard<std::mutex> lock(forward_mutex_);
   config_ = config;
   poisons_fired_ = 0;
   max_poisoned_step_ = -1;
@@ -72,6 +79,35 @@ float FaultInjector::filter_loss(float loss, int64_t step) {
   ++poisons_fired_;
   max_poisoned_step_ = step;
   return std::numeric_limits<float>::quiet_NaN();
+}
+
+void FaultInjector::check_forward() {
+  int64_t sleep_ms = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(forward_mutex_);
+    if (config_.slow_forward_count > 0 && config_.slow_forward_ms > 0) {
+      --config_.slow_forward_count;
+      sleep_ms = config_.slow_forward_ms;
+    }
+    if (config_.fail_forward_count > 0) {
+      --config_.fail_forward_count;
+      fail = true;
+    }
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  if (fail) {
+    throw InjectedFault("transient forward failure");
+  }
+}
+
+bool FaultInjector::take_poison_forward() {
+  std::lock_guard<std::mutex> lock(forward_mutex_);
+  if (config_.poison_forward_count <= 0) return false;
+  --config_.poison_forward_count;
+  return true;
 }
 
 }  // namespace yollo::runtime

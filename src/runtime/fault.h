@@ -1,8 +1,10 @@
 // Fault injection for crash-safety testing.
 //
 // A process-wide FaultInjector lets tests (and manual chaos runs via
-// environment variables) inject three failure classes into the training
-// stack without patching any production code path:
+// environment variables) inject failures into the training and inference
+// stacks without patching any production code path.
+//
+// Training-path faults (PR 1):
 //
 //   - crash mid-write:  kills serialisation after N payload bytes, proving
 //                       that atomic commit + checkpoint rotation never lose
@@ -13,12 +15,26 @@
 //                       number of steps, exercising the divergence guard and
 //                       checkpoint rollback.
 //
+// Inference-path faults (consumed by YolloModel::infer, so every
+// degradation branch of yollo::serve is provable in tests):
+//
+//   - transient forward failure: the next N forwards throw InjectedFault,
+//                       standing in for a crashed kernel / OOM / bit flip;
+//   - poisoned activations: the next N forwards have their output scores
+//                       overwritten with NaN, which the exception-free
+//                       inference path must catch in its finiteness scan;
+//   - slow forward:     the next N forwards sleep a configured number of
+//                       milliseconds first, driving requests past their
+//                       deadline.
+//
 // Injected failures surface as InjectedFault so tests can distinguish them
 // from genuine errors. All faults are disarmed by default; configure()
-// or the YOLLO_FAULT_* environment variables arm them.
+// or the YOLLO_FAULT_* environment variables arm them. The inference-path
+// hooks are thread-safe: serve workers consume fault shots concurrently.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -45,11 +61,24 @@ class FaultInjector {
     // that replays the step sees the true loss). -1 = disarmed.
     int64_t poison_loss_at_step = -1;
     int64_t poison_count = 1;
+
+    // --- inference-path faults (see header comment) ----------------------
+    // Throw InjectedFault from the next `fail_forward_count` forwards.
+    int64_t fail_forward_count = 0;
+    // Overwrite the output scores of the next `poison_forward_count`
+    // forwards with NaN.
+    int64_t poison_forward_count = 0;
+    // Sleep `slow_forward_ms` milliseconds at the start of the next
+    // `slow_forward_count` forwards.
+    int64_t slow_forward_ms = 0;
+    int64_t slow_forward_count = 0;
   };
 
   // Process-wide instance. On first access, faults named in the
   // environment (YOLLO_FAULT_CRASH_WRITE_BYTES, YOLLO_FAULT_HALT_STEP,
-  // YOLLO_FAULT_POISON_STEP, YOLLO_FAULT_POISON_COUNT) are armed.
+  // YOLLO_FAULT_POISON_STEP, YOLLO_FAULT_POISON_COUNT,
+  // YOLLO_FAULT_FAIL_FORWARD, YOLLO_FAULT_POISON_FORWARD,
+  // YOLLO_FAULT_SLOW_FORWARD_MS, YOLLO_FAULT_SLOW_FORWARD_COUNT) are armed.
   static FaultInjector& instance();
 
   // Arm the given faults (replaces the current config and re-installs or
@@ -68,6 +97,16 @@ class FaultInjector {
   // returns `loss` unchanged.
   float filter_loss(float loss, int64_t step);
 
+  // Called by YolloModel::infer before running the forward pass. Sleeps
+  // when a slow-forward fault is armed (consuming one shot), then throws
+  // InjectedFault when a transient forward failure is armed (consuming one
+  // shot). Thread-safe; the sleep happens outside the injector lock.
+  void check_forward();
+
+  // Called by YolloModel::infer after the forward pass; true when the
+  // caller must poison its activations (consumes one shot). Thread-safe.
+  bool take_poison_forward();
+
   const Config& config() const { return config_; }
 
  private:
@@ -77,6 +116,9 @@ class FaultInjector {
   Config config_;
   int64_t poisons_fired_ = 0;
   int64_t max_poisoned_step_ = -1;  // steps <= this have already fired
+  // Guards the inference-path shot counters, which are decremented
+  // concurrently by serve worker threads.
+  std::mutex forward_mutex_;
 };
 
 }  // namespace yollo::runtime

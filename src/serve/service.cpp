@@ -1,0 +1,352 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/module.h"
+
+namespace yollo::serve {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool box_is_finite(const vision::Box& box) {
+  return std::isfinite(box.x) && std::isfinite(box.y) &&
+         std::isfinite(box.w) && std::isfinite(box.h);
+}
+
+}  // namespace
+
+InferenceService::InferenceService(core::YolloModel& model,
+                                   const data::Vocab& vocab,
+                                   const ServeConfig& config,
+                                   baseline::TwoStagePipeline* fallback)
+    : config_(config),
+      model_config_(model.config()),
+      vocab_(&vocab),
+      fallback_(fallback) {
+  config_.num_workers = std::max<int64_t>(1, config_.num_workers);
+  config_.queue_capacity = std::max<int64_t>(1, config_.queue_capacity);
+  // One eval-mode replica per worker: threads never share mutable tensor
+  // storage, so the pool needs no lock around the forward pass.
+  replicas_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int64_t i = 0; i < config_.num_workers; ++i) {
+    Rng rng(config_.seed + static_cast<uint64_t>(i));
+    auto replica = std::make_unique<core::YolloModel>(model_config_,
+                                                      vocab.size(), rng);
+    nn::copy_module_state(*replica, model);
+    replica->set_training(false);
+    replicas_.push_back(std::move(replica));
+  }
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int64_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+InferenceService::~InferenceService() { stop(); }
+
+InferenceService::Clock::time_point InferenceService::resolve_deadline(
+    const GroundRequest& request, int64_t default_ms, Clock::time_point now) {
+  if (request.deadline_at != Clock::time_point{}) return request.deadline_at;
+  const int64_t ms =
+      request.deadline_ms >= 0 ? request.deadline_ms : default_ms;
+  if (ms <= 0) return Clock::time_point::max();
+  return now + std::chrono::milliseconds(ms);
+}
+
+std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
+  const Clock::time_point now = Clock::now();
+  std::promise<GroundResponse> promise;
+  std::future<GroundResponse> future = promise.get_future();
+
+  // Admission rejections resolve the future immediately with a typed
+  // Status; they still count as submitted so the counter invariant holds.
+  const auto reject = [&](Status status,
+                          std::string normalised) -> std::future<GroundResponse> {
+    GroundResponse response;
+    response.status = std::move(status);
+    response.normalised_query = std::move(normalised);
+    response.latency_ms = ms_since(now);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.submitted;
+      record(response);
+    }
+    promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  // Input validation happens before the request can consume a queue slot
+  // (and outside the service lock — the NaN scan is O(pixels)).
+  Status image_status =
+      validate_image(request.image, model_config_.img_h, model_config_.img_w);
+  if (!image_status.ok()) return reject(std::move(image_status), {});
+  ValidatedQuery query =
+      validate_query(request.query, *vocab_, model_config_.max_query_len);
+  if (!query.status.ok()) {
+    return reject(std::move(query.status), std::move(query.normalised));
+  }
+
+  // Deadline check at enqueue.
+  const Clock::time_point deadline =
+      resolve_deadline(request, config_.default_deadline_ms, now);
+  if (deadline <= now) {
+    return reject(
+        Status::deadline_exceeded("deadline had already expired at enqueue"),
+        std::move(query.normalised));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+    if (!accepting_) {
+      GroundResponse response;
+      response.status = Status::overloaded("service is stopped");
+      response.normalised_query = std::move(query.normalised);
+      response.latency_ms = ms_since(now);
+      record(response);
+      promise.set_value(std::move(response));
+      return future;
+    }
+    if (static_cast<int64_t>(queue_.size()) >= config_.queue_capacity) {
+      // Backpressure: reject, never grow. The client sees a typed
+      // kOverloaded and can shed load or retry with jitter.
+      GroundResponse response;
+      response.status = Status::overloaded(
+          "admission queue full (capacity " +
+          std::to_string(config_.queue_capacity) + ")");
+      response.normalised_query = std::move(query.normalised);
+      response.latency_ms = ms_since(now);
+      record(response);
+      promise.set_value(std::move(response));
+      return future;
+    }
+    Job job;
+    job.image = std::move(request.image);
+    job.tokens = std::move(query.tokens);
+    job.normalised_query = std::move(query.normalised);
+    job.submitted_at = now;
+    job.deadline = deadline;
+    job.promise = std::move(promise);
+    queue_.push_back(std::move(job));
+    counters_.queue_high_water = std::max(
+        counters_.queue_high_water, static_cast<int64_t>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+GroundResponse InferenceService::ground(GroundRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void InferenceService::worker_loop(int64_t worker_id) {
+  core::YolloModel& replica = *replicas_[static_cast<size_t>(worker_id)];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    GroundResponse response;
+    response.normalised_query = job.normalised_query;
+
+    // Deadline check at dequeue: a request that starved in the queue is
+    // answered (typed), not silently processed past its budget.
+    if (Clock::now() >= job.deadline) {
+      response.status =
+          Status::deadline_exceeded("deadline expired while queued");
+      finish(job, std::move(response));
+      continue;
+    }
+
+    bool breaker_skip = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (breaker_cooldown_left_ > 0) {
+        --breaker_cooldown_left_;
+        breaker_skip = true;
+      }
+    }
+
+    std::string degrade_reason;
+    if (breaker_skip) {
+      degrade_reason = "circuit breaker open";
+    } else {
+      if (run_model_tier(replica, job, response)) {
+        finish(job, std::move(response));
+        continue;
+      }
+      degrade_reason = "model tier failed: " + response.status.message;
+      // Deadline check between the model tier and the fallback tier.
+      if (Clock::now() >= job.deadline) {
+        response.status = Status::deadline_exceeded(
+            "deadline expired after the model tier");
+        finish(job, std::move(response));
+        continue;
+      }
+    }
+
+    run_fallback_tier(job, degrade_reason, response);
+    finish(job, std::move(response));
+  }
+}
+
+bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,
+                                      GroundResponse& response) {
+  const Tensor batched =
+      job.image.reshape({1, 3, model_config_.img_h, model_config_.img_w});
+  const int64_t attempts = 1 + std::max<int64_t>(0, config_.max_retries);
+  std::string last_error = "model tier did not run";
+  for (int64_t attempt = 0; attempt < attempts; ++attempt) {
+    // Deadline check before every forward attempt...
+    if (Clock::now() >= job.deadline) {
+      response.status = Status::deadline_exceeded(
+          "deadline expired before forward attempt " +
+          std::to_string(attempt + 1));
+      return true;
+    }
+    if (attempt > 0) ++response.retries;
+    const core::YolloModel::InferOutcome outcome =
+        replica.infer(batched, job.tokens);
+    if (outcome.ok()) {
+      // ...and after it: a slow forward that ate the budget is a deadline
+      // miss even though it produced a box.
+      if (Clock::now() >= job.deadline) {
+        response.status = Status::deadline_exceeded(
+            "forward pass finished past the deadline");
+        return true;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        consecutive_failures_ = 0;
+      }
+      response.status = Status::ok_status();
+      response.box = outcome.boxes.front();
+      return true;
+    }
+    last_error = outcome.message;
+  }
+
+  // Tier failed: feed the circuit breaker. consecutive_failures_ is left
+  // accumulated when the breaker trips, so a failed probe after cooldown
+  // re-trips immediately.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= config_.breaker_threshold &&
+        breaker_cooldown_left_ == 0) {
+      breaker_cooldown_left_ = config_.breaker_cooldown;
+      ++counters_.breaker_trips;
+    }
+  }
+  response.status = Status::internal(last_error);
+  return false;
+}
+
+void InferenceService::run_fallback_tier(Job& job, const std::string& reason,
+                                         GroundResponse& response) {
+  if (fallback_ == nullptr) {
+    response.status = Status::internal(
+        reason + "; no baseline fallback tier is configured");
+    return;
+  }
+  try {
+    vision::Box box;
+    {
+      // The baseline tier is shared across workers; degradation is the
+      // rare path, so serialising it is the right trade.
+      std::lock_guard<std::mutex> lock(fallback_mutex_);
+      box = fallback_->ground(job.image, job.tokens);
+    }
+    if (!box_is_finite(box)) {
+      response.status =
+          Status::internal(reason + "; baseline tier produced a non-finite box");
+      return;
+    }
+    response.box = vision::clip_box(box, static_cast<float>(job.image.size(2)),
+                                    static_cast<float>(job.image.size(1)));
+    response.status = Status::degraded("served by baseline tier (" + reason +
+                                       ")");
+  } catch (const std::exception& e) {
+    response.status = Status::internal(reason + "; baseline fallback threw: " +
+                                       e.what());
+  }
+}
+
+void InferenceService::finish(Job& job, GroundResponse response) {
+  response.latency_ms = ms_since(job.submitted_at);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.retries += response.retries;
+    record(response);
+  }
+  job.promise.set_value(std::move(response));
+}
+
+void InferenceService::record(const GroundResponse& response) {
+  switch (response.status.code) {
+    case StatusCode::kOk:
+      ++counters_.served;
+      break;
+    case StatusCode::kDegraded:
+      ++counters_.served;
+      ++counters_.degraded;
+      break;
+    case StatusCode::kInvalidInput:
+      ++counters_.rejected;
+      ++counters_.rejected_invalid;
+      break;
+    case StatusCode::kOverloaded:
+      ++counters_.rejected;
+      ++counters_.rejected_overloaded;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++counters_.deadline_exceeded;
+      break;
+    case StatusCode::kInternalError:
+      ++counters_.failed;
+      break;
+  }
+}
+
+void InferenceService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServiceCounters InferenceService::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+HealthSnapshot InferenceService::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthSnapshot snapshot;
+  snapshot.accepting = accepting_;
+  snapshot.breaker_open = breaker_cooldown_left_ > 0;
+  snapshot.queue_depth = static_cast<int64_t>(queue_.size());
+  snapshot.workers = static_cast<int64_t>(replicas_.size());
+  snapshot.counters = counters_;
+  return snapshot;
+}
+
+}  // namespace yollo::serve

@@ -1,0 +1,202 @@
+// Hardened concurrent inference service around YolloModel.
+//
+// The paper's pitch is real-time grounding (Table 5); the ROADMAP's is a
+// system that serves heavy traffic. This subsystem supplies the part speed
+// alone does not: predictable behaviour under overload, bad input, and
+// partial failure. Requests flow through
+//
+//   submit() ── admission ──> bounded queue ──> worker pool ──> response
+//      │  input validation        │                 │
+//      │  deadline check          │  deadline check │ model tier (replica,
+//      │  capacity check          │  at dequeue     │  retry on fault)
+//      └─ typed rejection         │                 │ deadline check
+//         (never an exception)    │                 │ baseline fallback tier
+//                                 │                 └─> kOk / kDegraded /
+//                                 │                     typed error
+//
+// Guarantees (DESIGN.md §8):
+//   - the admission queue is bounded: when full, submit() rejects with
+//     kOverloaded instead of growing without bound;
+//   - every request carries an optional deadline, checked at enqueue, at
+//     dequeue, and between pipeline stages — an expired request is answered
+//     kDeadlineExceeded, never silently dropped;
+//   - the model tier runs on per-worker replicas (no shared mutable tensor
+//     state between threads) through the exception-free
+//     YolloModel::infer(); a fault or non-finite forward is retried up to
+//     max_retries times, then the request falls back to the two-stage
+//     baseline tier and is answered kDegraded;
+//   - a circuit breaker trips after breaker_threshold consecutive model
+//     failures and routes requests straight to the baseline tier for
+//     breaker_cooldown requests before probing the model again;
+//   - every submitted request is answered exactly once, including during
+//     shutdown (stop() drains the queue; nothing hangs).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/matcher.h"
+#include "core/yollo.h"
+#include "data/vocab.h"
+#include "serve/status.h"
+#include "serve/validation.h"
+
+namespace yollo::serve {
+
+struct ServeConfig {
+  int64_t num_workers = 4;
+  int64_t queue_capacity = 32;
+  // Deadline applied to requests that do not carry their own (deadline_ms
+  // < 0). <= 0 disables the default deadline.
+  int64_t default_deadline_ms = 0;
+  // Model-tier retries after a faulted or non-finite forward before the
+  // request degrades to the baseline tier.
+  int64_t max_retries = 1;
+  // Circuit breaker: after this many consecutive model-tier failures the
+  // model is skipped entirely...
+  int64_t breaker_threshold = 3;
+  // ...for this many requests (counted, not timed, so tests are
+  // deterministic), after which one request probes the model again.
+  int64_t breaker_cooldown = 8;
+  // Seed for constructing the per-worker replicas.
+  uint64_t seed = 1234;
+};
+
+struct GroundRequest {
+  Tensor image;       // [3, img_h, img_w] matching the model's config
+  std::string query;  // free text; normalised through the service vocab
+  // Relative deadline in milliseconds: < 0 uses the ServeConfig default,
+  // 0 disables, > 0 counts from submit().
+  int64_t deadline_ms = -1;
+  // Absolute deadline (steady clock); overrides deadline_ms when set.
+  // Requests whose deadline has already passed are rejected at enqueue.
+  std::chrono::steady_clock::time_point deadline_at{};
+};
+
+struct GroundResponse {
+  Status status;
+  vision::Box box;  // valid when status.answered(); clipped to the image
+  std::string normalised_query;
+  int64_t retries = 0;      // model-tier retries this request consumed
+  double latency_ms = 0.0;  // submit() to completion
+};
+
+// Monotonic per-service counters. Invariant once all submitted futures have
+// resolved:  served + rejected + deadline_exceeded + failed == submitted.
+struct ServiceCounters {
+  int64_t submitted = 0;
+  int64_t served = 0;    // answered: kOk + kDegraded
+  int64_t degraded = 0;  // subset of served answered by the baseline tier
+  int64_t rejected = 0;  // admission rejections (invalid + overloaded)
+  int64_t rejected_invalid = 0;     // subset of rejected
+  int64_t rejected_overloaded = 0;  // subset of rejected
+  int64_t deadline_exceeded = 0;
+  int64_t failed = 0;  // kInternalError responses
+  int64_t retries = 0;
+  int64_t breaker_trips = 0;
+  int64_t queue_high_water = 0;  // deepest the admission queue has been
+};
+
+struct HealthSnapshot {
+  bool accepting = false;
+  bool breaker_open = false;
+  int64_t queue_depth = 0;
+  int64_t workers = 0;
+  ServiceCounters counters;
+};
+
+class InferenceService {
+ public:
+  // `model` is copied into num_workers eval-mode replicas; the source is
+  // not referenced after construction. `fallback` (optional) is the
+  // baseline proposer+matcher tier used for degraded answers; it is shared
+  // and internally serialised (degradation is the rare path). `vocab` must
+  // outlive the service.
+  InferenceService(core::YolloModel& model, const data::Vocab& vocab,
+                   const ServeConfig& config,
+                   baseline::TwoStagePipeline* fallback = nullptr);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  // Admission: validate, stamp the deadline, enqueue. The returned future
+  // always resolves — with a typed error Status on rejection (immediately)
+  // or the worker pool's answer. Never throws on bad input or overload.
+  std::future<GroundResponse> submit(GroundRequest request);
+
+  // submit() + wait.
+  GroundResponse ground(GroundRequest request);
+
+  // Stop admission, drain the queue (every pending request is answered),
+  // join the workers. Idempotent; also called by the destructor.
+  void stop();
+
+  ServiceCounters counters() const;
+  HealthSnapshot health() const;
+
+  const ServeConfig& config() const { return config_; }
+  const core::YolloConfig& model_config() const { return model_config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Tensor image;  // [3, H, W]
+    std::vector<int64_t> tokens;
+    std::string normalised_query;
+    Clock::time_point submitted_at;
+    Clock::time_point deadline;  // Clock::time_point::max() == none
+    std::promise<GroundResponse> promise;
+  };
+
+  void worker_loop(int64_t worker_id);
+  // Model tier for one job on this worker's replica: deadline-checked
+  // attempts with retry. Returns true when `response` is final (answered or
+  // deadline); false when the tier failed and the job should degrade.
+  bool run_model_tier(core::YolloModel& replica, Job& job,
+                      GroundResponse& response);
+  // Baseline tier; always produces a final response (kDegraded or error).
+  void run_fallback_tier(Job& job, const std::string& reason,
+                         GroundResponse& response);
+  // Fulfil the job's promise and account the response.
+  void finish(Job& job, GroundResponse response);
+  // Classify a terminal response into the counter taxonomy.
+  void record(const GroundResponse& response);
+
+  static Clock::time_point resolve_deadline(const GroundRequest& request,
+                                            int64_t default_ms,
+                                            Clock::time_point now);
+
+  ServeConfig config_;
+  core::YolloConfig model_config_;
+  const data::Vocab* vocab_;
+  baseline::TwoStagePipeline* fallback_;
+  std::vector<std::unique_ptr<core::YolloModel>> replicas_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;  // queue, lifecycle, counters, breaker
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  ServiceCounters counters_;
+
+  // Circuit breaker (guarded by mutex_). consecutive_failures_ is not reset
+  // when the breaker trips, so a failed probe after cooldown re-trips
+  // immediately (classic half-open behaviour).
+  int64_t consecutive_failures_ = 0;
+  int64_t breaker_cooldown_left_ = 0;  // > 0 == open
+
+  std::mutex fallback_mutex_;  // serialises the shared baseline tier
+};
+
+}  // namespace yollo::serve

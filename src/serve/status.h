@@ -1,0 +1,80 @@
+// Typed error taxonomy for the serving layer.
+//
+// Every request submitted to yollo::serve terminates in exactly one Status
+// code — there is no exception path out of the service. The taxonomy is the
+// contract clients program against (DESIGN.md §8):
+//
+//   kOk               answered by the full YOLLO model
+//   kDegraded         answered, but by the baseline proposer+matcher tier
+//                     after the model tier failed a fault/deadline check
+//   kInvalidInput     rejected at admission: malformed image or query
+//   kOverloaded       rejected at admission: queue full or service stopped
+//   kDeadlineExceeded the request's deadline expired before an answer
+//   kInternalError    the model tier failed and no fallback could answer
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace yollo::serve {
+
+enum class StatusCode {
+  kOk = 0,
+  kDegraded,
+  kInvalidInput,
+  kOverloaded,
+  kDeadlineExceeded,
+  kInternalError,
+};
+
+const char* status_code_name(StatusCode code);
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  // A request is answered (carries a usable box) when it is kOk or
+  // kDegraded; every other code is a typed failure.
+  bool ok() const { return code == StatusCode::kOk; }
+  bool answered() const {
+    return code == StatusCode::kOk || code == StatusCode::kDegraded;
+  }
+
+  static Status ok_status() { return Status{}; }
+  static Status degraded(std::string message) {
+    return Status{StatusCode::kDegraded, std::move(message)};
+  }
+  static Status invalid_input(std::string message) {
+    return Status{StatusCode::kInvalidInput, std::move(message)};
+  }
+  static Status overloaded(std::string message) {
+    return Status{StatusCode::kOverloaded, std::move(message)};
+  }
+  static Status deadline_exceeded(std::string message) {
+    return Status{StatusCode::kDeadlineExceeded, std::move(message)};
+  }
+  static Status internal(std::string message) {
+    return Status{StatusCode::kInternalError, std::move(message)};
+  }
+
+  std::string to_string() const;
+};
+
+// A value or a typed error, for the exception-free inference path.
+template <typename T>
+class Result {
+ public:
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const { return value_; }
+  T& value() { return value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace yollo::serve

@@ -1,0 +1,66 @@
+#include "serve/validation.h"
+
+#include <cmath>
+
+#include "tensor/shape.h"
+
+namespace yollo::serve {
+
+Status validate_image(const Tensor& image, int64_t img_h, int64_t img_w) {
+  if (!image.defined() || image.numel() == 0) {
+    return Status::invalid_input("image tensor is undefined or empty");
+  }
+  const Shape expected{3, img_h, img_w};
+  if (image.shape() != expected) {
+    return Status::invalid_input("image shape " +
+                                 shape_to_string(image.shape()) +
+                                 " != expected " + shape_to_string(expected));
+  }
+  const float* data = image.data();
+  const int64_t n = image.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) {
+      return Status::invalid_input("image contains a non-finite pixel at "
+                                   "flat index " +
+                                   std::to_string(i));
+    }
+  }
+  return Status::ok_status();
+}
+
+ValidatedQuery validate_query(const std::string& query,
+                              const data::Vocab& vocab,
+                              int64_t max_query_len) {
+  ValidatedQuery out;
+  const std::vector<std::string> words = data::tokenize(query);
+  if (words.empty()) {
+    out.status =
+        Status::invalid_input("query is empty after normalisation: \"" +
+                             query + "\"");
+    return out;
+  }
+  std::vector<int64_t> ids;
+  ids.reserve(words.size());
+  for (const std::string& word : words) {
+    const int64_t id = vocab.id(word);
+    ids.push_back(id);
+    if (id == data::Vocab::kUnk) {
+      ++out.unknown_words;
+    } else {
+      ++out.known_words;
+    }
+    if (!out.normalised.empty()) out.normalised += ' ';
+    out.normalised += word;
+  }
+  if (out.known_words == 0) {
+    out.status = Status::invalid_input(
+        "no word of the query is in the vocabulary: \"" + out.normalised +
+        "\"");
+    return out;
+  }
+  out.tokens = data::pad_to(ids, max_query_len);
+  out.status = Status::ok_status();
+  return out;
+}
+
+}  // namespace yollo::serve

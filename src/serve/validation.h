@@ -1,0 +1,41 @@
+// Admission-time input validation for the serving layer.
+//
+// Requests are checked before they consume a queue slot: malformed tensors
+// and garbage queries are rejected with kInvalidInput instead of reaching a
+// worker, so one bad client cannot poison the model tier or waste pool
+// capacity. Query validation goes through data::Vocab so the rejection
+// rules match exactly what the model would see (empty after normalisation,
+// or no token the vocabulary knows — an all-UNK query carries no grounding
+// signal and would make the model hallucinate a box).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/vocab.h"
+#include "serve/status.h"
+#include "tensor/tensor.h"
+
+namespace yollo::serve {
+
+// The image a request must carry: a defined [3, img_h, img_w] tensor with
+// every element finite (NaN/Inf pixels are a poisoned input, not a scene).
+Status validate_image(const Tensor& image, int64_t img_h, int64_t img_w);
+
+struct ValidatedQuery {
+  Status status;                // kOk or kInvalidInput
+  std::vector<int64_t> tokens;  // padded/truncated to max_query_len when ok
+  std::string normalised;       // the query as the vocabulary understood it
+  int64_t known_words = 0;
+  int64_t unknown_words = 0;
+};
+
+// Tokenise, normalise, and encode `query` against `vocab`. Rejects queries
+// that are empty after normalisation and queries in which every word is
+// unknown to the vocabulary.
+ValidatedQuery validate_query(const std::string& query,
+                              const data::Vocab& vocab,
+                              int64_t max_query_len);
+
+}  // namespace yollo::serve

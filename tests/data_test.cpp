@@ -127,6 +127,22 @@ TEST(VocabTest, AddIsIdempotent) {
   EXPECT_EQ(v.word(a), "circle");
 }
 
+TEST(VocabTest, WordIsBoundsCheckedOnBothSides) {
+  Vocab v;
+  const int64_t a = v.add("circle");
+  // In-range ids, including both boundary ids, resolve normally.
+  EXPECT_EQ(v.word(0), "<pad>");
+  EXPECT_EQ(v.word(a), "circle");
+  EXPECT_EQ(v.word(v.size() - 1), "circle");
+  // Out-of-range ids on either side decode as <unk> — never UB, never a
+  // throw (the serving path decodes untrusted token streams).
+  EXPECT_EQ(v.word(-1), "<unk>");
+  EXPECT_EQ(v.word(v.size()), "<unk>");
+  EXPECT_EQ(v.word(1'000'000), "<unk>");
+  // decode() inherits the same robustness.
+  EXPECT_EQ(v.decode({a, v.size() + 7}), "circle <unk>");
+}
+
 TEST(VocabTest, EncodeDecodeRoundTrip) {
   Vocab v = Vocab::grounding_vocab();
   const std::string text = "the small red circle at top";
