@@ -51,7 +51,10 @@ int main(int argc, char** argv) {
   const data::GroundingDataset dataset(dc, vocab);
 
   auto model = examples::load_or_train(dataset, vocab, /*epochs=*/8);
-  model->set_training(false);
+  // predict() manages its own eval mode now; the guard keeps the whole
+  // session (including direct forward() calls, if any are added) in eval
+  // mode and restores the previous mode on exit.
+  nn::EvalModeGuard eval_mode(*model);
 
   Rng rng(31337);
   data::SceneSamplerConfig scfg = data::SceneSamplerConfig::refcoco_style();

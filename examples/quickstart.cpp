@@ -50,17 +50,16 @@ int main(int argc, char** argv) {
   std::printf("Validation: ACC@0.5 %.1f%%  ACC@0.75 %.1f%%  mIoU %.3f\n",
               100.0 * metrics.acc50, 100.0 * metrics.acc75, metrics.miou);
 
-  // Ground one query and dump the visualisation.
-  model->set_training(false);
+  // Ground one query and dump the visualisation. predict() and the
+  // tensor-taking attention_map() are self-contained grad-free eval-mode
+  // entry points — no set_training() bookkeeping needed.
   const data::GroundingSample& sample = dataset.val().front();
   Tensor image = data::render_scene(sample.scene);
   const std::vector<int64_t> tokens =
       data::pad_to(sample.tokens, model->config().max_query_len);
-  const core::YolloModel::Output out = model->forward(
-      image.reshape({1, 3, sample.scene.height, sample.scene.width}), tokens);
-  core::DetectionHead::Output head_out{out.scores, out.deltas};
-  const vision::Box pred =
-      core::decode_top1(head_out, model->anchors(), model->config())[0];
+  const Tensor batched =
+      image.reshape({1, 3, sample.scene.height, sample.scene.width});
+  const vision::Box pred = model->predict(batched, tokens)[0];
 
   std::printf("\nQuery: \"%s\"\n", sample.query_text.c_str());
   std::printf("Truth box: (%.0f, %.0f, %.0f, %.0f)\n", sample.target_box().x,
@@ -72,7 +71,8 @@ int main(int argc, char** argv) {
 
   data::draw_box_outline(image, pred, data::Rgb{1.0f, 0.1f, 0.1f});
   data::write_ppm(image, "quickstart_prediction.ppm");
-  data::write_pgm(model->attention_map(out, 0), "quickstart_attention.pgm");
+  data::write_pgm(model->attention_map(batched, tokens, 0),
+                  "quickstart_attention.pgm");
   std::printf(
       "Wrote quickstart_prediction.ppm and quickstart_attention.pgm\n");
   return 0;

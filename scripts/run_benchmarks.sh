@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Build and run the inference-engine latency benchmark, writing
+# BENCH_infer.json at the repo root.
+#
+#   scripts/run_benchmarks.sh [build-dir]
+#
+# The acceptance baseline for the grad-free inference engine is the
+# pre-refactor (PR-2) inference path. Because the refactor also rewrote the
+# shared tensor kernels, the current binary's grad_on mode is NOT that
+# baseline — it already benefits from the kernel work. So this script
+# extracts the pre-refactor revision from git (YOLLO_BASELINE_REV, default
+# the last pre-engine commit), builds bench/bench_infer_baseline.cpp inside
+# that tree, measures the same workload there, and passes the numbers to
+# bench_infer_latency, which embeds them in BENCH_infer.json as
+# "baseline_pr2". Set YOLLO_BASELINE_REV= (empty) to skip the baseline.
+#
+# YOLLO_BENCH_SCALE=quick shrinks the run for smoke testing.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+BASELINE_REV="${YOLLO_BASELINE_REV-3620a66a9365455a2ad83c9c4384622150119015}"
+
+# Pin Release: latency numbers from a Debug/RelWithDebInfo tree are noise.
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD" -j --target bench_infer_latency > /dev/null
+
+BASELINE_ARGS=""
+if [ -n "$BASELINE_REV" ] && git -C "$ROOT" rev-parse --verify \
+    "$BASELINE_REV^{commit}" > /dev/null 2>&1; then
+  BASE_DIR="$BUILD/baseline-$(git -C "$ROOT" rev-parse --short "$BASELINE_REV")"
+  BASE_SRC="$BASE_DIR/src-tree"
+  BASE_BUILD="$BASE_DIR/build"
+  if [ ! -x "$BASE_BUILD/bench/bench_infer_baseline" ]; then
+    echo "building PR-2 baseline at $BASELINE_REV ..."
+    rm -rf "$BASE_SRC"
+    mkdir -p "$BASE_SRC"
+    git -C "$ROOT" archive "$BASELINE_REV" | tar -x -C "$BASE_SRC"
+    cp "$ROOT/bench/bench_infer_baseline.cpp" "$BASE_SRC/bench/"
+    printf '\nyollo_add_bench(bench_infer_baseline yollo_serve)\n' \
+      >> "$BASE_SRC/bench/CMakeLists.txt"
+    cmake -B "$BASE_BUILD" -S "$BASE_SRC" -DCMAKE_BUILD_TYPE=Release \
+      > /dev/null
+    cmake --build "$BASE_BUILD" -j --target bench_infer_baseline > /dev/null
+  fi
+  "$BASE_BUILD/bench/bench_infer_baseline" "$BASE_DIR/BENCH_baseline.json"
+  json_field() {
+    sed -n "s/.*\"$1\": \\([0-9.]*\\).*/\\1/p" "$BASE_DIR/BENCH_baseline.json"
+  }
+  BASELINE_ARGS="--baseline_predict_p50_ms=$(json_field predict_p50_ms) \
+--baseline_predict_p95_ms=$(json_field predict_p95_ms) \
+--baseline_serve_rps=$(json_field serve_throughput_rps) \
+--baseline_rev=$(git -C "$ROOT" rev-parse --short "$BASELINE_REV")"
+else
+  echo "no baseline revision available; writing BENCH_infer.json without it"
+fi
+
+# shellcheck disable=SC2086  # word-splitting of BASELINE_ARGS is intended
+"$BUILD/bench/bench_infer_latency" "$ROOT/BENCH_infer.json" $BASELINE_ARGS

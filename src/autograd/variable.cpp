@@ -5,6 +5,8 @@
 
 namespace yollo::ag {
 
+thread_local bool GradMode::enabled_ = true;
+
 void accumulate_grad(Node& node, const Tensor& g) {
   if (!node.requires_grad) return;
   if (!node.grad.defined()) {
@@ -35,17 +37,21 @@ Variable Variable::detach() const {
   return Variable(node_->data, /*requires_grad=*/false);
 }
 
-Variable Variable::make_op(Tensor data, std::vector<Variable> parents,
-                           std::function<void(const Tensor&)> backward_fn,
-                           const char* op_name) {
-  bool needs = false;
-  for (const Variable& p : parents) needs = needs || p.requires_grad();
-  Variable out(std::move(data), needs);
-  if (needs) {
-    out.node_->backward_fn = std::move(backward_fn);
-    out.node_->parents.reserve(parents.size());
-    for (Variable& p : parents) out.node_->parents.push_back(p.node());
-  }
+Variable Variable::make_no_grad_leaf(Tensor data, const char* op_name) {
+  Variable out(std::move(data), /*requires_grad=*/false);
+  out.node_->produced_without_grad = true;
+  out.node_->op_name = op_name;
+  return out;
+}
+
+Variable Variable::make_op_node(Tensor data, std::vector<Variable> parents,
+                                std::function<void(const Tensor&)> backward_fn,
+                                const char* op_name) {
+  // make_op() already established that at least one parent requires grad.
+  Variable out(std::move(data), /*requires_grad=*/true);
+  out.node_->backward_fn = std::move(backward_fn);
+  out.node_->parents.reserve(parents.size());
+  for (Variable& p : parents) out.node_->parents.push_back(p.node());
   out.node_->op_name = op_name;
   return out;
 }
@@ -80,6 +86,12 @@ void topo_sort(Node* node, std::unordered_set<Node*>& visited,
 
 void Variable::backward() const {
   if (!node_) throw std::logic_error("backward: undefined Variable");
+  if (node_->produced_without_grad) {
+    throw std::logic_error(
+        std::string("backward: '") + node_->op_name +
+        "' was computed with gradients disabled (NoGradGuard); no graph was "
+        "recorded to differentiate through");
+  }
   if (node_->data.numel() != 1) {
     throw std::logic_error("backward: root must hold a single element, has " +
                            shape_to_string(node_->data.shape()));

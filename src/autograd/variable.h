@@ -9,11 +9,18 @@
 // whole upstream graph alive. Backward closures capture raw Node* for the
 // parents (kept alive by that same parents vector) plus any saved forward
 // tensors by value, which avoids shared_ptr reference cycles.
+//
+// Grad mode: graph construction is gated by a thread-local GradMode flag.
+// Under an ag::NoGradGuard every op returns a plain leaf — no parents
+// vector, no backward closure, no saved forward tensors — which is the
+// backbone of the grad-free inference engine (DESIGN.md §9). Calling
+// backward() on such a leaf throws instead of silently doing nothing.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -24,10 +31,41 @@ struct Node {
   Tensor data;
   Tensor grad;  // lazily allocated; undefined until first accumulation
   bool requires_grad = false;
+  // True for op results produced while GradMode was disabled: no graph was
+  // recorded, so backward() through this value must fail loudly rather than
+  // silently produce no gradients.
+  bool produced_without_grad = false;
   std::vector<std::shared_ptr<Node>> parents;
   // Receives this node's output gradient; must accumulate into parents.
   std::function<void(const Tensor& grad_out)> backward_fn;
   const char* op_name = "leaf";
+};
+
+// Thread-local switch for autograd graph construction. Each thread starts
+// with gradients enabled; flipping it on one thread never affects another
+// (worker pools rely on this).
+class GradMode {
+ public:
+  static bool enabled() { return enabled_; }
+  static void set_enabled(bool enabled) { enabled_ = enabled; }
+
+ private:
+  static thread_local bool enabled_;
+};
+
+// RAII: disable graph construction on this thread for the guard's lifetime.
+// Nests — the previous mode is restored on destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard() : previous_(GradMode::enabled()) {
+    GradMode::set_enabled(false);
+  }
+  ~NoGradGuard() { GradMode::set_enabled(previous_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
 };
 
 // Accumulate `g` into the node's gradient buffer (no-op when the node does
@@ -73,11 +111,38 @@ class Variable {
   const std::shared_ptr<Node>& node() const { return node_; }
 
   // Construct an interior (op result) node. For use by op implementations.
+  //
+  // The backward closure is taken as a deduced callable so that when no
+  // graph is needed — GradMode disabled, or no parent requires grad — the
+  // type-erasing (heap-allocating) std::function conversion never happens
+  // and the closure (with its saved forward tensors) is dropped on the
+  // spot. Under no-grad the result is a plain leaf tagged
+  // produced_without_grad.
+  template <typename Fn>
   static Variable make_op(Tensor data, std::vector<Variable> parents,
-                          std::function<void(const Tensor&)> backward_fn,
-                          const char* op_name);
+                          Fn&& backward_fn, const char* op_name) {
+    if (!GradMode::enabled()) {
+      return make_no_grad_leaf(std::move(data), op_name);
+    }
+    bool needs = false;
+    for (const Variable& p : parents) needs = needs || p.requires_grad();
+    if (!needs) {
+      Variable out(std::move(data), /*requires_grad=*/false);
+      out.node_->op_name = op_name;
+      return out;
+    }
+    return make_op_node(
+        std::move(data), std::move(parents),
+        std::function<void(const Tensor&)>(std::forward<Fn>(backward_fn)),
+        op_name);
+  }
 
  private:
+  static Variable make_no_grad_leaf(Tensor data, const char* op_name);
+  static Variable make_op_node(Tensor data, std::vector<Variable> parents,
+                               std::function<void(const Tensor&)> backward_fn,
+                               const char* op_name);
+
   std::shared_ptr<Node> node_;
 };
 

@@ -187,8 +187,9 @@ TrainResult train_yollo(YolloModel& model,
 std::vector<eval::Prediction> evaluate_yollo(
     YolloModel& model, const std::vector<data::GroundingSample>& samples,
     int64_t batch_size) {
-  const bool was_training = model.training();
-  model.set_training(false);
+  // predict() guards itself, but the whole loop belongs in eval mode so
+  // the guard is installed (and restored) exactly once.
+  nn::EvalModeGuard eval_mode(model);
   std::vector<eval::Prediction> preds;
   preds.reserve(samples.size());
   const int64_t n = static_cast<int64_t>(samples.size());
@@ -206,7 +207,6 @@ std::vector<eval::Prediction> evaluate_yollo(
            samples[static_cast<size_t>(indices[i])].target_box()});
     }
   }
-  model.set_training(was_training);
   return preds;
 }
 

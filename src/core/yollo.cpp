@@ -1,10 +1,12 @@
 #include "core/yollo.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "runtime/fault.h"
+#include "tensor/pool.h"
 
 namespace yollo::core {
 
@@ -167,11 +169,82 @@ YolloModel::Losses YolloModel::compute_loss(
   return losses;
 }
 
+YolloModel::ForwardDecode YolloModel::forward_and_decode(
+    const Tensor& images, const std::vector<int64_t>& tokens,
+    bool apply_fault_hooks) {
+  ForwardDecode fd;
+  Output out = forward(images, tokens);
+  if (apply_fault_hooks &&
+      runtime::FaultInjector::instance().take_poison_forward()) {
+    // Stand-in for silently corrupted activations: the finiteness scan
+    // below must catch this, never the caller. Only the last batch element
+    // is poisoned — real corruption hits activations, not whole batches —
+    // which also exercises the per-element isolation contract. For a batch
+    // of one (the single-image path) this poisons the entire output.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const int64_t last = out.scores.size(0) - 1;
+    Tensor& scores = out.scores.value();
+    Tensor& deltas = out.deltas.value();
+    const int64_t srow = scores.numel() / scores.size(0);
+    const int64_t drow = deltas.numel() / deltas.size(0);
+    std::fill(scores.data() + last * srow, scores.data() + (last + 1) * srow,
+              nan);
+    std::fill(deltas.data() + last * drow, deltas.data() + (last + 1) * drow,
+              nan);
+  }
+
+  const int64_t b = out.scores.size(0);
+  const int64_t a = out.scores.size(1);
+  DetectionHead::Output head_out{out.scores, out.deltas};
+  std::vector<vision::Box> decoded =
+      decode_top1(head_out, head_.anchors(), config_);
+
+  // Per-element verdicts: one element's non-finite activations or box must
+  // never fail its batch mates (micro-batching relies on this isolation).
+  fd.element_errors.assign(static_cast<size_t>(b), InferError::kNone);
+  fd.boxes.assign(static_cast<size_t>(b), vision::Box{});
+  const float* scores = out.scores.value().data();
+  int64_t bad = 0;
+  for (int64_t e = 0; e < b; ++e) {
+    bool finite = true;
+    for (int64_t i = 0; i < a && finite; ++i) {
+      finite = std::isfinite(scores[e * a + i]);
+    }
+    const vision::Box& box = decoded[static_cast<size_t>(e)];
+    finite = finite && std::isfinite(box.x) && std::isfinite(box.y) &&
+             std::isfinite(box.w) && std::isfinite(box.h);
+    if (!finite) {
+      fd.element_errors[static_cast<size_t>(e)] = InferError::kNonFinite;
+      ++bad;
+      continue;
+    }
+    // decode_top1 clips against the config; re-clip against the actual
+    // image so the invariant is local and survives refactors upstream.
+    fd.boxes[static_cast<size_t>(e)] =
+        vision::clip_box(box, static_cast<float>(images.size(3)),
+                         static_cast<float>(images.size(2)));
+  }
+  if (bad > 0) {
+    fd.error = InferError::kNonFinite;
+    fd.message = "non-finite activations or boxes in " + std::to_string(bad) +
+                 " of " + std::to_string(b) + " batch elements";
+  }
+  return fd;
+}
+
 std::vector<vision::Box> YolloModel::predict(
     const Tensor& images, const std::vector<int64_t>& tokens) {
-  const Output out = forward(images, tokens);
-  DetectionHead::Output head_out{out.scores, out.deltas};
-  return decode_top1(head_out, head_.anchors(), config_);
+  // Self-contained inference: no graph, deterministic eval-mode batch norm
+  // regardless of the caller's train/eval state, recycled storage.
+  ag::NoGradGuard no_grad;
+  nn::EvalModeGuard eval_mode(*this);
+  PoolScope pool;
+  ForwardDecode fd =
+      forward_and_decode(images, tokens, /*apply_fault_hooks=*/false);
+  if (!fd.all_ok()) {
+    throw std::runtime_error("YolloModel::predict: " + fd.message);
+  }
+  return std::move(fd.boxes);
 }
 
 YolloModel::InferOutcome YolloModel::infer(
@@ -220,40 +293,27 @@ YolloModel::InferOutcome YolloModel::infer(
       }
     }
 
+    // Same guard stack as predict(): the entry point owns its execution
+    // mode instead of trusting the caller's.
+    ag::NoGradGuard no_grad;
+    nn::EvalModeGuard eval_mode(*this);
+    PoolScope pool;
+
     // Fault hooks: a slow-forward fault sleeps here, a transient forward
     // failure throws here (caught below as kFault).
     runtime::FaultInjector::instance().check_forward();
 
-    Output out = forward(images, tokens);
-    if (runtime::FaultInjector::instance().take_poison_forward()) {
-      // Stand-in for silently corrupted activations: the finiteness scan
-      // below must catch this, never the caller.
-      out.scores.value().fill(std::numeric_limits<float>::quiet_NaN());
-      out.deltas.value().fill(std::numeric_limits<float>::quiet_NaN());
+    ForwardDecode fd =
+        forward_and_decode(images, tokens, /*apply_fault_hooks=*/true);
+    outcome.element_errors = std::move(fd.element_errors);
+    outcome.element_boxes = std::move(fd.boxes);
+    if (!fd.all_ok()) {
+      outcome.error = fd.error;
+      outcome.message = std::move(fd.message);
+      outcome.boxes.clear();  // all-or-nothing view; per-element data stays
+      return outcome;
     }
-
-    const float* scores = out.scores.value().data();
-    for (int64_t i = 0; i < out.scores.numel(); ++i) {
-      if (!std::isfinite(scores[i])) {
-        return fail(InferError::kNonFinite,
-                    "non-finite activation in anchor scores");
-      }
-    }
-
-    DetectionHead::Output head_out{out.scores, out.deltas};
-    std::vector<vision::Box> boxes =
-        decode_top1(head_out, head_.anchors(), config_);
-    for (vision::Box& box : boxes) {
-      if (!std::isfinite(box.x) || !std::isfinite(box.y) ||
-          !std::isfinite(box.w) || !std::isfinite(box.h)) {
-        return fail(InferError::kNonFinite, "decoded box is non-finite");
-      }
-      // decode_top1 clips against the config; re-clip against the actual
-      // image so the invariant is local and survives refactors upstream.
-      box = vision::clip_box(box, static_cast<float>(images.size(3)),
-                             static_cast<float>(images.size(2)));
-    }
-    outcome.boxes = std::move(boxes);
+    outcome.boxes = outcome.element_boxes;
     return outcome;
   } catch (const std::exception& e) {
     return fail(InferError::kFault, e.what());
@@ -268,6 +328,16 @@ Tensor YolloModel::attention_map(const Output& out,
   const Tensor att =
       out.att_v.value().narrow(0, batch_index, 1).reshape({m});
   return softmax(att, 0).reshape({config_.grid_h(), config_.grid_w()});
+}
+
+Tensor YolloModel::attention_map(const Tensor& images,
+                                 const std::vector<int64_t>& tokens,
+                                 int64_t batch_index) {
+  ag::NoGradGuard no_grad;
+  nn::EvalModeGuard eval_mode(*this);
+  PoolScope pool;
+  const Output out = forward(images, tokens);
+  return attention_map(out, batch_index);
 }
 
 }  // namespace yollo::core

@@ -50,8 +50,12 @@ class YolloModel : public nn::Module {
   Losses compute_loss(const Output& out,
                       const std::vector<vision::Box>& targets, Rng& rng);
 
-  // Top-1 box per batch element (call with the module in eval mode for
-  // deterministic batch-norm behaviour).
+  // Top-1 box per batch element. Self-contained: installs an
+  // ag::NoGradGuard (no autograd graph), an nn::EvalModeGuard
+  // (deterministic batch-norm, restored on return), and a PoolScope
+  // (storage recycling) internally — callers no longer manage train/eval
+  // state around it. Throws on shape mismatch or a non-finite forward; use
+  // infer() for the typed, never-throwing variant.
   std::vector<vision::Box> predict(const Tensor& images,
                                    const std::vector<int64_t>& tokens);
 
@@ -66,14 +70,27 @@ class YolloModel : public nn::Module {
     InferError error = InferError::kNone;
     std::string message;
     std::vector<vision::Box> boxes;  // one per batch element when ok
+    // Per-element verdicts for batched forwards: sized B once the forward
+    // ran (empty on batch-level failures — invalid input or a thrown
+    // fault). A non-finite element poisons only its own slot:
+    // element_boxes[i] stays valid (clipped) wherever element_errors[i] is
+    // kNone, so a micro-batching caller can serve the healthy elements and
+    // degrade the poisoned ones individually.
+    std::vector<InferError> element_errors;
+    std::vector<vision::Box> element_boxes;
     bool ok() const { return error == InferError::kNone; }
+    bool element_ok(int64_t i) const {
+      return i >= 0 && i < static_cast<int64_t>(element_errors.size()) &&
+             element_errors[static_cast<size_t>(i)] == InferError::kNone;
+    }
   };
   // Hardened predict(): validates input shapes against the config, runs the
   // forward pass (honouring runtime::FaultInjector's inference-path faults),
   // scans the activations and decoded boxes for non-finite values, and clips
   // every box to the input image bounds so a degenerate or out-of-frame box
   // can never escape. Never throws; all failures surface as a typed
-  // InferError with a message.
+  // InferError with a message. Like predict(), installs NoGradGuard +
+  // EvalModeGuard + PoolScope internally.
   InferOutcome infer(const Tensor& images,
                      const std::vector<int64_t>& tokens) noexcept;
 
@@ -81,9 +98,31 @@ class YolloModel : public nn::Module {
   // (the masks visualised in the paper's Figure 5).
   Tensor attention_map(const Output& out, int64_t batch_index) const;
 
+  // Self-contained variant: runs a grad-free eval-mode forward internally
+  // (same guards as predict) — no caller-managed train/eval state, no
+  // Output to thread through.
+  Tensor attention_map(const Tensor& images,
+                       const std::vector<int64_t>& tokens,
+                       int64_t batch_index);
+
   const std::vector<vision::Box>& anchors() const { return head_.anchors(); }
 
  private:
+  // Shared forward-and-decode core for predict() and infer(): one place
+  // owns the finiteness scan and the bounds clipping, so the two entry
+  // points can never drift. Assumes the caller installed the inference
+  // guards; may propagate exceptions from forward().
+  struct ForwardDecode {
+    InferError error = InferError::kNone;  // kNone iff every element is ok
+    std::string message;
+    std::vector<InferError> element_errors;  // [B]
+    std::vector<vision::Box> boxes;          // [B]; valid where element ok
+    bool all_ok() const { return error == InferError::kNone; }
+  };
+  ForwardDecode forward_and_decode(const Tensor& images,
+                                   const std::vector<int64_t>& tokens,
+                                   bool apply_fault_hooks);
+
   YolloConfig config_;
   vision::Backbone backbone_;
   nn::Embedding word_emb_;

@@ -82,6 +82,29 @@ class Module {
                        std::vector<NamedBuffer>& out);
 };
 
+// RAII: put a module subtree in eval mode (deterministic batch-norm, no
+// dropout, no running-statistic updates) and restore the previous mode on
+// destruction. Removes the "remember to call set_training(false)" footgun
+// around inference entry points — predict/infer install one internally, and
+// evaluation loops wrap themselves in one instead of hand-rolling the
+// save/restore dance.
+class EvalModeGuard {
+ public:
+  explicit EvalModeGuard(Module& module)
+      : module_(&module), was_training_(module.training()) {
+    if (was_training_) module_->set_training(false);
+  }
+  ~EvalModeGuard() {
+    if (was_training_) module_->set_training(true);
+  }
+  EvalModeGuard(const EvalModeGuard&) = delete;
+  EvalModeGuard& operator=(const EvalModeGuard&) = delete;
+
+ private:
+  Module* module_;
+  bool was_training_;
+};
+
 // Module-state payload layout (count + per-tensor numel + raw float data
 // for the parameter section, then the same for the buffer section).
 // Exposed so runtime checkpoints can embed a module's state inside a larger

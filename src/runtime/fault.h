@@ -65,8 +65,9 @@ class FaultInjector {
     // --- inference-path faults (see header comment) ----------------------
     // Throw InjectedFault from the next `fail_forward_count` forwards.
     int64_t fail_forward_count = 0;
-    // Overwrite the output scores of the next `poison_forward_count`
-    // forwards with NaN.
+    // Overwrite the output scores of the last batch element with NaN for
+    // the next `poison_forward_count` forwards (the whole output for a
+    // batch of one).
     int64_t poison_forward_count = 0;
     // Sleep `slow_forward_ms` milliseconds at the start of the next
     // `slow_forward_count` forwards.

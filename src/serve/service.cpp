@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/module.h"
+#include "tensor/pool.h"
 
 namespace yollo::serve {
 
@@ -32,6 +33,7 @@ InferenceService::InferenceService(core::YolloModel& model,
       fallback_(fallback) {
   config_.num_workers = std::max<int64_t>(1, config_.num_workers);
   config_.queue_capacity = std::max<int64_t>(1, config_.queue_capacity);
+  config_.batch_max = std::max<int64_t>(1, config_.batch_max);
   // One eval-mode replica per worker: threads never share mutable tensor
   // storage, so the pool needs no lock around the forward pass.
   replicas_.reserve(static_cast<size_t>(config_.num_workers));
@@ -148,58 +150,163 @@ GroundResponse InferenceService::ground(GroundRequest request) {
 
 void InferenceService::worker_loop(int64_t worker_id) {
   core::YolloModel& replica = *replicas_[static_cast<size_t>(worker_id)];
+  // Long-lived per-worker storage pool: the PoolScope that infer() installs
+  // internally joins this one, so tensor storage recycles across requests
+  // instead of only within a single forward.
+  PoolScope pool;
   for (;;) {
-    Job job;
+    std::vector<Job> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      // Micro-batching: coalesce whatever compatible work is already
+      // queued, up to batch_max — never hold the queue waiting for a batch
+      // to fill. All admitted jobs share the model's image geometry
+      // (admission validates against the config), so every queued job is
+      // batch-compatible.
+      const int64_t take =
+          std::min(config_.batch_max, static_cast<int64_t>(queue_.size()));
+      batch.reserve(static_cast<size_t>(take));
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
     }
+    process_batch(replica, batch);
+  }
+}
 
-    GroundResponse response;
-    response.normalised_query = job.normalised_query;
-
-    // Deadline check at dequeue: a request that starved in the queue is
-    // answered (typed), not silently processed past its budget.
-    if (Clock::now() >= job.deadline) {
+void InferenceService::process_batch(core::YolloModel& replica,
+                                     std::vector<Job>& batch) {
+  // Deadline check at dequeue, per request: a request that starved in the
+  // queue is answered (typed), not silently processed past its budget.
+  const Clock::time_point now = Clock::now();
+  std::vector<Job*> live;
+  live.reserve(batch.size());
+  for (Job& job : batch) {
+    if (now >= job.deadline) {
+      GroundResponse response;
+      response.normalised_query = job.normalised_query;
       response.status =
           Status::deadline_exceeded("deadline expired while queued");
       finish(job, std::move(response));
-      continue;
+    } else {
+      live.push_back(&job);
     }
+  }
+  if (live.empty()) return;
 
-    bool breaker_skip = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
+  // Circuit breaker: the cooldown is counted per request (deterministic for
+  // tests), exactly as in the single-image path — requests that consume
+  // cooldown slots go straight to the baseline tier.
+  std::vector<Job*> model_jobs;
+  std::vector<Job*> breaker_jobs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Job* job : live) {
       if (breaker_cooldown_left_ > 0) {
         --breaker_cooldown_left_;
-        breaker_skip = true;
+        breaker_jobs.push_back(job);
+      } else {
+        model_jobs.push_back(job);
       }
     }
+  }
+  for (Job* job : breaker_jobs) {
+    GroundResponse response;
+    response.normalised_query = job->normalised_query;
+    run_fallback_tier(*job, "circuit breaker open", response);
+    finish(*job, std::move(response));
+  }
 
-    std::string degrade_reason;
-    if (breaker_skip) {
-      degrade_reason = "circuit breaker open";
+  if (model_jobs.empty()) return;
+  if (model_jobs.size() == 1) {
+    run_single(replica, *model_jobs.front());
+  } else {
+    run_batched_model_tier(replica, model_jobs);
+  }
+}
+
+void InferenceService::run_single(core::YolloModel& replica, Job& job) {
+  GroundResponse response;
+  response.normalised_query = job.normalised_query;
+  if (run_model_tier(replica, job, response)) {
+    finish(job, std::move(response));
+    return;
+  }
+  const std::string degrade_reason =
+      "model tier failed: " + response.status.message;
+  // Deadline check between the model tier and the fallback tier.
+  if (Clock::now() >= job.deadline) {
+    response.status =
+        Status::deadline_exceeded("deadline expired after the model tier");
+    finish(job, std::move(response));
+    return;
+  }
+  run_fallback_tier(job, degrade_reason, response);
+  finish(job, std::move(response));
+}
+
+void InferenceService::run_batched_model_tier(core::YolloModel& replica,
+                                              const std::vector<Job*>& jobs) {
+  const int64_t k = static_cast<int64_t>(jobs.size());
+  const int64_t plane = 3 * model_config_.img_h * model_config_.img_w;
+  Tensor batched({k, 3, model_config_.img_h, model_config_.img_w});
+  std::vector<int64_t> tokens;
+  tokens.reserve(static_cast<size_t>(k * model_config_.max_query_len));
+  float* dst = batched.data();
+  for (int64_t i = 0; i < k; ++i) {
+    const Job& job = *jobs[static_cast<size_t>(i)];
+    std::copy(job.image.data(), job.image.data() + plane, dst + i * plane);
+    tokens.insert(tokens.end(), job.tokens.begin(), job.tokens.end());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.batches_coalesced;
+    counters_.batched_requests += k;
+    counters_.max_batch = std::max(counters_.max_batch, k);
+  }
+
+  const core::YolloModel::InferOutcome outcome = replica.infer(batched, tokens);
+
+  if (outcome.element_errors.size() != static_cast<size_t>(k)) {
+    // Batch-level failure (thrown fault, invalid input): no per-element
+    // verdicts exist. Every request re-runs the single-image pipeline —
+    // per-request retries and degradation, exactly as if it had never been
+    // coalesced. The failed batch attempt itself does not feed the breaker;
+    // the per-request salvage runs below do.
+    for (Job* job : jobs) run_single(replica, *job);
+    return;
+  }
+
+  if (outcome.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    consecutive_failures_ = 0;
+  }
+
+  // Answer the healthy elements first (a poisoned batch mate must not delay
+  // them further), then salvage the poisoned ones individually.
+  std::vector<Job*> salvage;
+  for (int64_t i = 0; i < k; ++i) {
+    Job& job = *jobs[static_cast<size_t>(i)];
+    if (!outcome.element_ok(i)) {
+      salvage.push_back(&job);
+      continue;
+    }
+    GroundResponse response;
+    response.normalised_query = job.normalised_query;
+    if (Clock::now() >= job.deadline) {
+      response.status = Status::deadline_exceeded(
+          "forward pass finished past the deadline");
     } else {
-      if (run_model_tier(replica, job, response)) {
-        finish(job, std::move(response));
-        continue;
-      }
-      degrade_reason = "model tier failed: " + response.status.message;
-      // Deadline check between the model tier and the fallback tier.
-      if (Clock::now() >= job.deadline) {
-        response.status = Status::deadline_exceeded(
-            "deadline expired after the model tier");
-        finish(job, std::move(response));
-        continue;
-      }
+      response.status = Status::ok_status();
+      response.box = outcome.element_boxes[static_cast<size_t>(i)];
     }
-
-    run_fallback_tier(job, degrade_reason, response);
     finish(job, std::move(response));
   }
+  for (Job* job : salvage) run_single(replica, *job);
 }
 
 bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,

@@ -54,6 +54,13 @@ namespace yollo::serve {
 struct ServeConfig {
   int64_t num_workers = 4;
   int64_t queue_capacity = 32;
+  // Micro-batching: a worker coalesces up to this many already-queued
+  // compatible requests into one batched forward. Never waits for a batch
+  // to fill — under light load this degenerates to single-image serving;
+  // under backlog the per-op fixed costs amortise across the batch.
+  // Per-request deadlines and per-element finiteness/clipping checks are
+  // preserved: a poisoned element degrades only that request. 1 disables.
+  int64_t batch_max = 4;
   // Deadline applied to requests that do not carry their own (deadline_ms
   // < 0). <= 0 disables the default deadline.
   int64_t default_deadline_ms = 0;
@@ -103,6 +110,10 @@ struct ServiceCounters {
   int64_t retries = 0;
   int64_t breaker_trips = 0;
   int64_t queue_high_water = 0;  // deepest the admission queue has been
+  // Micro-batching visibility (no effect on the accounting invariant).
+  int64_t batches_coalesced = 0;  // coalesced (>= 2 requests) forwards
+  int64_t batched_requests = 0;   // requests that rode a coalesced forward
+  int64_t max_batch = 0;          // largest coalesced batch so far
 };
 
 struct HealthSnapshot {
@@ -159,6 +170,18 @@ class InferenceService {
   };
 
   void worker_loop(int64_t worker_id);
+  // One dequeue round: deadline checks, breaker accounting, then either the
+  // single-image path or a coalesced batched forward for `batch`.
+  void process_batch(core::YolloModel& replica, std::vector<Job>& batch);
+  // Full single-request pipeline: model tier (retries) then fallback tier;
+  // always finishes the job. Also the salvage path for an element that
+  // failed inside a coalesced forward.
+  void run_single(core::YolloModel& replica, Job& job);
+  // One batched forward over >= 2 jobs with per-element failure isolation:
+  // healthy elements are answered from the batch, poisoned ones are retried
+  // and degraded individually.
+  void run_batched_model_tier(core::YolloModel& replica,
+                              const std::vector<Job*>& jobs);
   // Model tier for one job on this worker's replica: deadline-checked
   // attempts with retry. Returns true when `response` is final (answered or
   // deadline); false when the tier failed and the job should degrade.

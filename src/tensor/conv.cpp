@@ -17,7 +17,8 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
   const int64_t oh = spec.out_height(h);
   const int64_t ow = spec.out_width(w);
   const int64_t patch = c * spec.kernel_h * spec.kernel_w;
-  Tensor cols({n, patch, oh * ow});
+  // Every element is written below (padding positions get explicit zeros).
+  Tensor cols = Tensor::uninitialized({n, patch, oh * ow});
   const float* src = input.data();
   float* dst = cols.data();
 
@@ -98,7 +99,7 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
   const Tensor cols = im2col(input, spec);                    // [n,patch,oh*ow]
   const Tensor wmat = weight.reshape({spec.out_channels, patch});
 
-  Tensor out({n, spec.out_channels, oh, ow});
+  Tensor out = Tensor::uninitialized({n, spec.out_channels, oh, ow});
   for (int64_t ni = 0; ni < n; ++ni) {
     const Tensor col_n =
         cols.narrow(0, ni, 1).reshape({patch, oh * ow});

@@ -9,11 +9,15 @@ namespace yollo {
 namespace {
 
 // Generic broadcasting binary kernel. Fast path when shapes match exactly;
-// otherwise walks the broadcast output shape with per-operand strides.
+// otherwise the trailing dimensions over which each operand is either fully
+// contiguous or fully broadcast are collapsed into one tight inner loop
+// (vector*vector, vector*scalar, or scalar*vector — all vectorisable), and
+// an odometer walks only the remaining prefix. This covers every broadcast
+// in the model (bias rows, attention columns, normalisation stats).
 template <typename F>
 Tensor binary_op(const Tensor& a, const Tensor& b, F fn) {
   if (a.same_shape(b)) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::uninitialized(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -24,20 +28,58 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F fn) {
   const Shape out_shape = broadcast_shape(a.shape(), b.shape());
   const Strides sa = broadcast_strides(a.shape(), out_shape);
   const Strides sb = broadcast_strides(b.shape(), out_shape);
-  Tensor out(out_shape);
+  Tensor out = Tensor::uninitialized(out_shape);
   const int64_t n = out.numel();
   if (n == 0) return out;
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // Odometer iteration: increment coordinates and operand offsets in place
-  // instead of div/mod-unravelling every flat index.
   const int64_t rank = static_cast<int64_t>(out_shape.size());
-  std::vector<int64_t> coords(out_shape.size(), 0);
+  const Strides cs = contiguous_strides(out_shape);
+
+  // Grow the collapsed suffix while each operand stays uniformly
+  // contiguous (stride == the output's contiguous stride) or uniformly
+  // broadcast (stride == 0) across it.
+  int64_t d0 = rank;
+  bool a_contig = true, a_bcast = true, b_contig = true, b_bcast = true;
+  while (d0 > 0) {
+    const size_t d = static_cast<size_t>(d0 - 1);
+    const bool ac = a_contig && sa[d] == cs[d];
+    const bool ab = a_bcast && sa[d] == 0;
+    const bool bc = b_contig && sb[d] == cs[d];
+    const bool bb = b_bcast && sb[d] == 0;
+    if (!((ac || ab) && (bc || bb))) break;
+    a_contig = ac;
+    a_bcast = ab;
+    b_contig = bc;
+    b_bcast = bb;
+    --d0;
+  }
+  int64_t run = 1;
+  for (int64_t d = d0; d < rank; ++d) {
+    run *= out_shape[static_cast<size_t>(d)];
+  }
+
+  std::vector<int64_t> coords(static_cast<size_t>(rank), 0);
   int64_t offa = 0, offb = 0;
-  for (int64_t flat = 0; flat < n; ++flat) {
-    po[flat] = fn(pa[offa], pb[offb]);
-    for (int64_t d = rank - 1; d >= 0; --d) {
+  for (int64_t flat = 0; flat < n; flat += run) {
+    if (a_bcast && !b_bcast) {
+      const float av = pa[offa];
+      const float* pbr = pb + offb;
+      float* por = po + flat;
+      for (int64_t i = 0; i < run; ++i) por[i] = fn(av, pbr[i]);
+    } else if (b_bcast && !a_bcast) {
+      const float bv = pb[offb];
+      const float* par = pa + offa;
+      float* por = po + flat;
+      for (int64_t i = 0; i < run; ++i) por[i] = fn(par[i], bv);
+    } else {
+      const float* par = pa + offa;
+      const float* pbr = pb + offb;
+      float* por = po + flat;
+      for (int64_t i = 0; i < run; ++i) por[i] = fn(par[i], pbr[i]);
+    }
+    for (int64_t d = d0 - 1; d >= 0; --d) {
       const size_t ud = static_cast<size_t>(d);
       ++coords[ud];
       offa += sa[ud];
@@ -78,51 +120,51 @@ Tensor minimum(const Tensor& a, const Tensor& b) {
 }
 
 Tensor pow(const Tensor& a, float exponent) {
-  return a.map([exponent](float x) { return std::pow(x, exponent); });
+  return a.map_fn([exponent](float x) { return std::pow(x, exponent); });
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  return a.map([s](float x) { return x + s; });
+  return a.map_fn([s](float x) { return x + s; });
 }
 
 Tensor mul_scalar(const Tensor& a, float s) {
-  return a.map([s](float x) { return x * s; });
+  return a.map_fn([s](float x) { return x * s; });
 }
 
 Tensor neg(const Tensor& a) {
-  return a.map([](float x) { return -x; });
+  return a.map_fn([](float x) { return -x; });
 }
 
 Tensor exp(const Tensor& a) {
-  return a.map([](float x) { return std::exp(x); });
+  return a.map_fn([](float x) { return std::exp(x); });
 }
 
 Tensor log(const Tensor& a) {
-  return a.map([](float x) { return std::log(std::max(x, 1e-12f)); });
+  return a.map_fn([](float x) { return std::log(std::max(x, 1e-12f)); });
 }
 
 Tensor sqrt(const Tensor& a) {
-  return a.map([](float x) { return std::sqrt(x); });
+  return a.map_fn([](float x) { return std::sqrt(x); });
 }
 
 Tensor tanh(const Tensor& a) {
-  return a.map([](float x) { return std::tanh(x); });
+  return a.map_fn([](float x) { return std::tanh(x); });
 }
 
 Tensor sigmoid(const Tensor& a) {
-  return a.map([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return a.map_fn([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 
 Tensor relu(const Tensor& a) {
-  return a.map([](float x) { return x > 0.0f ? x : 0.0f; });
+  return a.map_fn([](float x) { return x > 0.0f ? x : 0.0f; });
 }
 
 Tensor abs(const Tensor& a) {
-  return a.map([](float x) { return std::fabs(x); });
+  return a.map_fn([](float x) { return std::fabs(x); });
 }
 
 Tensor clamp(const Tensor& a, float lo, float hi) {
-  return a.map([lo, hi](float x) { return std::clamp(x, lo, hi); });
+  return a.map_fn([lo, hi](float x) { return std::clamp(x, lo, hi); });
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {

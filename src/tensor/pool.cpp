@@ -1,0 +1,113 @@
+#include "tensor/pool.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+namespace yollo {
+namespace detail {
+namespace {
+
+// Buffers cached per distinct element count. Bounds worst-case retention to
+// kMaxPerSize * (number of distinct shapes) — a model forward has a small,
+// fixed shape vocabulary, so in practice the pool converges after one pass.
+constexpr size_t kMaxPerSize = 64;
+
+}  // namespace
+
+struct PoolState {
+  // Exact-size free lists. unique_ptr entries: buffers parked here are
+  // destroyed with the state, not routed back through the pool deleter.
+  std::unordered_map<int64_t,
+                     std::vector<std::unique_ptr<std::vector<float>>>>
+      free_lists;
+  const std::thread::id owner = std::this_thread::get_id();
+  PoolStats stats;
+};
+
+namespace {
+
+thread_local std::shared_ptr<PoolState> t_active_pool;
+
+// Custom deleter tagging a pooled buffer with its origin pool. When the
+// last reference drops on the owning thread while that pool is still the
+// thread's active one, the buffer is parked for reuse; in every other case
+// (foreign thread, scope already gone, free list full) it is freed
+// normally. Owner-thread-only mutation keeps the pool lock-free and
+// race-free.
+struct PoolDeleter {
+  std::weak_ptr<PoolState> pool;
+
+  void operator()(std::vector<float>* buffer) const {
+    if (std::shared_ptr<PoolState> state = pool.lock()) {
+      // `owner` is immutable after construction, safe to read anywhere;
+      // everything else is touched only when we *are* the owner thread.
+      if (state->owner == std::this_thread::get_id() &&
+          t_active_pool == state) {
+        auto& list = state->free_lists[static_cast<int64_t>(buffer->size())];
+        if (list.size() < kMaxPerSize) {
+          list.emplace_back(buffer);
+          ++state->stats.recycled;
+          return;
+        }
+        ++state->stats.dropped;
+      }
+    }
+    delete buffer;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<std::vector<float>> acquire_storage(int64_t n, bool zeroed) {
+  const size_t count = static_cast<size_t>(n);
+  const std::shared_ptr<PoolState>& state = t_active_pool;
+  if (!state) {
+    return std::make_shared<std::vector<float>>(count, 0.0f);
+  }
+  auto it = state->free_lists.find(n);
+  if (it != state->free_lists.end() && !it->second.empty()) {
+    std::unique_ptr<std::vector<float>> buffer = std::move(it->second.back());
+    it->second.pop_back();
+    ++state->stats.hits;
+    // Keep the Tensor(Shape) zero-fill contract: recycled memory must be
+    // indistinguishable from a fresh allocation. Kernels that overwrite
+    // every element (Tensor::uninitialized) skip this pass.
+    if (zeroed) std::fill(buffer->begin(), buffer->end(), 0.0f);
+    return std::shared_ptr<std::vector<float>>(buffer.release(),
+                                               PoolDeleter{state});
+  }
+  ++state->stats.misses;
+  return std::shared_ptr<std::vector<float>>(
+      new std::vector<float>(count, 0.0f), PoolDeleter{state});
+}
+
+}  // namespace detail
+
+PoolScope::PoolScope() {
+  if (!detail::t_active_pool) {
+    state_ = std::make_shared<detail::PoolState>();
+    detail::t_active_pool = state_;
+  }
+  // else: passthrough — join the already-active scope on this thread.
+}
+
+PoolScope::~PoolScope() {
+  if (state_) detail::t_active_pool.reset();
+}
+
+bool PoolScope::active() { return detail::t_active_pool != nullptr; }
+
+PoolStats PoolScope::stats() const {
+  const std::shared_ptr<detail::PoolState>& state =
+      state_ ? state_ : detail::t_active_pool;
+  return state ? state->stats : PoolStats{};
+}
+
+void PoolScope::trim() {
+  const std::shared_ptr<detail::PoolState>& state =
+      state_ ? state_ : detail::t_active_pool;
+  if (state) state->free_lists.clear();
+}
+
+}  // namespace yollo

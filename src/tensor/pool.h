@@ -1,0 +1,76 @@
+// StoragePool: a thread-local free-list that recycles same-size tensor
+// storage buffers behind the Tensor factories.
+//
+// Repeated inference forwards allocate and free the same set of temporary
+// shapes on every call (every transpose/permute/slice/elementwise kernel
+// materialises a fresh buffer). With a PoolScope active on the thread,
+// those buffers are returned to a per-size free list when their last
+// reference drops and handed back on the next same-size allocation, so the
+// hot path stops hitting the allocator entirely after the first forward.
+//
+// Rules (DESIGN.md §9):
+//  - Opt-in: pooling only happens inside an active PoolScope; without one,
+//    Tensor allocation behaviour is byte-for-byte the pre-pool behaviour.
+//  - Indistinguishable: a pooled buffer is re-zeroed on reuse, so callers
+//    cannot tell pooled and unpooled tensors apart (Tensor(Shape) stays
+//    zero-filled). Tensors may safely outlive the scope: their storage
+//    simply falls back to a plain free once the scope is gone.
+//  - Thread-local: the pool is owned by the thread that opened the scope.
+//    A buffer released on another thread (or after the scope died) is freed
+//    normally — never pushed onto a foreign free list — so the pool needs
+//    no locks and is ThreadSanitizer-clean by construction.
+//  - Nesting joins: opening a PoolScope while one is already active on the
+//    thread is a no-op passthrough, so an outer long-lived scope (e.g. a
+//    serve worker) keeps recycling across the inner scopes that
+//    YolloModel::predict/infer install internally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace yollo {
+
+namespace detail {
+struct PoolState;
+
+// Storage factory used by the Tensor constructors: pooled when a PoolScope
+// is active on this thread, a plain allocation otherwise. Returns a buffer
+// of `n` floats, zero-filled unless `zeroed` is false (then a recycled
+// buffer keeps its stale contents — only for callers that overwrite every
+// element before the tensor escapes; fresh allocations are zeroed either
+// way).
+std::shared_ptr<std::vector<float>> acquire_storage(int64_t n,
+                                                    bool zeroed = true);
+}  // namespace detail
+
+struct PoolStats {
+  int64_t hits = 0;      // acquisitions served from the free list
+  int64_t misses = 0;    // acquisitions that went to the allocator
+  int64_t recycled = 0;  // buffers returned to the free list
+  int64_t dropped = 0;   // buffers freed instead (full list / foreign thread)
+};
+
+class PoolScope {
+ public:
+  PoolScope();
+  ~PoolScope();
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+  // True when any PoolScope is active on the calling thread.
+  static bool active();
+
+  // Counters of the scope this object manages (the joined outer scope's
+  // counters when this scope was a passthrough). Call from the owning
+  // thread only.
+  PoolStats stats() const;
+
+  // Drop every cached buffer of the active pool back to the allocator.
+  void trim();
+
+ private:
+  std::shared_ptr<detail::PoolState> state_;  // null when passthrough
+};
+
+}  // namespace yollo

@@ -5,13 +5,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tensor/pool.h"
+
 namespace yollo {
 
 Tensor::Tensor() = default;
 
 Tensor::Tensor(Shape shape)
-    : storage_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(yollo::numel(shape)), 0.0f)),
+    : storage_(detail::acquire_storage(yollo::numel(shape))),
       shape_(std::move(shape)),
       numel_(yollo::numel(shape_)) {}
 
@@ -25,6 +26,14 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
                                 " does not match shape " +
                                 shape_to_string(shape_));
   }
+}
+
+Tensor Tensor::uninitialized(Shape shape) {
+  Tensor t;
+  t.numel_ = yollo::numel(shape);
+  t.storage_ = detail::acquire_storage(t.numel_, /*zeroed=*/false);
+  t.shape_ = std::move(shape);
+  return t;
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -149,7 +158,10 @@ Tensor Tensor::reshape(Shape new_shape) const {
 
 Tensor Tensor::clone() const {
   check_defined("clone");
-  return Tensor(shape_, *storage_);
+  // Route through Tensor(Shape) so the copy's storage is pool-eligible.
+  Tensor out(shape_);
+  std::copy(storage_->begin(), storage_->end(), out.storage_->begin());
+  return out;
 }
 
 Tensor Tensor::transpose(int64_t a, int64_t b) const {
@@ -171,7 +183,7 @@ Tensor Tensor::permute(const std::vector<int64_t>& order) const {
   for (size_t i = 0; i < order.size(); ++i) {
     out_shape[i] = shape_[static_cast<size_t>(normalize_axis(order[i], rank))];
   }
-  Tensor out(out_shape);
+  Tensor out = uninitialized(out_shape);
   if (numel_ == 0) return out;
   const Strides in_strides = contiguous_strides(shape_);
   Strides perm_strides(order.size());
@@ -179,13 +191,29 @@ Tensor Tensor::permute(const std::vector<int64_t>& order) const {
     perm_strides[i] =
         in_strides[static_cast<size_t>(normalize_axis(order[i], rank))];
   }
-  std::vector<int64_t> coords(static_cast<size_t>(rank), 0);
   const float* src = data();
   float* dst = out.data();
+  if (rank == 0) {
+    dst[0] = src[0];
+    return out;
+  }
+  // Specialised innermost loop: the odometer only advances per run of the
+  // last output dimension, and a stride-1 run (permutation keeps the input's
+  // innermost axis last) degenerates to a straight copy.
+  const size_t last = static_cast<size_t>(rank - 1);
+  const int64_t inner = out_shape[last];
+  const int64_t inner_stride = perm_strides[last];
+  std::vector<int64_t> coords(static_cast<size_t>(rank), 0);
   int64_t offset = 0;
-  for (int64_t flat = 0; flat < numel_; ++flat) {
-    dst[flat] = src[offset];
-    for (int64_t d = rank - 1; d >= 0; --d) {
+  for (int64_t flat = 0; flat < numel_; flat += inner) {
+    if (inner_stride == 1) {
+      std::copy(src + offset, src + offset + inner, dst + flat);
+    } else {
+      for (int64_t i = 0; i < inner; ++i) {
+        dst[flat + i] = src[offset + i * inner_stride];
+      }
+    }
+    for (int64_t d = rank - 2; d >= 0; --d) {
       const size_t ud = static_cast<size_t>(d);
       ++coords[ud];
       offset += perm_strides[ud];
@@ -324,12 +352,7 @@ void Tensor::copy_from(const Tensor& src) {
 }
 
 Tensor Tensor::map(const std::function<float(float)>& fn) const {
-  check_defined("map");
-  Tensor out(shape_);
-  const float* src = data();
-  float* dst = out.data();
-  for (int64_t i = 0; i < numel_; ++i) dst[i] = fn(src[i]);
-  return out;
+  return map_fn(fn);
 }
 
 std::vector<float> Tensor::to_vector() const {

@@ -34,6 +34,12 @@ class Tensor {
   Tensor(Shape shape, std::vector<float> values);
 
   // --- factories -----------------------------------------------------------
+  // Kernel-internal factory: storage contents are unspecified (a recycled
+  // pool buffer keeps its stale values). Every element MUST be written
+  // before the tensor escapes the kernel — use Tensor(Shape) anywhere the
+  // zero-fill contract matters. Exists to avoid a redundant memory pass in
+  // kernels that fully overwrite their output.
+  static Tensor uninitialized(Shape shape);
   static Tensor zeros(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, float value);
@@ -100,6 +106,20 @@ class Tensor {
 
   // --- elementwise map (returns new tensor) --------------------------------
   Tensor map(const std::function<float(float)>& fn) const;
+
+  // Inlinable variant: the functor is a template parameter, so the
+  // per-element call compiles down to straight-line code instead of an
+  // indirect std::function dispatch (this is the hot path of every unary
+  // tensor op).
+  template <typename F>
+  Tensor map_fn(F&& fn) const {
+    check_defined("map");
+    Tensor out = uninitialized(shape_);
+    const float* src = data();
+    float* dst = out.data();
+    for (int64_t i = 0; i < numel_; ++i) dst[i] = fn(src[i]);
+    return out;
+  }
 
   // --- conversions ---------------------------------------------------------
   std::vector<float> to_vector() const;

@@ -569,6 +569,114 @@ TEST(ServiceTest, HealthSnapshotReflectsLifecycle) {
   EXPECT_NE(response.status.message.find("stopped"), std::string::npos);
 }
 
+// --- micro-batching ---------------------------------------------------------
+
+TEST(ServiceBatchingTest, BacklogIsCoalescedAndEveryRequestAnswered) {
+  FaultGuard guard;
+  ServeHarness h;
+  // Block the single worker for 300ms so a backlog builds up behind it.
+  runtime::FaultInjector::Config fc;
+  fc.slow_forward_ms = 300;
+  fc.slow_forward_count = 1;
+  runtime::FaultInjector::instance().configure(fc);
+
+  ServeConfig sc;
+  sc.num_workers = 1;
+  sc.batch_max = 4;
+  InferenceService service(h.model, h.vocab, sc, h.pipeline.get());
+
+  auto blocker = service.submit(h.request("red circle", 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::future<GroundResponse>> queued;
+  for (uint64_t i = 0; i < 3; ++i) {
+    queued.push_back(service.submit(h.request("red circle", 10 + i)));
+  }
+
+  EXPECT_TRUE(blocker.get().status.ok());
+  for (auto& future : queued) {
+    const GroundResponse response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+    expect_box_within(response.box, h.cfg);
+  }
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.batches_coalesced, 1);
+  EXPECT_EQ(counters.batched_requests, 3);
+  EXPECT_EQ(counters.max_batch, 3);
+  EXPECT_EQ(counters.served, 4);
+}
+
+TEST(ServiceBatchingTest, BatchMaxOneDisablesCoalescing) {
+  FaultGuard guard;
+  ServeHarness h;
+  runtime::FaultInjector::Config fc;
+  fc.slow_forward_ms = 300;
+  fc.slow_forward_count = 1;
+  runtime::FaultInjector::instance().configure(fc);
+
+  ServeConfig sc;
+  sc.num_workers = 1;
+  sc.batch_max = 1;
+  InferenceService service(h.model, h.vocab, sc, h.pipeline.get());
+
+  auto blocker = service.submit(h.request());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::future<GroundResponse>> queued;
+  for (uint64_t i = 0; i < 3; ++i) {
+    queued.push_back(service.submit(h.request("red circle", 20 + i)));
+  }
+  EXPECT_TRUE(blocker.get().status.ok());
+  for (auto& future : queued) EXPECT_TRUE(future.get().status.ok());
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.batches_coalesced, 0);
+  EXPECT_EQ(counters.batched_requests, 0);
+  EXPECT_EQ(counters.served, 4);
+}
+
+TEST(ServiceBatchingTest, PoisonedElementDegradesOnlyItsOwnRequest) {
+  FaultGuard guard;
+  ServeHarness h;
+  // Shot 1 (slow): blocks the worker so three requests queue up behind it.
+  // Poison shot 1 lands on the blocker's forward; with max_retries = 0 it
+  // degrades to the baseline. Poison shot 2 lands on the coalesced batch
+  // forward and corrupts its LAST element only: the first two batch mates
+  // must be served from the batch, the third salvaged individually (shots
+  // exhausted by then, so its solo forward is clean and returns kOk).
+  runtime::FaultInjector::Config fc;
+  fc.slow_forward_ms = 300;
+  fc.slow_forward_count = 1;
+  fc.poison_forward_count = 2;
+  runtime::FaultInjector::instance().configure(fc);
+
+  ServeConfig sc;
+  sc.num_workers = 1;
+  sc.batch_max = 4;
+  sc.max_retries = 0;
+  sc.breaker_threshold = 100;  // keep the breaker out of this test
+  InferenceService service(h.model, h.vocab, sc, h.pipeline.get());
+
+  auto blocker = service.submit(h.request("red circle", 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::future<GroundResponse>> queued;
+  for (uint64_t i = 0; i < 3; ++i) {
+    queued.push_back(service.submit(h.request("red circle", 30 + i)));
+  }
+
+  const GroundResponse blocked = blocker.get();
+  EXPECT_EQ(blocked.status.code, StatusCode::kDegraded);
+  for (auto& future : queued) {
+    const GroundResponse response = future.get();
+    // Batch mates ride the coalesced forward; the poisoned element is
+    // salvaged solo — every one of them still ends kOk.
+    EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+    expect_box_within(response.box, h.cfg);
+  }
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.batches_coalesced, 1);
+  EXPECT_EQ(counters.batched_requests, 3);
+  EXPECT_EQ(counters.served, 4);
+  EXPECT_EQ(counters.degraded, 1);  // only the blocker
+}
+
 // --- concurrency stress under injected faults -------------------------------
 
 TEST(ServiceStressTest, MixedLoadUnderFaultsLosesNoRequest) {
