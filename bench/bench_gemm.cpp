@@ -1,0 +1,190 @@
+// GEMM runtime throughput — what the blocked/packed kernel buys over the
+// retained naive kernel (DESIGN.md §10), on the GEMM shapes the model
+// actually runs.
+//
+// Per shape, three single-thread variants:
+//   naive          gemm_reference (the pre-runtime i-k-j kernel)
+//   blocked        the packed register-tiled kernel
+//   blocked_fused  same, with the bias+ReLU epilogue fused into the
+//                  output pass (naive runs them as a separate sweep)
+// plus the blocked kernel at YOLLO_BENCH_THREADS workers (default 4) to
+// show the parallel_for partitioning. On a single-core host the mt row
+// measures scheduling overhead, not speedup.
+//
+// Usage: bench_gemm [json-path]   (default BENCH_gemm.json; YOLLO_BENCH_SCALE
+// honoured). scripts/run_benchmarks.sh writes it at the repo root.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
+#include "tensor/pool.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace yollo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The GEMMs one forward of the (64x96) model decomposes into, via im2col
+// (m = Cout, k = Cin*kh*kw, n = out_h*out_w) and the Rel2Att stack, plus a
+// reference square.
+struct BenchShape {
+  const char* label;
+  int64_t m, n, k;
+};
+const BenchShape kShapes[] = {
+    {"conv_stem", 12, 6144, 27},      // 3ch 64x96 -> 12ch
+    {"conv_stage1", 16, 1536, 108},   // 12ch 32x48 -> 16ch
+    {"conv_stage2", 24, 384, 144},    // 16ch 16x24 -> 24ch
+    {"conv_stage3", 48, 96, 432},     // 48ch residual block, 8x12
+    {"rel2att_ffn", 896, 64, 48},     // batch 8 x (96+16) tokens, FFN hidden
+    {"relation_map", 112, 112, 48},   // X1 X2^T per image
+    {"square_256", 256, 256, 256},
+};
+
+// Best-of-`rounds` GFLOP/s for `fn`, each round long enough to dominate
+// timer noise.
+double measure_gflops(int64_t flops_per_call, const std::function<void()>& fn,
+                      int rounds, double min_round_sec) {
+  fn();  // warmup / first-touch
+  const int64_t calls = std::max<int64_t>(
+      1, static_cast<int64_t>(min_round_sec * 2e9 /
+                              static_cast<double>(flops_per_call)));
+  double best = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    const Clock::time_point start = Clock::now();
+    for (int64_t i = 0; i < calls; ++i) fn();
+    const double sec =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const double gflops = static_cast<double>(flops_per_call) *
+                          static_cast<double>(calls) / sec / 1e9;
+    best = std::max(best, gflops);
+  }
+  return best;
+}
+
+struct ShapeResult {
+  const BenchShape* shape = nullptr;
+  double naive = 0.0;
+  double blocked = 0.0;
+  double blocked_fused = 0.0;
+  double blocked_mt = 0.0;
+};
+
+}  // namespace
+}  // namespace yollo
+
+int main(int argc, char** argv) {
+  using namespace yollo;
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_gemm.json";
+  const char* scale_env = std::getenv("YOLLO_BENCH_SCALE");
+  const bool quick = scale_env != nullptr && std::strcmp(scale_env, "quick") == 0;
+  const int rounds = quick ? 2 : 3;
+  const double min_round_sec = quick ? 0.05 : 0.25;
+  const char* threads_env = std::getenv("YOLLO_BENCH_THREADS");
+  const int mt_threads =
+      threads_env != nullptr ? std::max(1, std::atoi(threads_env)) : 4;
+
+  Rng rng(2026);
+  PoolScope pool;  // recycle the packing buffers, as the model's callers do
+  std::vector<ShapeResult> results;
+
+  std::printf("== GEMM throughput, GFLOP/s (best of %d) ==\n", rounds);
+  std::printf("%14s %18s %8s %9s %9s %12s %11s\n", "shape", "m x n x k",
+              "naive", "blocked", "fused", "blocked(x" , "speedup");
+  for (const BenchShape& s : kShapes) {
+    Tensor a({s.m, s.k});
+    Tensor b({s.k, s.n});
+    Tensor bias({s.n});
+    Tensor c({s.m, s.n});
+    for (Tensor* t : {&a, &b, &bias}) {
+      float* p = t->data();
+      for (int64_t i = 0; i < t->numel(); ++i) p[i] = rng.uniform(-1.0f, 1.0f);
+    }
+    const int64_t flops = 2 * s.m * s.n * s.k;
+    GemmEpilogue fused;
+    fused.bias = bias.data();
+    fused.relu = true;
+
+    ShapeResult r;
+    r.shape = &s;
+    set_num_threads(1);
+    r.naive = measure_gflops(
+        flops,
+        [&] {
+          gemm_reference(false, false, s.m, s.n, s.k, a.data(), b.data(),
+                         c.data(), fused);
+        },
+        rounds, min_round_sec);
+    r.blocked = measure_gflops(
+        flops,
+        [&] { gemm(false, false, s.m, s.n, s.k, a.data(), b.data(), c.data()); },
+        rounds, min_round_sec);
+    r.blocked_fused = measure_gflops(
+        flops,
+        [&] {
+          gemm(false, false, s.m, s.n, s.k, a.data(), b.data(), c.data(),
+               fused);
+        },
+        rounds, min_round_sec);
+    set_num_threads(mt_threads);
+    r.blocked_mt = measure_gflops(
+        flops,
+        [&] { gemm(false, false, s.m, s.n, s.k, a.data(), b.data(), c.data()); },
+        rounds, min_round_sec);
+    set_num_threads(1);
+    results.push_back(r);
+
+    char dims[32];
+    std::snprintf(dims, sizeof(dims), "%lld x %lld x %lld",
+                  static_cast<long long>(s.m), static_cast<long long>(s.n),
+                  static_cast<long long>(s.k));
+    std::printf("%14s %18s %8.2f %9.2f %9.2f %9.2f(x%d) %10.2fx\n", s.label,
+                dims, r.naive, r.blocked, r.blocked_fused, r.blocked_mt,
+                mt_threads, r.blocked / std::max(r.naive, 1e-9));
+  }
+
+  double log_sum = 0.0;
+  for (const ShapeResult& r : results) {
+    log_sum += std::log(r.blocked / std::max(r.naive, 1e-9));
+  }
+  const double geomean =
+      std::exp(log_sum / static_cast<double>(results.size()));
+  std::printf("geomean speedup blocked vs naive: %.2fx\n", geomean);
+
+  FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"threads_mt\": %d,\n  \"shapes\": [\n",
+               mt_threads);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ShapeResult& r = results[i];
+    std::fprintf(
+        json,
+        "    {\"label\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
+        "\"naive_gflops\": %.3f, \"blocked_gflops\": %.3f, "
+        "\"blocked_fused_gflops\": %.3f, \"blocked_mt_gflops\": %.3f, "
+        "\"speedup_blocked_vs_naive\": %.3f}%s\n",
+        r.shape->label, static_cast<long long>(r.shape->m),
+        static_cast<long long>(r.shape->n), static_cast<long long>(r.shape->k),
+        r.naive, r.blocked, r.blocked_fused, r.blocked_mt,
+        r.blocked / std::max(r.naive, 1e-9), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"geomean_speedup_blocked_vs_naive\": %.3f\n}\n",
+               geomean);
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

@@ -1,11 +1,11 @@
-// Baseline measurement for BENCH_infer.json: the PR-2 inference path.
+// Baseline measurement for BENCH_infer.json: the previous revision's
+// inference path.
 //
 // This file is NOT built as part of the current tree. scripts/run_benchmarks.sh
-// extracts the pre-refactor revision (the commit before the grad-free
-// inference engine landed), copies this harness in, builds it against that
-// tree, and runs it. It therefore uses only APIs that exist at that
-// revision: eval-mode predict() with the autograd graph recorded on every
-// forward, unpooled tensor allocation, and the single-image-per-forward
+// extracts the baseline revision from git (YOLLO_BASELINE_REV, the
+// preceding perf PR's merge commit), copies this harness in, builds it
+// against that tree, and runs it. It therefore uses only APIs that every
+// candidate baseline revision has: eval-mode predict() and the
 // InferenceService. The workload (dataset, image size, query, iteration
 // counts, serve burst) mirrors bench_infer_latency.cpp exactly so the two
 // JSON files are directly comparable.

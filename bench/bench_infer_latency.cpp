@@ -9,13 +9,13 @@
 // and a batched forward at batch 8 (per-image cost). Part 2 drives the
 // serving layer with the same burst of requests at batch_max 1 vs 8.
 //
-// The acceptance baseline is the pre-refactor (PR-2) inference path, whose
-// kernels this PR also rewrote — measuring the current binary's grad_on
-// mode would credit the baseline with those kernel wins. So
-// scripts/run_benchmarks.sh builds the pre-refactor revision from git, runs
+// The acceptance baseline is the previous perf PR's inference path, whose
+// kernels each new perf PR also rewrites — measuring the current binary's
+// grad_on mode would credit the baseline with those kernel wins. So
+// scripts/run_benchmarks.sh builds the baseline revision from git, runs
 // bench_infer_baseline on the identical workload, and passes the measured
 // numbers here via --baseline_* flags; they land in the JSON as
-// "baseline_pr2" together with the speedups against them.
+// "baseline_prev" together with the speedups against them.
 //
 // Usage: bench_infer_latency [json-path]
 //          [--baseline_predict_p50_ms=X] [--baseline_predict_p95_ms=X]
@@ -240,10 +240,10 @@ int main(int argc, char** argv) {
   print_row("batched_8", batched, grad_on.p50);
   if (have_baseline) {
     std::printf("%14s %10.2f %10.2f %10s %9s  (measured at %s)\n",
-                "pr2_predict", baseline_p50, baseline_p95, "-", "1.00x",
+                "prev_predict", baseline_p50, baseline_p95, "-", "1.00x",
                 baseline_rev.empty() ? "pre-refactor rev"
                                      : baseline_rev.c_str());
-    std::printf("  speedup vs PR-2 baseline: predict %.2fx, "
+    std::printf("  speedup vs prev-revision baseline: predict %.2fx, "
                 "no_grad_pool %.2fx, batched_8 %.2fx\n",
                 baseline_p50 / std::max(predict.p50, 1e-9),
                 baseline_p50 / std::max(no_grad_pool.p50, 1e-9),
@@ -269,7 +269,7 @@ int main(int argc, char** argv) {
       static_cast<long long>(serve8.max_batch),
       serve8.throughput / std::max(serve1.throughput, 1e-9));
   if (have_baseline && baseline_rps > 0.0) {
-    std::printf("  vs PR-2 service (%.1f req/s): %.2fx\n", baseline_rps,
+    std::printf("  vs prev-revision service (%.1f req/s): %.2fx\n", baseline_rps,
                 serve8.throughput / baseline_rps);
   }
 
@@ -303,14 +303,14 @@ int main(int argc, char** argv) {
   if (have_baseline) {
     std::fprintf(
         json,
-        "  \"baseline_pr2\": {\n"
+        "  \"baseline_prev\": {\n"
         "    \"rev\": \"%s\",\n"
         "    \"predict_p50_ms\": %.4f,\n"
         "    \"predict_p95_ms\": %.4f,\n"
         "    \"serve_throughput_rps\": %.2f,\n"
-        "    \"speedup_predict_vs_pr2\": %.3f,\n"
-        "    \"speedup_no_grad_pool_vs_pr2\": %.3f,\n"
-        "    \"speedup_batched_8_vs_pr2\": %.3f\n  },\n",
+        "    \"speedup_predict_vs_prev\": %.3f,\n"
+        "    \"speedup_no_grad_pool_vs_prev\": %.3f,\n"
+        "    \"speedup_batched_8_vs_prev\": %.3f\n  },\n",
         baseline_rev.c_str(), baseline_p50, baseline_p95, baseline_rps,
         baseline_p50 / std::max(predict.p50, 1e-9),
         baseline_p50 / std::max(no_grad_pool.p50, 1e-9),
@@ -335,7 +335,7 @@ int main(int argc, char** argv) {
                static_cast<long long>(serve_requests),
                serve8.throughput / std::max(serve1.throughput, 1e-9));
   if (have_baseline && baseline_rps > 0.0) {
-    std::fprintf(json, ",\n    \"throughput_gain_vs_pr2\": %.3f",
+    std::fprintf(json, ",\n    \"throughput_gain_vs_prev\": %.3f",
                  serve8.throughput / baseline_rps);
   }
   std::fprintf(json, "\n  }\n}\n");

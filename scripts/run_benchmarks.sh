@@ -1,29 +1,33 @@
 #!/usr/bin/env sh
-# Build and run the inference-engine latency benchmark, writing
+# Build and run the performance benchmarks, writing BENCH_gemm.json and
 # BENCH_infer.json at the repo root.
 #
 #   scripts/run_benchmarks.sh [build-dir]
 #
-# The acceptance baseline for the grad-free inference engine is the
-# pre-refactor (PR-2) inference path. Because the refactor also rewrote the
-# shared tensor kernels, the current binary's grad_on mode is NOT that
-# baseline — it already benefits from the kernel work. So this script
-# extracts the pre-refactor revision from git (YOLLO_BASELINE_REV, default
-# the last pre-engine commit), builds bench/bench_infer_baseline.cpp inside
-# that tree, measures the same workload there, and passes the numbers to
-# bench_infer_latency, which embeds them in BENCH_infer.json as
-# "baseline_pr2". Set YOLLO_BASELINE_REV= (empty) to skip the baseline.
+# The acceptance baseline for each perf PR is the previous PR's inference
+# path. Because these PRs also rewrite the shared tensor kernels, the
+# current binary cannot measure that baseline — it already benefits from
+# the kernel work. So this script extracts the previous revision from git
+# (YOLLO_BASELINE_REV, default the preceding perf PR's merge commit),
+# builds bench/bench_infer_baseline.cpp inside that tree, measures the same
+# workload there, and passes the numbers to bench_infer_latency, which
+# embeds them in BENCH_infer.json as "baseline_prev". Set
+# YOLLO_BASELINE_REV= (empty) to skip the baseline.
 #
 # YOLLO_BENCH_SCALE=quick shrinks the run for smoke testing.
 set -eu
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
-BASELINE_REV="${YOLLO_BASELINE_REV-3620a66a9365455a2ad83c9c4384622150119015}"
+BASELINE_REV="${YOLLO_BASELINE_REV-05c8f6177aaa74578863d644996955595649245e}"
 
 # Pin Release: latency numbers from a Debug/RelWithDebInfo tree are noise.
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build "$BUILD" -j --target bench_infer_latency > /dev/null
+cmake --build "$BUILD" -j --target bench_infer_latency --target bench_gemm \
+  > /dev/null
+
+# GEMM kernel throughput (naive vs blocked vs fused, 1 vs N threads).
+"$BUILD/bench/bench_gemm" "$ROOT/BENCH_gemm.json"
 
 BASELINE_ARGS=""
 if [ -n "$BASELINE_REV" ] && git -C "$ROOT" rev-parse --verify \
@@ -32,7 +36,7 @@ if [ -n "$BASELINE_REV" ] && git -C "$ROOT" rev-parse --verify \
   BASE_SRC="$BASE_DIR/src-tree"
   BASE_BUILD="$BASE_DIR/build"
   if [ ! -x "$BASE_BUILD/bench/bench_infer_baseline" ]; then
-    echo "building PR-2 baseline at $BASELINE_REV ..."
+    echo "building previous-revision baseline at $BASELINE_REV ..."
     rm -rf "$BASE_SRC"
     mkdir -p "$BASE_SRC"
     git -C "$ROOT" archive "$BASELINE_REV" | tar -x -C "$BASE_SRC"

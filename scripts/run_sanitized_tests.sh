@@ -5,7 +5,10 @@
 #   scripts/run_sanitized_tests.sh [mode] [build-dir]
 #
 #   mode: address (default)  AddressSanitizer + UndefinedBehaviorSanitizer
-#         thread             ThreadSanitizer (races in yollo::serve)
+#         thread             ThreadSanitizer (races in yollo::serve and the
+#                            intra-op parallel_for pool; the kernel-heavy
+#                            suites are re-run with YOLLO_NUM_THREADS=4 so
+#                            the pool actually partitions work)
 #         both               address tree, then thread tree
 set -eu
 
@@ -28,6 +31,17 @@ run_mode() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$dir" -j
   ctest --test-dir "$dir" --output-on-failure -j"$(nproc)"
+  if [ "$mode" = thread ]; then
+    # Default YOLLO_NUM_THREADS is 1, which makes parallel_for a direct
+    # call; re-run the suites that drive the GEMM/conv/elementwise kernels
+    # with a real worker pool so TSan watches the job hand-off and the
+    # disjoint-range writes.
+    echo "re-running kernel suites with YOLLO_NUM_THREADS=4 under TSan ..."
+    for t in tensor_test gemm_test nn_test infer_engine_test; do
+      echo "  YOLLO_NUM_THREADS=4 $t"
+      YOLLO_NUM_THREADS=4 "$dir/tests/$t"
+    done
+  fi
 }
 
 case "$MODE" in

@@ -1,6 +1,8 @@
 #include "autograd/ops.h"
 
 #include <algorithm>
+
+#include "tensor/gemm.h"
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -353,17 +355,59 @@ Variable matmul(const Variable& a, const Variable& b) {
   return Variable::make_op(
       yollo::matmul(a.value(), b.value()), {a, b},
       [an, bn](const Tensor& g) {
-        const int64_t rank = an->data.ndim();
-        const int64_t last = rank - 1;
-        const int64_t second_last = rank - 2;
-        if (an->requires_grad) {
-          feed(an, yollo::matmul(g, bn->data.transpose(second_last, last)));
-        }
-        if (bn->requires_grad) {
-          feed(bn, yollo::matmul(an->data.transpose(second_last, last), g));
-        }
+        // dA = g·Bᵀ, dB = Aᵀ·g — served by the transpose-aware GEMM entry
+        // points, so no operand is ever materialised transposed.
+        if (an->requires_grad) feed(an, yollo::matmul_nt(g, bn->data));
+        if (bn->requires_grad) feed(bn, yollo::matmul_tn(an->data, g));
       },
       "matmul");
+}
+
+Variable matmul_nt(const Variable& a, const Variable& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return Variable::make_op(
+      yollo::matmul_nt(a.value(), b.value()), {a, b},
+      [an, bn](const Tensor& g) {
+        // y = a·bᵀ  ⇒  dA = g·b, dB = gᵀ·a.
+        if (an->requires_grad) {
+          feed(an, yollo::batched_matmul(g, false, bn->data, false));
+        }
+        if (bn->requires_grad) feed(bn, yollo::matmul_tn(g, an->data));
+      },
+      "matmul_nt");
+}
+
+Variable linear(const Variable& x, const Variable& w, const Variable& bias,
+                bool fuse_relu) {
+  NodePtr xn = x.node(), wn = w.node();
+  NodePtr bn = bias.defined() ? bias.node() : nullptr;
+  Tensor y = linear_forward(x.value(), w.value(),
+                            bias.defined() ? bias.value() : Tensor(),
+                            fuse_relu);
+  std::vector<Variable> parents{x, w};
+  if (bias.defined()) parents.push_back(bias);
+  return Variable::make_op(
+      y, std::move(parents),
+      [xn, wn, bn, y, fuse_relu](const Tensor& g) {
+        Tensor ge = g;
+        if (fuse_relu) {
+          // The fused ReLU's derivative comes from the saved output: a unit
+          // was clamped iff y == 0 there (pre-activation ≤ 0).
+          ge = Tensor::uninitialized(g.shape());
+          const float* yp = y.data();
+          const float* gp = g.data();
+          float* dp = ge.data();
+          for (int64_t i = 0; i < g.numel(); ++i) {
+            dp[i] = yp[i] > 0.0f ? gp[i] : 0.0f;
+          }
+        }
+        if (xn->requires_grad) feed(xn, yollo::matmul_nt(ge, wn->data));
+        if (wn->requires_grad) feed(wn, yollo::matmul_tn(xn->data, ge));
+        if (bn != nullptr && bn->requires_grad) {
+          feed(bn, yollo::sum(ge, 0, /*keepdim=*/false));
+        }
+      },
+      "linear");
 }
 
 Variable sum(const Variable& a) {

@@ -71,6 +71,14 @@ Variable embedding(const Variable& weight, const std::vector<int64_t>& ids);
 
 // --- linear algebra ---------------------------------------------------------------
 Variable matmul(const Variable& a, const Variable& b);  // 2-D or batched 3-D
+// a · bᵀ without materialising the transpose (2-D or batched 3-D; the
+// attention-similarity product). Backward is likewise transpose-free.
+Variable matmul_nt(const Variable& a, const Variable& b);
+// Fused Linear: x[rows,in] · w[in,out] + bias (+ ReLU when fuse_relu) in a
+// single kernel pass; backward runs on the transpose-aware GEMM entry
+// points. `bias` may be undefined.
+Variable linear(const Variable& x, const Variable& w, const Variable& bias,
+                bool fuse_relu = false);
 
 // --- reductions --------------------------------------------------------------------
 Variable sum(const Variable& a);                       // -> rank-0

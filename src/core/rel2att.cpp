@@ -93,10 +93,10 @@ Rel2Att::Output Rel2Att::forward(const ag::Variable& v, const ag::Variable& t,
   ag::Variable x1 = ag::concat({v1, t1}, 1);  // [B, k, d_rel]
   ag::Variable x2 = ag::concat({v2, t2}, 1);
 
-  // Eq. (3): dense relation map R = X1 X2^T / sqrt(d_rel).
+  // Eq. (3): dense relation map R = X1 X2^T / sqrt(d_rel). matmul_nt reads
+  // X2 transposed in place — no materialised copy on either pass.
   const float scale = 1.0f / std::sqrt(static_cast<float>(config_->d_rel));
-  ag::Variable r =
-      ag::mul_scalar(ag::matmul(x1, ag::transpose(x2, 1, 2)), scale);
+  ag::Variable r = ag::mul_scalar(ag::matmul_nt(x1, x2), scale);
 
   // Per-block learnable gains: R_eff = sum_b gain_b * (R o mask_b).
   ag::Variable gains = ag::add(

@@ -9,6 +9,7 @@
 #include "optim/optim.h"
 #include "runtime/checkpoint.h"
 #include "runtime/fault.h"
+#include "tensor/pool.h"
 #include "word2vec/word2vec.h"
 
 namespace yollo::core {
@@ -72,6 +73,11 @@ TrainResult train_yollo(YolloModel& model,
     }
   }
 
+  // Every step allocates the same set of temporary shapes — the im2col
+  // column buffers of conv forward+backward are the largest tensors in the
+  // process. A scope across the whole loop recycles all of them through the
+  // StoragePool, so steady-state steps stop hitting the allocator.
+  PoolScope pool;
   eval::Stopwatch watch;
   std::vector<std::vector<int64_t>> batches;
   int64_t batches_epoch = -1;
@@ -215,6 +221,7 @@ void recalibrate_batchnorm(YolloModel& model,
                            int64_t batches, int64_t batch_size) {
   Rng rng(4242);
   const bool was_training = model.training();
+  PoolScope pool;  // recalibration forwards recycle the same conv buffers
   model.set_training(true);
   const auto batch_lists = data::make_batches(
       static_cast<int64_t>(samples.size()), batch_size, rng);

@@ -20,7 +20,7 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
   }
 }
 
-ag::Variable Linear::forward(const ag::Variable& x) {
+ag::Variable Linear::forward(const ag::Variable& x, bool fuse_relu) {
   if (x.size(-1) != in_features_) {
     throw std::invalid_argument("Linear: input feature dim " +
                                 std::to_string(x.size(-1)) + " != " +
@@ -31,10 +31,9 @@ ag::Variable Linear::forward(const ag::Variable& x) {
   if (x.ndim() != 2) {
     flat = ag::reshape(x, {-1, in_features_});
   }
-  ag::Variable y = ag::matmul(flat, weight);
-  if (has_bias_) {
-    y = ag::add(y, bias);  // bias broadcasts over rows
-  }
+  // GEMM, bias and (optionally) ReLU in one fused output pass.
+  ag::Variable y =
+      ag::linear(flat, weight, has_bias_ ? bias : ag::Variable(), fuse_relu);
   if (in_shape.size() != 2) {
     Shape out_shape = in_shape;
     out_shape.back() = out_features_;
@@ -176,7 +175,7 @@ FFN::FFN(int64_t in_dim, int64_t hidden_dim, int64_t out_dim, Rng& rng)
 }
 
 ag::Variable FFN::forward(const ag::Variable& x) {
-  return fc2.forward(ag::relu(fc1.forward(x)));
+  return fc2.forward(fc1.forward(x, /*fuse_relu=*/true));
 }
 
 }  // namespace yollo::nn

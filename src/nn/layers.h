@@ -17,7 +17,9 @@ class Linear : public Module {
   Linear(int64_t in_features, int64_t out_features, Rng& rng,
          bool bias = true);
 
-  ag::Variable forward(const ag::Variable& x);
+  // Runs the fused GEMM+bias kernel; fuse_relu additionally folds the
+  // activation into the same output pass (used by FFN's hidden layer).
+  ag::Variable forward(const ag::Variable& x, bool fuse_relu = false);
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }

@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
+
 namespace yollo {
 
 Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
@@ -22,31 +25,33 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
   const float* src = input.data();
   float* dst = cols.data();
 
-  for (int64_t ni = 0; ni < n; ++ni) {
-    const float* img = src + ni * c * h * w;
-    float* col = dst + ni * patch * oh * ow;
-    int64_t row = 0;
-    for (int64_t ci = 0; ci < c; ++ci) {
-      for (int64_t kh = 0; kh < spec.kernel_h; ++kh) {
-        for (int64_t kw = 0; kw < spec.kernel_w; ++kw, ++row) {
-          float* out_row = col + row * oh * ow;
-          for (int64_t oy = 0; oy < oh; ++oy) {
-            const int64_t iy = oy * spec.stride_h + kh - spec.pad_h;
-            if (iy < 0 || iy >= h) {
-              std::fill(out_row + oy * ow, out_row + (oy + 1) * ow, 0.0f);
-              continue;
-            }
-            const float* in_row = img + (ci * h + iy) * w;
-            for (int64_t ox = 0; ox < ow; ++ox) {
-              const int64_t ix = ox * spec.stride_w + kw - spec.pad_w;
-              out_row[oy * ow + ox] =
-                  (ix >= 0 && ix < w) ? in_row[ix] : 0.0f;
-            }
-          }
+  // One work item per output row (ni, ci, kh, kw) — each writes a disjoint
+  // oh*ow stripe, so the rows partition freely across the pool.
+  const int64_t kk = spec.kernel_h * spec.kernel_w;
+  parallel_for(0, n * patch, std::max<int64_t>(1, 4096 / (oh * ow + 1)),
+               [&](int64_t lo, int64_t hi) {
+    for (int64_t item = lo; item < hi; ++item) {
+      const int64_t ni = item / patch;
+      const int64_t row = item % patch;
+      const int64_t ci = row / kk;
+      const int64_t kh = (row % kk) / spec.kernel_w;
+      const int64_t kw = row % spec.kernel_w;
+      const float* img = src + ni * c * h * w;
+      float* out_row = dst + item * oh * ow;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        const int64_t iy = oy * spec.stride_h + kh - spec.pad_h;
+        if (iy < 0 || iy >= h) {
+          std::fill(out_row + oy * ow, out_row + (oy + 1) * ow, 0.0f);
+          continue;
+        }
+        const float* in_row = img + (ci * h + iy) * w;
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          const int64_t ix = ox * spec.stride_w + kw - spec.pad_w;
+          out_row[oy * ow + ox] = (ix >= 0 && ix < w) ? in_row[ix] : 0.0f;
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -61,13 +66,20 @@ Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,
   float* dst = out.data();
 
   const int64_t patch = c * spec.kernel_h * spec.kernel_w;
-  for (int64_t ni = 0; ni < n; ++ni) {
-    float* img = dst + ni * c * in_h * in_w;
-    const float* col = src + ni * patch * oh * ow;
-    int64_t row = 0;
-    for (int64_t ci = 0; ci < c; ++ci) {
+  const int64_t kk = spec.kernel_h * spec.kernel_w;
+  // Scatter-adds from different kernel offsets overlap inside a channel
+  // plane but never across (ni, ci) planes, so those are the parallel unit;
+  // the kh/kw accumulation order within a plane stays fixed, keeping
+  // results bitwise identical at any thread count.
+  parallel_for(0, n * c, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t item = lo; item < hi; ++item) {
+      const int64_t ni = item / c;
+      const int64_t ci = item % c;
+      float* img = dst + ni * c * in_h * in_w;
+      const float* col = src + ni * patch * oh * ow;
       for (int64_t kh = 0; kh < spec.kernel_h; ++kh) {
-        for (int64_t kw = 0; kw < spec.kernel_w; ++kw, ++row) {
+        for (int64_t kw = 0; kw < spec.kernel_w; ++kw) {
+          const int64_t row = ci * kk + kh * spec.kernel_w + kw;
           const float* in_row = col + row * oh * ow;
           for (int64_t oy = 0; oy < oh; ++oy) {
             const int64_t iy = oy * spec.stride_h + kh - spec.pad_h;
@@ -83,7 +95,7 @@ Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -99,25 +111,23 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
   const Tensor cols = im2col(input, spec);                    // [n,patch,oh*ow]
   const Tensor wmat = weight.reshape({spec.out_channels, patch});
 
+  // One fused GEMM per image — W[Cout,patch] · cols[patch,oh·ow] written
+  // straight into the output slab with the per-channel bias folded into the
+  // epilogue (the bias varies along GEMM rows here, hence row_bias). Images
+  // are independent, so the batch partitions across the pool.
   Tensor out = Tensor::uninitialized({n, spec.out_channels, oh, ow});
-  for (int64_t ni = 0; ni < n; ++ni) {
-    const Tensor col_n =
-        cols.narrow(0, ni, 1).reshape({patch, oh * ow});
-    const Tensor prod = matmul(wmat, col_n);  // [Cout, oh*ow]
-    std::copy(prod.data(), prod.data() + prod.numel(),
-              out.data() + ni * spec.out_channels * oh * ow);
-  }
-  if (bias.defined()) {
-    float* p = out.data();
-    const float* b = bias.data();
-    for (int64_t ni = 0; ni < n; ++ni) {
-      for (int64_t co = 0; co < spec.out_channels; ++co) {
-        const float bv = b[co];
-        float* plane = p + (ni * spec.out_channels + co) * oh * ow;
-        for (int64_t i = 0; i < oh * ow; ++i) plane[i] += bv;
-      }
+  GemmEpilogue ep;
+  ep.row_bias = bias.defined() ? bias.data() : nullptr;
+  const float* wp = wmat.data();
+  const float* cp = cols.data();
+  float* op = out.data();
+  parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t ni = lo; ni < hi; ++ni) {
+      gemm(false, false, spec.out_channels, oh * ow, patch, wp,
+           cp + ni * patch * oh * ow,
+           op + ni * spec.out_channels * oh * ow, ep);
     }
-  }
+  });
   return out;
 }
 
@@ -133,23 +143,35 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
 
   const Tensor cols = im2col(input, spec);  // [n, patch, oh*ow]
   const Tensor wmat = weight.reshape({spec.out_channels, patch});
-  const Tensor wmat_t = wmat.transpose(0, 1);  // [patch, Cout]
 
   Conv2dGrads grads;
   Tensor grad_wmat({spec.out_channels, patch});
-  Tensor grad_cols({n, patch, oh * ow});
+  Tensor grad_cols = Tensor::uninitialized({n, patch, oh * ow});
 
+  const int64_t go_stride = spec.out_channels * oh * ow;
+  const int64_t col_stride = patch * oh * ow;
+  const float* gop = grad_output.data();
+  const float* cp = cols.data();
+  const float* wp = wmat.data();
+
+  // dCols[ni] = Wᵀ · dY[ni]: the transpose is a flag into the packed
+  // kernel, and each image writes its own slab of grad_cols.
+  float* gcp = grad_cols.data();
+  parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t ni = lo; ni < hi; ++ni) {
+      gemm(/*trans_a=*/true, false, patch, oh * ow, spec.out_channels, wp,
+           gop + ni * go_stride, gcp + ni * col_stride, {});
+    }
+  });
+
+  // dW += dY[ni] · cols[ni]ᵀ: beta = 1 accumulates straight into the weight
+  // gradient — no per-image temporary, no materialised transpose. The
+  // accumulation order over images is fixed, so this loop stays serial.
+  GemmEpilogue acc;
+  acc.beta = 1.0f;
   for (int64_t ni = 0; ni < n; ++ni) {
-    const Tensor go_n =
-        grad_output.narrow(0, ni, 1).reshape({spec.out_channels, oh * ow});
-    const Tensor col_n = cols.narrow(0, ni, 1).reshape({patch, oh * ow});
-    // dW += dY * colsᵀ
-    const Tensor dw = matmul(go_n, col_n.transpose(0, 1));
-    add_inplace(grad_wmat, dw);
-    // dCols = Wᵀ * dY
-    const Tensor dcol = matmul(wmat_t, go_n);  // [patch, oh*ow]
-    std::copy(dcol.data(), dcol.data() + dcol.numel(),
-              grad_cols.data() + ni * patch * oh * ow);
+    gemm(false, /*trans_b=*/true, spec.out_channels, patch, oh * ow,
+         gop + ni * go_stride, cp + ni * col_stride, grad_wmat.data(), acc);
   }
 
   grads.grad_weight = grad_wmat.reshape(

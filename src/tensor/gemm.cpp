@@ -1,0 +1,438 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/parallel.h"
+
+namespace yollo {
+namespace {
+
+// Register tile (micro-kernel) and cache blocks. MR×NR = 4×16 keeps the
+// accumulator tile in vector registers (4×2 YMM under AVX, 4×4 XMM under
+// SSE) with one broadcast register for A; KC×MC sizes the packed panels to
+// sit in L1/L2 across the jr/ir sweeps.
+constexpr int64_t MR = 4;
+constexpr int64_t NR = 16;
+constexpr int64_t KC = 256;
+constexpr int64_t MC = 128;
+constexpr int64_t NC = 2048;
+
+int64_t round_up(int64_t v, int64_t multiple) {
+  return (v + multiple - 1) / multiple * multiple;
+}
+
+// acc[MR][NR] = sum_p apanel[p][.] ⊗ b[p][.]; `kc` is the only
+// loop-carried dimension. The A panel is zero-padded to MR so there is no
+// edge branch in here; `ldb` is the stride between consecutive K rows of B
+// (NR for a packed panel, the matrix leading dimension when streaming an
+// unpacked full-width panel straight from row-major B).
+//
+// The accumulator tile must live in vector registers across the whole K
+// loop — left to the auto-vectorizer this kernel compiles to scalar code
+// that spills acc every iteration (6x slower than the naive kernel). GCC's
+// vector extensions make the register tiling explicit: 4 rows x 2
+// 8-float vectors of accumulator, one broadcast multiply per row per step.
+// The extension is supported by GCC and Clang on every target (the
+// compiler legalises 32-byte vectors to whatever the ISA has), with a
+// plain-scalar fallback for other compilers.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float vf8 __attribute__((vector_size(32), aligned(4), may_alias));
+
+void micro_kernel(int64_t kc, const float* __restrict__ apanel,
+                  const float* __restrict__ b, int64_t ldb,
+                  float* __restrict__ acc) {
+  vf8 c00{}, c01{}, c10{}, c11{}, c20{}, c21{}, c30{}, c31{};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* __restrict__ arow = apanel + p * MR;
+    const vf8 b0 = *reinterpret_cast<const vf8*>(b + p * ldb);
+    const vf8 b1 = *reinterpret_cast<const vf8*>(b + p * ldb + 8);
+    c00 += b0 * arow[0];
+    c01 += b1 * arow[0];
+    c10 += b0 * arow[1];
+    c11 += b1 * arow[1];
+    c20 += b0 * arow[2];
+    c21 += b1 * arow[2];
+    c30 += b0 * arow[3];
+    c31 += b1 * arow[3];
+  }
+  vf8* out = reinterpret_cast<vf8*>(acc);
+  out[0] = c00;
+  out[1] = c01;
+  out[2] = c10;
+  out[3] = c11;
+  out[4] = c20;
+  out[5] = c21;
+  out[6] = c30;
+  out[7] = c31;
+}
+#else
+void micro_kernel(int64_t kc, const float* __restrict__ apanel,
+                  const float* __restrict__ b, int64_t ldb,
+                  float* __restrict__ acc) {
+  for (int64_t q = 0; q < MR * NR; ++q) acc[q] = 0.0f;
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* __restrict__ arow = apanel + p * MR;
+    const float* __restrict__ brow = b + p * ldb;
+    for (int64_t r = 0; r < MR; ++r) {
+      const float av = arow[r];
+      float* __restrict__ accrow = acc + r * NR;
+      for (int64_t q = 0; q < NR; ++q) accrow[q] += av * brow[q];
+    }
+  }
+}
+#endif
+
+// Fold an accumulator tile into C[i..i+mr, j..j+nr]. `first` selects the
+// beta handling (the K panel that initialises the tile), `last` triggers
+// the fused epilogue; the flag branches are loop-invariant and hoisted.
+#if defined(__GNUC__) || defined(__clang__)
+// Vectorized fast path for the by-far-common case: a full MR×NR tile being
+// overwritten (beta 0, first K panel) with at most bias/ReLU fused in.
+bool write_tile_fast(float* __restrict__ c, int64_t ldc,
+                     const float* __restrict__ acc, int64_t i, int64_t j,
+                     int64_t mr, int64_t nr, bool first, bool last,
+                     const GemmEpilogue& ep) {
+  if (mr != MR || nr != NR || ep.row_bias != nullptr) return false;
+  if (first && ep.beta != 0.0f) return false;
+  vf8 bias0{}, bias1{};
+  if (last && ep.bias != nullptr) {
+    bias0 = *reinterpret_cast<const vf8*>(ep.bias + j);
+    bias1 = *reinterpret_cast<const vf8*>(ep.bias + j + 8);
+  }
+  const bool relu = last && ep.relu;
+  for (int64_t r = 0; r < MR; ++r) {
+    float* __restrict__ crow = c + (i + r) * ldc + j;
+    vf8 v0 = *reinterpret_cast<const vf8*>(acc + r * NR);
+    vf8 v1 = *reinterpret_cast<const vf8*>(acc + r * NR + 8);
+    if (!first) {
+      v0 += *reinterpret_cast<const vf8*>(crow);
+      v1 += *reinterpret_cast<const vf8*>(crow + 8);
+    }
+    if (last) {
+      v0 += bias0;
+      v1 += bias1;
+    }
+    if (relu) {
+      v0 = v0 > 0.0f ? v0 : vf8{};  // element-wise select on vector bools
+      v1 = v1 > 0.0f ? v1 : vf8{};
+    }
+    *reinterpret_cast<vf8*>(crow) = v0;
+    *reinterpret_cast<vf8*>(crow + 8) = v1;
+  }
+  return true;
+}
+#else
+bool write_tile_fast(float*, int64_t, const float*, int64_t, int64_t, int64_t,
+                     int64_t, bool, bool, const GemmEpilogue&) {
+  return false;
+}
+#endif
+
+void write_tile(float* c, int64_t ldc, const float* acc, int64_t i, int64_t j,
+                int64_t mr, int64_t nr, bool first, bool last,
+                const GemmEpilogue& ep) {
+  if (write_tile_fast(c, ldc, acc, i, j, mr, nr, first, last, ep)) return;
+  for (int64_t r = 0; r < mr; ++r) {
+    float* crow = c + (i + r) * ldc + j;
+    const float* accrow = acc + r * NR;
+    const float rb = ep.row_bias != nullptr && last ? ep.row_bias[i + r] : 0.0f;
+    for (int64_t q = 0; q < nr; ++q) {
+      float v = accrow[q];
+      if (first) {
+        if (ep.beta != 0.0f) v += ep.beta * crow[q];
+      } else {
+        v += crow[q];
+      }
+      if (last) {
+        if (ep.bias != nullptr) v += ep.bias[j + q];
+        v += rb;
+        if (ep.relu && v < 0.0f) v = 0.0f;
+      }
+      crow[q] = v;
+    }
+  }
+}
+
+// Pack B[pc..pc+kc, jc..jc+nc] (logical orientation) into NR-column
+// micro-panels, each kc rows of NR contiguous floats, zero-padded on the
+// right edge. `trans_b` reads the stored n×k layout without a copy.
+void pack_b(const float* b, bool trans_b, int64_t k_total, int64_t n_total,
+            int64_t pc, int64_t kc, int64_t jc, int64_t nc, float* bpack) {
+  for (int64_t j0 = 0; j0 < nc; j0 += NR) {
+    const int64_t nr = std::min(NR, nc - j0);
+    float* dst = bpack + j0 * kc;
+    if (!trans_b) {
+      for (int64_t p = 0; p < kc; ++p, dst += NR) {
+        const float* src = b + (pc + p) * n_total + jc + j0;
+        for (int64_t q = 0; q < nr; ++q) dst[q] = src[q];
+        for (int64_t q = nr; q < NR; ++q) dst[q] = 0.0f;
+      }
+    } else {
+      for (int64_t p = 0; p < kc; ++p, dst += NR) {
+        const float* src = b + (jc + j0) * k_total + pc + p;
+        for (int64_t q = 0; q < nr; ++q) dst[q] = src[q * k_total];
+        for (int64_t q = nr; q < NR; ++q) dst[q] = 0.0f;
+      }
+    }
+  }
+}
+
+// Pack A[ic..ic+mc, pc..pc+kc] (logical orientation) into MR-row
+// micro-panels, each kc steps of MR contiguous floats, zero-padded on the
+// bottom edge. `trans_a` reads the stored k×m layout without a copy.
+void pack_a(const float* a, bool trans_a, int64_t m_total, int64_t k_total,
+            int64_t ic, int64_t mc, int64_t pc, int64_t kc, float* apack) {
+  for (int64_t i0 = 0; i0 < mc; i0 += MR) {
+    const int64_t mr = std::min(MR, mc - i0);
+    float* dst = apack + i0 * kc;
+    if (!trans_a) {
+      for (int64_t p = 0; p < kc; ++p, dst += MR) {
+        const float* src = a + (ic + i0) * k_total + pc + p;
+        for (int64_t r = 0; r < mr; ++r) dst[r] = src[r * k_total];
+        for (int64_t r = mr; r < MR; ++r) dst[r] = 0.0f;
+      }
+    } else {
+      for (int64_t p = 0; p < kc; ++p, dst += MR) {
+        const float* src = a + (pc + p) * m_total + ic + i0;
+        for (int64_t r = 0; r < mr; ++r) dst[r] = src[r];
+        for (int64_t r = mr; r < MR; ++r) dst[r] = 0.0f;
+      }
+    }
+  }
+}
+
+// Epilogue-only path for k == 0 (C = f(beta·C + biases)); also keeps the
+// main path free of the degenerate case.
+void epilogue_only(int64_t m, int64_t n, float* c, const GemmEpilogue& ep) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float rb = ep.row_bias != nullptr ? ep.row_bias[i] : 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      float v = ep.beta != 0.0f ? ep.beta * crow[j] : 0.0f;
+      if (ep.bias != nullptr) v += ep.bias[j];
+      v += rb;
+      if (ep.relu && v < 0.0f) v = 0.0f;
+      crow[j] = v;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, const float* b, float* c,
+          const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    epilogue_only(m, n, c, ep);
+    return;
+  }
+  const int64_t num_m_blocks = (m + MC - 1) / MC;
+  for (int64_t jc = 0; jc < n; jc += NC) {
+    const int64_t nc = std::min(NC, n - jc);
+    // Row-major B is streamed straight from the matrix (its K rows are
+    // already contiguous; the kc×NR panel a jr iteration touches stays in
+    // L1 across the ir sweep). Only a transposed B — column-strided reads —
+    // is worth packing; its panels are packed once per (jc, pc) by the
+    // calling thread and read concurrently (read-only) by every M-block
+    // task. The unpacked path still needs a packed panel for the right-edge
+    // tile (nr < NR would read past the row end), built per task below.
+    Tensor bbuf;
+    if (trans_b) {
+      bbuf = Tensor::uninitialized({round_up(nc, NR) * KC});
+    }
+    for (int64_t pc = 0; pc < k; pc += KC) {
+      const int64_t kc = std::min(KC, k - pc);
+      const bool first = pc == 0;
+      const bool last = pc + kc == k;
+      const float* bpack = nullptr;
+      if (trans_b) {
+        pack_b(b, trans_b, k, n, pc, kc, jc, nc, bbuf.data());
+        bpack = bbuf.data();
+      }
+      const int64_t n_full = nc / NR * NR;  // streamed full-width panels
+      parallel_for(0, num_m_blocks, 1, [&](int64_t blk_lo, int64_t blk_hi) {
+        Tensor abuf = Tensor::uninitialized({round_up(MC, MR) * kc});
+        float* apack = abuf.data();
+        alignas(64) float acc[MR * NR];
+        alignas(64) float bedge[KC * NR];
+        bool bedge_packed = false;
+        for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
+          const int64_t ic = blk * MC;
+          const int64_t mc = std::min(MC, m - ic);
+          pack_a(a, trans_a, m, k, ic, mc, pc, kc, apack);
+          for (int64_t j0 = 0; j0 < nc; j0 += NR) {
+            const int64_t nr = std::min(NR, nc - j0);
+            const float* bpanel;
+            int64_t ldb;
+            if (trans_b) {
+              bpanel = bpack + j0 * kc;
+              ldb = NR;
+            } else if (nr == NR && j0 < n_full) {
+              bpanel = b + pc * n + jc + j0;
+              ldb = n;
+            } else {
+              if (!bedge_packed) {  // same panel for every blk: pack once
+                pack_b(b, trans_b, k, n, pc, kc, jc + j0, nr, bedge);
+                bedge_packed = true;
+              }
+              bpanel = bedge;
+              ldb = NR;
+            }
+            for (int64_t i0 = 0; i0 < mc; i0 += MR) {
+              const int64_t mr = std::min(MR, mc - i0);
+              micro_kernel(kc, apack + i0 * kc, bpanel, ldb, acc);
+              write_tile(c, n, acc, ic + i0, jc + j0, mr, nr, first, last,
+                         ep);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+void gemm_reference(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                    int64_t k, const float* a, const float* b, float* c,
+                    const GemmEpilogue& ep) {
+  // Initialise C from beta, then the historical i-k-j accumulation with the
+  // per-element zero-skip branch, then a separate epilogue pass — exactly
+  // the passes the fused runtime collapses.
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (ep.beta == 0.0f) {
+      std::fill(crow, crow + n, 0.0f);
+    } else if (ep.beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] *= ep.beta;
+    }
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = trans_a ? a[p * m + i] : a[i * k + p];
+      if (av == 0.0f) continue;
+      if (!trans_b) {
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        const float* bcol = b + p;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * bcol[j * k];
+      }
+    }
+  }
+  if (ep.bias != nullptr || ep.row_bias != nullptr || ep.relu) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      const float rb = ep.row_bias != nullptr ? ep.row_bias[i] : 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        float v = crow[j] + rb;
+        if (ep.bias != nullptr) v += ep.bias[j];
+        if (ep.relu && v < 0.0f) v = 0.0f;
+        crow[j] = v;
+      }
+    }
+  }
+}
+
+namespace {
+
+// Shape check shared by the tensor entry points: logical dims of op(a)·op(b).
+void check_2d(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+              int64_t* m, int64_t* n, int64_t* k) {
+  *m = trans_a ? a.size(1) : a.size(0);
+  const int64_t ka = trans_a ? a.size(0) : a.size(1);
+  const int64_t kb = trans_b ? b.size(1) : b.size(0);
+  *n = trans_b ? b.size(0) : b.size(1);
+  if (ka != kb) {
+    throw std::invalid_argument(
+        "gemm: inner dims disagree, " + shape_to_string(a.shape()) +
+        (trans_a ? "ᵀ" : "") + " x " + shape_to_string(b.shape()) +
+        (trans_b ? "ᵀ" : ""));
+  }
+  *k = ka;
+}
+
+}  // namespace
+
+Tensor gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+            const GemmEpilogue& epilogue) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("gemm: expects 2-D operands, got " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  int64_t m, n, k;
+  check_2d(a, trans_a, b, trans_b, &m, &n, &k);
+  Tensor out = Tensor::uninitialized({m, n});
+  GemmEpilogue ep = epilogue;
+  ep.beta = 0.0f;  // the output is freshly allocated; never read it
+  gemm(trans_a, trans_b, m, n, k, a.data(), b.data(), out.data(), ep);
+  return out;
+}
+
+Tensor batched_matmul(const Tensor& a, bool trans_a, const Tensor& b,
+                      bool trans_b) {
+  if (a.ndim() == 2 && b.ndim() == 2) {
+    return gemm(a, trans_a, b, trans_b);
+  }
+  if (a.ndim() == 3 && b.ndim() == 2 && !trans_a) {
+    // Broadcast B across the batch: [B,m,k] collapses to [B·m,k], so one
+    // gemm call packs B once for the whole batch.
+    const int64_t batch = a.size(0);
+    Tensor out = gemm(a.reshape({batch * a.size(1), a.size(2)}), false, b,
+                      trans_b);
+    return out.reshape({batch, a.size(1), out.size(1)});
+  }
+  if (a.ndim() == 3 && (b.ndim() == 3 || b.ndim() == 2)) {
+    const int64_t batch = a.size(0);
+    const bool b_shared = b.ndim() == 2;
+    if (!b_shared && b.size(0) != batch) {
+      throw std::invalid_argument("gemm: batch dims disagree, " +
+                                  shape_to_string(a.shape()) + " x " +
+                                  shape_to_string(b.shape()));
+    }
+    const int64_t ar = a.size(1), ac = a.size(2);
+    const int64_t br = b_shared ? b.size(0) : b.size(1);
+    const int64_t bc = b_shared ? b.size(1) : b.size(2);
+    const int64_t m = trans_a ? ac : ar;
+    const int64_t ka = trans_a ? ar : ac;
+    const int64_t kb = trans_b ? bc : br;
+    const int64_t n = trans_b ? br : bc;
+    if (ka != kb) {
+      throw std::invalid_argument("gemm: inner dims disagree, " +
+                                  shape_to_string(a.shape()) + " x " +
+                                  shape_to_string(b.shape()));
+    }
+    Tensor out = Tensor::uninitialized({batch, m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    parallel_for(0, batch, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t bi = lo; bi < hi; ++bi) {
+        gemm(trans_a, trans_b, m, n, ka, pa + bi * ar * ac,
+             pb + (b_shared ? 0 : bi * br * bc), po + bi * m * n, {});
+      }
+    });
+    return out;
+  }
+  throw std::invalid_argument("gemm: expects 2-D or batched 3-D, got " +
+                              shape_to_string(a.shape()) + " x " +
+                              shape_to_string(b.shape()));
+}
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      bool relu) {
+  if (x.ndim() != 2 || w.ndim() != 2) {
+    throw std::invalid_argument("linear_forward: expects 2-D x and w, got " +
+                                shape_to_string(x.shape()) + " x " +
+                                shape_to_string(w.shape()));
+  }
+  GemmEpilogue ep;
+  ep.bias = bias.defined() ? bias.data() : nullptr;
+  ep.relu = relu;
+  return gemm(x, false, w, false, ep);
+}
+
+}  // namespace yollo

@@ -1,0 +1,78 @@
+// yollo::gemm — the blocked, packed, transpose-aware GEMM runtime every
+// matmul/conv in the library sits on (DESIGN.md §10).
+//
+// Shape of the implementation (classic BLIS decomposition):
+//  - The operation is C = beta*C + op(A)·op(B) followed by an optional
+//    fused epilogue (per-column bias, per-row bias, ReLU). op() is a
+//    logical transpose — the packing routines read either orientation
+//    directly, so no caller ever materialises a transposed copy.
+//  - Loops are cache-blocked over N (NC), K (KC) and M (MC); inside a
+//    block, panels of A (MR-row micro-panels) and B (NR-column
+//    micro-panels) are packed into contiguous, zero-padded buffers so the
+//    register-tiled MR×NR micro-kernel runs branch-free over aligned,
+//    unit-stride memory regardless of the source layout or edge sizes.
+//  - Packing buffers come from Tensor::uninitialized, i.e. they are
+//    recycled by the thread's StoragePool when a PoolScope is active
+//    (serve workers, the trainer loop) instead of hitting the allocator
+//    per call.
+//  - M blocks are partitioned across the intra-op pool (parallel_for):
+//    B panels are packed once by the caller, then each task packs its own
+//    A block and writes a disjoint row range of C.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace yollo {
+
+// Fused epilogue applied as the final K panel of a tile is written:
+//   C[i,j] = f(beta·C[i,j] + sum + bias[j] + row_bias[i]),  f = ReLU if relu
+// beta = 0 overwrites C (its prior contents are never read).
+struct GemmEpilogue {
+  float beta = 0.0f;
+  const float* bias = nullptr;      // length n, added per output column
+  const float* row_bias = nullptr;  // length m, added per output row
+  bool relu = false;
+};
+
+// C[m,n] = beta·C + op(A)[m,k] · op(B)[k,n] (+ epilogue).
+// A is stored row-major as m×k when !trans_a, k×m when trans_a (op(A) = Aᵀ);
+// B likewise n-against-k. All matrices dense row-major.
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          const float* a, const float* b, float* c,
+          const GemmEpilogue& epilogue = {});
+
+// The retained pre-runtime naive kernel (i-k-j, zero-skip branch),
+// generalised to the same signature. Reference for property tests and the
+// GFLOP/s baseline in bench_gemm; never on the hot path.
+void gemm_reference(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                    int64_t k, const float* a, const float* b, float* c,
+                    const GemmEpilogue& epilogue = {});
+
+// --- tensor entry points -----------------------------------------------------
+// 2-D × 2-D with logical transposes: out = op(a) · op(b). Shapes are
+// validated against the *stored* orientation.
+Tensor gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+            const GemmEpilogue& epilogue = {});
+
+// General trans-aware product: 2-D × 2-D, batched 3-D × 3-D, or 3-D × 2-D
+// (B broadcast across the batch; when additionally !trans_a the batch is
+// collapsed into a single GEMM so B is packed exactly once). Transposes
+// apply to the trailing two dims.
+Tensor batched_matmul(const Tensor& a, bool trans_a, const Tensor& b,
+                      bool trans_b);
+
+// Autograd-facing shorthands (the backward-pass products):
+//   matmul_nt(a, b) = a · bᵀ      matmul_tn(a, b) = aᵀ · b
+inline Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  return batched_matmul(a, false, b, true);
+}
+inline Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  return batched_matmul(a, true, b, false);
+}
+
+// Fused Linear forward: x[rows,in] · w[in,out] + bias (broadcast over rows,
+// may be undefined) with optional fused ReLU — one pass over the output.
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      bool relu = false);
+
+}  // namespace yollo

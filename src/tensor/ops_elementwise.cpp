@@ -3,10 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/parallel.h"
 #include "tensor/tensor.h"
 
 namespace yollo {
 namespace {
+
+// Below this many elements a loop is not worth handing to the pool.
+constexpr int64_t kParallelGrain = 32768;
 
 // Generic broadcasting binary kernel. Fast path when shapes match exactly;
 // otherwise the trailing dimensions over which each operand is either fully
@@ -22,7 +26,9 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F fn) {
     const float* pb = b.data();
     float* po = out.data();
     const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    parallel_for(0, n, kParallelGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+    });
     return out;
   }
   const Shape out_shape = broadcast_shape(a.shape(), b.shape());
@@ -176,7 +182,9 @@ void add_inplace(Tensor& a, const Tensor& b) {
   float* pa = a.data();
   const float* pb = b.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  parallel_for(0, n, kParallelGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
+  });
 }
 
 void axpy_inplace(Tensor& a, float s, const Tensor& b) {
@@ -186,13 +194,17 @@ void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   float* pa = a.data();
   const float* pb = b.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) pa[i] += s * pb[i];
+  parallel_for(0, n, kParallelGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] += s * pb[i];
+  });
 }
 
 void scale_inplace(Tensor& a, float s) {
   float* pa = a.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) pa[i] *= s;
+  parallel_for(0, n, kParallelGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] *= s;
+  });
 }
 
 float max_abs_diff(const Tensor& a, const Tensor& b) {

@@ -1,65 +1,18 @@
-// Matrix-multiply kernels: 2-D GEMM and batched 3-D GEMM.
-//
-// The inner kernel is a cache-friendly i-k-j loop over contiguous rows; at
-// the model sizes this library targets (hundreds of rows, tens to hundreds
-// of columns) it is within a small factor of a tuned BLAS on one core.
+// Matrix multiply: thin shape-dispatch over the yollo::gemm runtime
+// (DESIGN.md §10). 2-D, batched 3-D, and 3-D × 2-D (B broadcast across the
+// batch and packed exactly once) all land on the same blocked, packed
+// kernel; the old per-batch naive loop is gone.
 #include <stdexcept>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace yollo {
-namespace {
-
-// C[m,n] += A[m,k] * B[k,n]; all pointers row-major dense.
-void gemm_accumulate(const float* a, const float* b, float* c, int64_t m,
-                     int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  if (a.ndim() == 2 && b.ndim() == 2) {
-    const int64_t m = a.size(0);
-    const int64_t k = a.size(1);
-    if (b.size(0) != k) {
-      throw std::invalid_argument("matmul: inner dims disagree, " +
-                                  shape_to_string(a.shape()) + " x " +
-                                  shape_to_string(b.shape()));
-    }
-    const int64_t n = b.size(1);
-    Tensor out({m, n});
-    gemm_accumulate(a.data(), b.data(), out.data(), m, k, n);
-    return out;
-  }
-  if (a.ndim() == 3 && b.ndim() == 3) {
-    const int64_t batch = a.size(0);
-    if (b.size(0) != batch) {
-      throw std::invalid_argument("matmul: batch dims disagree");
-    }
-    const int64_t m = a.size(1);
-    const int64_t k = a.size(2);
-    if (b.size(1) != k) {
-      throw std::invalid_argument("matmul: inner dims disagree, " +
-                                  shape_to_string(a.shape()) + " x " +
-                                  shape_to_string(b.shape()));
-    }
-    const int64_t n = b.size(2);
-    Tensor out({batch, m, n});
-    for (int64_t bi = 0; bi < batch; ++bi) {
-      gemm_accumulate(a.data() + bi * m * k, b.data() + bi * k * n,
-                      out.data() + bi * m * n, m, k, n);
-    }
-    return out;
+  if ((a.ndim() == 2 && b.ndim() == 2) ||
+      (a.ndim() == 3 && (b.ndim() == 3 || b.ndim() == 2))) {
+    return batched_matmul(a, /*trans_a=*/false, b, /*trans_b=*/false);
   }
   throw std::invalid_argument("matmul: expects 2-D x 2-D or 3-D x 3-D, got " +
                               shape_to_string(a.shape()) + " x " +

@@ -4,10 +4,16 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/parallel.h"
 #include "tensor/tensor.h"
 
 namespace yollo {
 namespace {
+
+// Outer-slice count below which an axis kernel is not worth the pool; each
+// outer slice owns a disjoint output range, so partitioning over `outer`
+// is deterministic at any thread count.
+constexpr int64_t kOuterGrain = 8;
 
 // Decompose a shape around `axis` into (outer, extent, inner) so an axis
 // reduction is three nested loops over contiguous memory.
@@ -52,13 +58,15 @@ Tensor sum(const Tensor& a, int64_t axis, bool keepdim) {
   Tensor out(reduced_shape(a.shape(), ax, keepdim));
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t e = 0; e < s.extent; ++e) {
-      const float* row = src + (o * s.extent + e) * s.inner;
-      float* orow = dst + o * s.inner;
-      for (int64_t i = 0; i < s.inner; ++i) orow[i] += row[i];
+  parallel_for(0, s.outer, kOuterGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t e = 0; e < s.extent; ++e) {
+        const float* row = src + (o * s.extent + e) * s.inner;
+        float* orow = dst + o * s.inner;
+        for (int64_t i = 0; i < s.inner; ++i) orow[i] += row[i];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -145,24 +153,26 @@ Tensor softmax(const Tensor& a, int64_t axis) {
   Tensor out(a.shape());
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t i = 0; i < s.inner; ++i) {
-      float m = -std::numeric_limits<float>::infinity();
-      for (int64_t e = 0; e < s.extent; ++e) {
-        m = std::max(m, src[(o * s.extent + e) * s.inner + i]);
-      }
-      float z = 0.0f;
-      for (int64_t e = 0; e < s.extent; ++e) {
-        const int64_t idx = (o * s.extent + e) * s.inner + i;
-        dst[idx] = std::exp(src[idx] - m);
-        z += dst[idx];
-      }
-      const float inv = 1.0f / z;
-      for (int64_t e = 0; e < s.extent; ++e) {
-        dst[(o * s.extent + e) * s.inner + i] *= inv;
+  parallel_for(0, s.outer, kOuterGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t i = 0; i < s.inner; ++i) {
+        float m = -std::numeric_limits<float>::infinity();
+        for (int64_t e = 0; e < s.extent; ++e) {
+          m = std::max(m, src[(o * s.extent + e) * s.inner + i]);
+        }
+        float z = 0.0f;
+        for (int64_t e = 0; e < s.extent; ++e) {
+          const int64_t idx = (o * s.extent + e) * s.inner + i;
+          dst[idx] = std::exp(src[idx] - m);
+          z += dst[idx];
+        }
+        const float inv = 1.0f / z;
+        for (int64_t e = 0; e < s.extent; ++e) {
+          dst[(o * s.extent + e) * s.inner + i] *= inv;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -172,23 +182,25 @@ Tensor log_softmax(const Tensor& a, int64_t axis) {
   Tensor out(a.shape());
   const float* src = a.data();
   float* dst = out.data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t i = 0; i < s.inner; ++i) {
-      float m = -std::numeric_limits<float>::infinity();
-      for (int64_t e = 0; e < s.extent; ++e) {
-        m = std::max(m, src[(o * s.extent + e) * s.inner + i]);
-      }
-      float z = 0.0f;
-      for (int64_t e = 0; e < s.extent; ++e) {
-        z += std::exp(src[(o * s.extent + e) * s.inner + i] - m);
-      }
-      const float logz = m + std::log(z);
-      for (int64_t e = 0; e < s.extent; ++e) {
-        const int64_t idx = (o * s.extent + e) * s.inner + i;
-        dst[idx] = src[idx] - logz;
+  parallel_for(0, s.outer, kOuterGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t i = 0; i < s.inner; ++i) {
+        float m = -std::numeric_limits<float>::infinity();
+        for (int64_t e = 0; e < s.extent; ++e) {
+          m = std::max(m, src[(o * s.extent + e) * s.inner + i]);
+        }
+        float z = 0.0f;
+        for (int64_t e = 0; e < s.extent; ++e) {
+          z += std::exp(src[(o * s.extent + e) * s.inner + i] - m);
+        }
+        const float logz = m + std::log(z);
+        for (int64_t e = 0; e < s.extent; ++e) {
+          const int64_t idx = (o * s.extent + e) * s.inner + i;
+          dst[idx] = src[idx] - logz;
+        }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,157 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace yollo {
+namespace {
+
+// True on pool worker threads: a nested parallel_for must not re-enter the
+// pool (the workers it would wait on are busy running it).
+thread_local bool t_in_worker = false;
+
+int env_num_threads() {
+  const char* env = std::getenv("YOLLO_NUM_THREADS");
+  if (env == nullptr) return 1;
+  const int n = std::atoi(env);
+  return n >= 1 ? n : 1;
+}
+
+struct Pool {
+  // Serialises concurrent callers (e.g. two serve workers both issuing a
+  // parallel_for): the job slot below holds one job at a time.
+  std::mutex run_mu;
+  std::mutex mu;
+  std::condition_variable cv_job;   // workers: a new job is published
+  std::condition_variable cv_done;  // caller: all participants finished
+
+  // Job slot, valid while a job is in flight. Workers copy what they need
+  // under the lock before releasing it.
+  uint64_t job_id = 0;
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0, end = 0, chunk = 1;
+  std::atomic<int64_t> next_chunk{0};
+  // Every spawned worker joins every job (extras find no chunks left);
+  // `running` counts the ones that have not finished the current job yet.
+  int running = 0;
+
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    t_in_worker = true;
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int64_t, int64_t)>* body;
+      int64_t b, e, c;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_job.wait(lock, [&] { return job_id != seen; });
+        seen = job_id;
+        body = fn;
+        b = begin;
+        e = end;
+        c = chunk;
+      }
+      drain(*body, b, e, c);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--running == 0) cv_done.notify_all();
+      }
+    }
+  }
+
+  void drain(const std::function<void(int64_t, int64_t)>& body, int64_t b,
+             int64_t e, int64_t c) {
+    for (;;) {
+      const int64_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      const int64_t lo = b + i * c;
+      if (lo >= e) return;
+      body(lo, std::min(e, lo + c));
+    }
+  }
+
+  void run(const std::function<void(int64_t, int64_t)>& body, int64_t b,
+           int64_t e, int64_t c, int want_workers) {
+    std::lock_guard<std::mutex> run_lock(run_mu);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      while (static_cast<int>(workers.size()) < want_workers) {
+        workers.emplace_back(&Pool::worker_loop, this);
+      }
+      fn = &body;
+      begin = b;
+      end = e;
+      chunk = c;
+      next_chunk.store(0, std::memory_order_relaxed);
+      running = static_cast<int>(workers.size());
+      ++job_id;
+    }
+    cv_job.notify_all();
+    // The caller works too; while it does, it must behave like a worker so
+    // a nested parallel_for (e.g. gemm inside a batched loop) runs serially
+    // instead of re-entering the busy pool.
+    t_in_worker = true;
+    drain(body, b, e, c);
+    t_in_worker = false;
+    std::unique_lock<std::mutex> lock(mu);
+    cv_done.wait(lock, [&] { return running == 0; });
+    fn = nullptr;
+  }
+};
+
+// Heap-allocated and intentionally leaked: joining parked workers from a
+// static destructor would deadlock, and the OS reclaims them at exit.
+Pool& pool() {
+  static Pool* p = new Pool();
+  return *p;
+}
+
+std::atomic<int> g_num_threads{0};  // 0 = not yet read from the environment
+
+}  // namespace
+
+int num_threads() {
+  int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = env_num_threads();
+    g_num_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void set_num_threads(int n) {
+  g_num_threads.store(n >= 1 ? n : 1, std::memory_order_relaxed);
+}
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  const int threads = t_in_worker ? 1 : num_threads();
+  if (threads <= 1 || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+  // Chunk size is a function of (range, grain) only — never of `threads` —
+  // so the work decomposition (and thus every result) is identical at any
+  // thread count. Cap the chunk count to bound claim-counter traffic.
+  constexpr int64_t kMaxChunks = 64;
+  int64_t chunk = grain;
+  if (range / chunk > kMaxChunks) chunk = (range + kMaxChunks - 1) / kMaxChunks;
+  const int64_t nchunks = (range + chunk - 1) / chunk;
+  const int want_workers =
+      static_cast<int>(std::min<int64_t>(threads - 1, nchunks - 1));
+  if (want_workers <= 0) {
+    fn(begin, end);
+    return;
+  }
+  pool().run(fn, begin, end, chunk, want_workers);
+}
+
+}  // namespace yollo

@@ -1,0 +1,40 @@
+// Intra-op parallelism: a lazily-spawned thread pool driving parallel_for.
+//
+// Design (DESIGN.md §10):
+//  - The pool is process-global and spawned on the first parallel_for that
+//    can use it. Worker count comes from YOLLO_NUM_THREADS (default 1);
+//    set_num_threads() overrides it at runtime (tests, benchmarks).
+//  - At 1 thread parallel_for is a direct call of the body on the calling
+//    thread — one integer compare of overhead — so single-core builds and
+//    benchmarks measure the kernels themselves, not the runtime.
+//  - Deterministic by construction: chunk boundaries depend only on
+//    (begin, end, grain), never on the thread count, and every kernel
+//    parallelised with it writes disjoint output ranges per chunk. 1 thread
+//    and N threads therefore produce bitwise-identical tensors.
+//  - TSan-clean: job hand-off uses one mutex + two condition variables;
+//    chunk claiming is a single atomic counter. A parallel_for issued from
+//    inside a worker (nested parallelism) runs serially on that worker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace yollo {
+
+// Worker count parallel_for may use (>= 1). First call reads
+// YOLLO_NUM_THREADS; invalid or missing values mean 1.
+int num_threads();
+
+// Override the worker count (n < 1 is clamped to 1). Growing the count
+// spawns the missing workers on the next parallel_for; shrinking just stops
+// handing chunks to the extras.
+void set_num_threads(int n);
+
+// Run fn(chunk_begin, chunk_end) over a disjoint cover of [begin, end).
+// Chunks are at least `grain` long (the last may be shorter) and are fixed
+// by (begin, end, grain) alone. Blocks until every chunk has run. The body
+// must not throw and must write only to ranges derived from its chunk.
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace yollo

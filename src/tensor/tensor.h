@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/parallel.h"
 #include "tensor/random.h"
 #include "tensor/shape.h"
 
@@ -117,7 +118,9 @@ class Tensor {
     Tensor out = uninitialized(shape_);
     const float* src = data();
     float* dst = out.data();
-    for (int64_t i = 0; i < numel_; ++i) dst[i] = fn(src[i]);
+    parallel_for(0, numel_, /*grain=*/32768, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) dst[i] = fn(src[i]);
+    });
     return out;
   }
 

@@ -1,0 +1,539 @@
+// Property tests for the blocked GEMM runtime (DESIGN.md §10): every
+// trans combination and fused epilogue against the retained naive
+// reference kernel, batched entry points against per-slice products,
+// parallel_for coverage/determinism, and gradchecks for the autograd ops
+// rewritten onto the runtime (matmul backward, matmul_nt, fused linear).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "tensor/conv.h"
+#include "tensor/gemm.h"
+#include "tensor/parallel.h"
+#include "tensor/pool.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+#include "test_util.h"
+
+namespace yollo {
+namespace {
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(-1.0f, 1.0f);
+  return t;
+}
+
+// Blocked and reference kernels accumulate in different orders, so the
+// comparison budget grows (slowly) with the reduction length.
+float tol_for_k(int64_t k) {
+  return 1e-5f * (1.0f + std::sqrt(static_cast<float>(k)));
+}
+
+void expect_allclose(const float* want, const float* got, int64_t n,
+                     float tol, const char* what) {
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(want[i], got[i], tol + tol * std::fabs(want[i]))
+        << what << " element " << i;
+  }
+}
+
+void expect_tensors_close(const Tensor& want, const Tensor& got, float tol,
+                          const char* what) {
+  ASSERT_EQ(want.shape(), got.shape()) << what;
+  expect_allclose(want.data(), got.data(), want.numel(), tol, what);
+}
+
+// Every size class the blocking scheme treats differently: degenerate 1s,
+// odd/prime dims below one register tile, dims straddling MR=4/NR=16
+// edges, and dims larger than the MC=128 / KC=256 cache blocks.
+struct Dims {
+  int64_t m, n, k;
+};
+const Dims kSizes[] = {
+    {1, 1, 1},   {1, 7, 1},     {3, 1, 5},     {4, 16, 8},   {5, 5, 5},
+    {7, 13, 11}, {17, 19, 23},  {31, 47, 29},  {40, 50, 300}, {129, 33, 37},
+    {130, 61, 257}, {64, 272, 31},
+};
+
+// -- kernel vs reference ------------------------------------------------------
+
+TEST(GemmKernel, MatchesReferenceForAllTransCombos) {
+  Rng rng(1234);
+  for (const Dims& d : kSizes) {
+    for (int ta = 0; ta < 2; ++ta) {
+      for (int tb = 0; tb < 2; ++tb) {
+        const Tensor a = random_tensor(
+            ta ? Shape{d.k, d.m} : Shape{d.m, d.k}, rng);
+        const Tensor b = random_tensor(
+            tb ? Shape{d.n, d.k} : Shape{d.k, d.n}, rng);
+        // beta = 0 must fully overwrite C: seed both with a sentinel.
+        std::vector<float> want(static_cast<size_t>(d.m * d.n), 777.0f);
+        std::vector<float> got = want;
+        gemm_reference(ta, tb, d.m, d.n, d.k, a.data(), b.data(),
+                       want.data());
+        gemm(ta, tb, d.m, d.n, d.k, a.data(), b.data(), got.data());
+        SCOPED_TRACE("m=" + std::to_string(d.m) + " n=" + std::to_string(d.n) +
+                     " k=" + std::to_string(d.k) + " ta=" + std::to_string(ta) +
+                     " tb=" + std::to_string(tb));
+        expect_allclose(want.data(), got.data(), d.m * d.n, tol_for_k(d.k),
+                        "gemm");
+      }
+    }
+  }
+}
+
+// Anchors the reference kernel itself (and the epilogue semantics) to an
+// independent triple loop written out in the test, so kernel and reference
+// cannot share a matched bug.
+TEST(GemmKernel, ReferenceMatchesHandRolledLoopWithFullEpilogue) {
+  const int64_t m = 5, n = 7, k = 3;
+  Rng rng(99);
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  const Tensor bias = random_tensor({n}, rng);
+  const Tensor row_bias = random_tensor({m}, rng);
+  const Tensor c0 = random_tensor({m, n}, rng);
+
+  GemmEpilogue ep;
+  ep.beta = 0.5f;
+  ep.bias = bias.data();
+  ep.row_bias = row_bias.data();
+  ep.relu = true;
+
+  Tensor want = c0.clone();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      float v = ep.beta * c0[i * n + j] + acc + bias[j] + row_bias[i];
+      want.data()[i * n + j] = v > 0.0f ? v : 0.0f;
+    }
+  }
+
+  Tensor ref = c0.clone();
+  gemm_reference(false, false, m, n, k, a.data(), b.data(), ref.data(), ep);
+  expect_tensors_close(want, ref, 1e-6f, "reference");
+
+  Tensor blocked = c0.clone();
+  gemm(false, false, m, n, k, a.data(), b.data(), blocked.data(), ep);
+  expect_tensors_close(want, blocked, 1e-6f, "blocked");
+}
+
+TEST(GemmKernel, FusedEpiloguesMatchReference) {
+  Rng rng(77);
+  const Dims cases[] = {{9, 21, 130}, {130, 61, 257}, {4, 16, 8}};
+  for (const Dims& d : cases) {
+    const Tensor a = random_tensor({d.m, d.k}, rng);
+    const Tensor b = random_tensor({d.k, d.n}, rng);
+    const Tensor bias = random_tensor({d.n}, rng);
+    const Tensor row_bias = random_tensor({d.m}, rng);
+    const Tensor c0 = random_tensor({d.m, d.n}, rng);
+
+    struct Case {
+      const char* name;
+      GemmEpilogue ep;
+    };
+    std::vector<Case> cases_ep;
+    cases_ep.push_back({"beta=1", {}});
+    cases_ep.back().ep.beta = 1.0f;
+    cases_ep.push_back({"beta=0.25", {}});
+    cases_ep.back().ep.beta = 0.25f;
+    cases_ep.push_back({"bias", {}});
+    cases_ep.back().ep.bias = bias.data();
+    cases_ep.push_back({"row_bias", {}});
+    cases_ep.back().ep.row_bias = row_bias.data();
+    cases_ep.push_back({"relu", {}});
+    cases_ep.back().ep.relu = true;
+    cases_ep.push_back({"bias+relu", {}});
+    cases_ep.back().ep.bias = bias.data();
+    cases_ep.back().ep.relu = true;
+    cases_ep.push_back({"beta+row_bias+relu", {}});
+    cases_ep.back().ep.beta = 1.0f;
+    cases_ep.back().ep.row_bias = row_bias.data();
+    cases_ep.back().ep.relu = true;
+
+    for (const Case& c : cases_ep) {
+      SCOPED_TRACE(std::string(c.name) + " m=" + std::to_string(d.m) +
+                   " k=" + std::to_string(d.k));
+      Tensor want = c0.clone();
+      Tensor got = c0.clone();
+      gemm_reference(false, false, d.m, d.n, d.k, a.data(), b.data(),
+                     want.data(), c.ep);
+      gemm(false, false, d.m, d.n, d.k, a.data(), b.data(), got.data(), c.ep);
+      expect_tensors_close(want, got, tol_for_k(d.k), c.name);
+      if (c.ep.relu) {
+        for (int64_t i = 0; i < got.numel(); ++i) {
+          ASSERT_GE(got[i], 0.0f) << "relu output " << i;
+        }
+      }
+    }
+  }
+}
+
+// -- tensor entry points ------------------------------------------------------
+
+TEST(GemmTensor, WrapperAppliesLogicalTransposes) {
+  Rng rng(5);
+  const int64_t m = 19, n = 33, k = 130;
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor bt = random_tensor({n, k}, rng);  // stored as op(B)ᵀ
+
+  std::vector<float> want(static_cast<size_t>(m * n));
+  gemm_reference(false, true, m, n, k, a.data(), bt.data(), want.data());
+
+  const Tensor out = gemm(a, false, bt, true);
+  ASSERT_EQ(out.shape(), (Shape{m, n}));
+  expect_allclose(want.data(), out.data(), m * n, tol_for_k(k), "wrapper");
+
+  EXPECT_THROW(gemm(a, false, bt, false), std::invalid_argument);
+}
+
+TEST(GemmTensor, BatchedMatmul3DMatchesPerSliceReference) {
+  Rng rng(6);
+  const int64_t batch = 3, m = 17, n = 21, k = 40;
+  for (int ta = 0; ta < 2; ++ta) {
+    for (int tb = 0; tb < 2; ++tb) {
+      const Tensor a = random_tensor(
+          ta ? Shape{batch, k, m} : Shape{batch, m, k}, rng);
+      const Tensor b = random_tensor(
+          tb ? Shape{batch, n, k} : Shape{batch, k, n}, rng);
+      const Tensor out = batched_matmul(a, ta, b, tb);
+      ASSERT_EQ(out.shape(), (Shape{batch, m, n}));
+      for (int64_t bi = 0; bi < batch; ++bi) {
+        std::vector<float> want(static_cast<size_t>(m * n));
+        gemm_reference(ta, tb, m, n, k, a.data() + bi * m * k,
+                       b.data() + bi * n * k, want.data());
+        SCOPED_TRACE("ta=" + std::to_string(ta) + " tb=" + std::to_string(tb) +
+                     " batch=" + std::to_string(bi));
+        expect_allclose(want.data(), out.data() + bi * m * n, m * n,
+                        tol_for_k(k), "batched");
+      }
+    }
+  }
+}
+
+TEST(GemmTensor, BroadcastMatmulPacksSharedRhsOnce) {
+  Rng rng(7);
+  const int64_t batch = 4, m = 23, n = 31, k = 37;
+  // !trans_a: the batch is collapsed into one GEMM (B packed once).
+  const Tensor a = random_tensor({batch, m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  const Tensor out = batched_matmul(a, false, b, false);
+  ASSERT_EQ(out.shape(), (Shape{batch, m, n}));
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    std::vector<float> want(static_cast<size_t>(m * n));
+    gemm_reference(false, false, m, n, k, a.data() + bi * m * k, b.data(),
+                   want.data());
+    expect_allclose(want.data(), out.data() + bi * m * n, m * n, tol_for_k(k),
+                    "broadcast-nn");
+  }
+  // trans_a falls back to the per-batch path; same contract.
+  const Tensor at = random_tensor({batch, k, m}, rng);
+  const Tensor out_t = batched_matmul(at, true, b, false);
+  ASSERT_EQ(out_t.shape(), (Shape{batch, m, n}));
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    std::vector<float> want(static_cast<size_t>(m * n));
+    gemm_reference(true, false, m, n, k, at.data() + bi * k * m, b.data(),
+                   want.data());
+    expect_allclose(want.data(), out_t.data() + bi * m * n, m * n,
+                    tol_for_k(k), "broadcast-tn");
+  }
+}
+
+TEST(GemmTensor, MatmulNtTnShorthands) {
+  Rng rng(8);
+  const int64_t m = 11, n = 13, k = 17;
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({n, k}, rng);  // for a·bᵀ
+  const Tensor c = random_tensor({m, n}, rng);  // for aᵀ·? no: tn below
+
+  std::vector<float> want_nt(static_cast<size_t>(m * n));
+  gemm_reference(false, true, m, n, k, a.data(), b.data(), want_nt.data());
+  const Tensor nt = matmul_nt(a, b);
+  expect_allclose(want_nt.data(), nt.data(), m * n, tol_for_k(k), "nt");
+
+  const Tensor at = random_tensor({k, m}, rng);
+  const Tensor bn = random_tensor({k, n}, rng);
+  std::vector<float> want_tn(static_cast<size_t>(m * n));
+  gemm_reference(true, false, m, n, k, at.data(), bn.data(), want_tn.data());
+  const Tensor tn = matmul_tn(at, bn);
+  expect_allclose(want_tn.data(), tn.data(), m * n, tol_for_k(k), "tn");
+  (void)c;
+}
+
+TEST(GemmTensor, LinearForwardFusesBiasAndRelu) {
+  Rng rng(9);
+  const int64_t rows = 29, in = 130, out = 33;
+  const Tensor x = random_tensor({rows, in}, rng);
+  const Tensor w = random_tensor({in, out}, rng);
+  const Tensor bias = random_tensor({out}, rng);
+
+  GemmEpilogue ep;
+  ep.bias = bias.data();
+  ep.relu = true;
+  Tensor want({rows, out});
+  gemm_reference(false, false, rows, out, in, x.data(), w.data(), want.data(),
+                 ep);
+  const Tensor got = linear_forward(x, w, bias, /*relu=*/true);
+  expect_tensors_close(want, got, tol_for_k(in), "linear fused");
+
+  // Without bias tensor, plain product.
+  Tensor want_nb({rows, out});
+  gemm_reference(false, false, rows, out, in, x.data(), w.data(),
+                 want_nb.data());
+  const Tensor got_nb = linear_forward(x, w, Tensor());
+  expect_tensors_close(want_nb, got_nb, tol_for_k(in), "linear plain");
+}
+
+// The rewritten conv forward writes fused GEMM results straight into the
+// output slab; anchor it to a handwritten convolution.
+TEST(GemmTensor, ConvForwardMatchesHandRolledConvolution) {
+  Rng rng(10);
+  Conv2dSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 4;
+  spec.kernel_h = spec.kernel_w = 3;
+  spec.stride_h = spec.stride_w = 2;
+  spec.pad_h = spec.pad_w = 1;
+  const int64_t n = 2, h = 7, w = 9;
+  const int64_t oh = spec.out_height(h), ow = spec.out_width(w);
+  const Tensor x = random_tensor({n, spec.in_channels, h, w}, rng);
+  const Tensor weight = random_tensor(
+      {spec.out_channels, spec.in_channels, 3, 3}, rng);
+  const Tensor bias = random_tensor({spec.out_channels}, rng);
+
+  const Tensor got = conv2d_forward(x, weight, bias, spec);
+  ASSERT_EQ(got.shape(), (Shape{n, spec.out_channels, oh, ow}));
+
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t co = 0; co < spec.out_channels; ++co) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = bias[co];
+          for (int64_t ci = 0; ci < spec.in_channels; ++ci) {
+            for (int64_t ky = 0; ky < 3; ++ky) {
+              for (int64_t kx = 0; kx < 3; ++kx) {
+                const int64_t iy = oy * spec.stride_h - spec.pad_h + ky;
+                const int64_t ix = ox * spec.stride_w - spec.pad_w + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                acc += x[((ni * spec.in_channels + ci) * h + iy) * w + ix] *
+                       weight[((co * spec.in_channels + ci) * 3 + ky) * 3 +
+                              kx];
+              }
+            }
+          }
+          const float g =
+              got[((ni * spec.out_channels + co) * oh + oy) * ow + ox];
+          ASSERT_NEAR(acc, g, 1e-4f)
+              << "n=" << ni << " co=" << co << " oy=" << oy << " ox=" << ox;
+        }
+      }
+    }
+  }
+}
+
+// -- parallel_for -------------------------------------------------------------
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(num_threads()) {}
+  ~ThreadGuard() { set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadGuard guard;
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    for (int64_t begin : {0, 3}) {
+      const int64_t end = 1000;
+      std::vector<int> hits(static_cast<size_t>(end), 0);
+      parallel_for(begin, end, 7, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) ++hits[static_cast<size_t>(i)];
+      });
+      for (int64_t i = 0; i < end; ++i) {
+        ASSERT_EQ(hits[static_cast<size_t>(i)], i >= begin ? 1 : 0)
+            << "threads=" << threads << " begin=" << begin << " i=" << i;
+      }
+    }
+    // Empty and single-grain ranges are fine.
+    bool ran = false;
+    parallel_for(5, 5, 1, [&](int64_t, int64_t) { ran = true; });
+    EXPECT_FALSE(ran);
+    int64_t total = 0;
+    parallel_for(0, 3, 100, [&](int64_t lo, int64_t hi) { total += hi - lo; });
+    EXPECT_EQ(total, 3);
+  }
+}
+
+TEST(ParallelFor, GemmIsBitwiseDeterministicAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(11);
+  const int64_t m = 130, n = 61, k = 257;
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+
+  set_num_threads(1);
+  const Tensor c1 = gemm(a, false, b, false);
+  set_num_threads(4);
+  const Tensor c4 = gemm(a, false, b, false);
+  ASSERT_EQ(c1.shape(), c4.shape());
+  ASSERT_EQ(std::memcmp(c1.data(), c4.data(),
+                        sizeof(float) * static_cast<size_t>(c1.numel())),
+            0)
+      << "1-thread and 4-thread GEMM differ bitwise";
+}
+
+TEST(ParallelFor, ConvIsBitwiseDeterministicAcrossThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(12);
+  Conv2dSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 8;
+  const Tensor x = random_tensor({2, 3, 16, 16}, rng);
+  const Tensor weight = random_tensor({8, 3, 3, 3}, rng);
+  const Tensor bias = random_tensor({8}, rng);
+
+  set_num_threads(1);
+  const Tensor y1 = conv2d_forward(x, weight, bias, spec);
+  const Conv2dGrads g1 = conv2d_backward(x, weight, true, y1, spec);
+  set_num_threads(4);
+  const Tensor y4 = conv2d_forward(x, weight, bias, spec);
+  const Conv2dGrads g4 = conv2d_backward(x, weight, true, y4, spec);
+
+  auto same = [](const Tensor& p, const Tensor& q) {
+    return p.shape() == q.shape() &&
+           std::memcmp(p.data(), q.data(),
+                       sizeof(float) * static_cast<size_t>(p.numel())) == 0;
+  };
+  EXPECT_TRUE(same(y1, y4));
+  EXPECT_TRUE(same(g1.grad_input, g4.grad_input));
+  EXPECT_TRUE(same(g1.grad_weight, g4.grad_weight));
+  EXPECT_TRUE(same(g1.grad_bias, g4.grad_bias));
+}
+
+// -- autograd on the new runtime ----------------------------------------------
+
+TEST(GemmAutograd, MatmulBackwardGradcheck2D) {
+  Rng rng(13);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::param(random_tensor({3, 4}, rng)),
+      ag::Variable::param(random_tensor({4, 5}, rng))};
+  testing::check_gradients(
+      [](std::vector<ag::Variable>& v) {
+        return ag::sum(ag::matmul(v[0], v[1]));
+      },
+      leaves);
+}
+
+TEST(GemmAutograd, MatmulBackwardGradcheck3D) {
+  Rng rng(14);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::param(random_tensor({2, 3, 4}, rng)),
+      ag::Variable::param(random_tensor({2, 4, 5}, rng))};
+  testing::check_gradients(
+      [](std::vector<ag::Variable>& v) {
+        return ag::sum(ag::matmul(v[0], v[1]));
+      },
+      leaves);
+}
+
+TEST(GemmAutograd, MatmulNtGradcheck) {
+  Rng rng(15);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::param(random_tensor({2, 3, 4}, rng)),
+      ag::Variable::param(random_tensor({2, 5, 4}, rng))};
+  testing::check_gradients(
+      [](std::vector<ag::Variable>& v) {
+        // Square the product so both branches of the backward get a
+        // non-uniform upstream gradient.
+        return ag::sum(ag::square(ag::matmul_nt(v[0], v[1])));
+      },
+      leaves);
+}
+
+TEST(GemmAutograd, LinearGradcheckWithBias) {
+  Rng rng(16);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::param(random_tensor({4, 3}, rng)),
+      ag::Variable::param(random_tensor({3, 5}, rng)),
+      ag::Variable::param(random_tensor({5}, rng))};
+  testing::check_gradients(
+      [](std::vector<ag::Variable>& v) {
+        return ag::sum(ag::square(ag::linear(v[0], v[1], v[2])));
+      },
+      leaves);
+}
+
+TEST(GemmAutograd, LinearGradcheckFusedRelu) {
+  Rng rng(17);
+  Tensor x = random_tensor({4, 3}, rng);
+  Tensor w = random_tensor({3, 5}, rng);
+  Tensor b = random_tensor({5}, rng);
+  // Finite differences break at the ReLU kink: nudge any pre-activation
+  // sitting within eps of zero away from it.
+  Tensor pre = linear_forward(x, w, b);
+  for (int64_t j = 0; j < 5; ++j) {
+    for (int64_t i = 0; i < 4; ++i) {
+      if (std::fabs(pre[i * 5 + j]) < 0.05f) {
+        b.data()[j] += 0.1f;
+        pre = linear_forward(x, w, b);
+        i = -1;  // recheck the column
+      }
+    }
+  }
+  std::vector<ag::Variable> leaves = {ag::Variable::param(x),
+                                      ag::Variable::param(w),
+                                      ag::Variable::param(b)};
+  testing::check_gradients(
+      [](std::vector<ag::Variable>& v) {
+        return ag::sum(
+            ag::square(ag::linear(v[0], v[1], v[2], /*fuse_relu=*/true)));
+      },
+      leaves);
+}
+
+TEST(GemmAutograd, LinearGradcheckNoBias) {
+  Rng rng(18);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::param(random_tensor({4, 3}, rng)),
+      ag::Variable::param(random_tensor({3, 5}, rng))};
+  testing::check_gradients(
+      [](std::vector<ag::Variable>& v) {
+        return ag::sum(ag::square(ag::linear(v[0], v[1], ag::Variable())));
+      },
+      leaves);
+}
+
+// -- pool reuse ---------------------------------------------------------------
+
+TEST(GemmPool, ConvBuffersAreRecycledInsideAPoolScope) {
+  Rng rng(19);
+  Conv2dSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 16;
+  const Tensor x = random_tensor({2, 8, 16, 16}, rng);
+  const Tensor weight = random_tensor({16, 8, 3, 3}, rng);
+  const Tensor bias = random_tensor({16}, rng);
+
+  PoolScope scope;
+  Tensor first = conv2d_forward(x, weight, bias, spec);
+  Conv2dGrads g = conv2d_backward(x, weight, true, first, spec);
+  const int64_t hits_after_warmup = scope.stats().hits;
+  Tensor second = conv2d_forward(x, weight, bias, spec);
+  g = conv2d_backward(x, weight, true, second, spec);
+  EXPECT_GT(scope.stats().hits, hits_after_warmup)
+      << "second conv step should reuse the first step's im2col/packing "
+         "buffers";
+  expect_tensors_close(first, second, 0.0f, "pooled conv repeat");
+}
+
+}  // namespace
+}  // namespace yollo
