@@ -23,6 +23,12 @@
 // (default json-path: BENCH_infer.json in the current directory;
 // scripts/run_benchmarks.sh runs it from the repo root).
 // YOLLO_BENCH_SCALE=quick shrinks the iteration counts.
+//
+// Alongside the latency JSON this writes METRICS_infer.json — a yollo::obs
+// snapshot merging the global registry (gemm/conv/autograd counters when
+// YOLLO_OBS=1) with both serve bursts' registries — and, when YOLLO_OBS=1,
+// TRACE_infer.json with chrome://tracing spans for the kernel and serve
+// stages.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -34,6 +40,9 @@
 
 #include "common.h"
 #include "data/renderer.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "tensor/pool.h"
 
@@ -91,6 +100,7 @@ struct ServePoint {
   int64_t answered = 0;
   int64_t batches = 0;
   int64_t max_batch = 0;
+  obs::MetricsSnapshot metrics;  // the service's registry after stop()
 };
 
 ServePoint run_serve_burst(core::YolloModel& model, const data::Vocab& vocab,
@@ -126,7 +136,9 @@ ServePoint run_serve_burst(core::YolloModel& model, const data::Vocab& vocab,
   point.wall_sec =
       std::chrono::duration<double>(Clock::now() - start).count();
   service.stop();
-  const serve::ServiceCounters counters = service.counters();
+  point.metrics = service.metrics_snapshot();
+  const serve::ServiceCounters counters =
+      serve::counters_from_snapshot(point.metrics);
   point.batches = counters.batches_coalesced;
   point.max_batch = counters.max_batch;
   point.throughput =
@@ -341,5 +353,31 @@ int main(int argc, char** argv) {
   std::fprintf(json, "\n  }\n}\n");
   std::fclose(json);
   std::printf("\nwrote %s\n", json_path);
+
+  // Observability artefacts next to the latency JSON: a merged metrics
+  // snapshot always (global registry = kernel/autograd counters, plus the
+  // per-service registries from both serve bursts), and a chrome://tracing
+  // file when YOLLO_OBS=1 turned the span hooks on.
+  std::string out_dir(json_path);
+  const size_t slash = out_dir.find_last_of('/');
+  out_dir = slash == std::string::npos ? std::string()
+                                       : out_dir.substr(0, slash + 1);
+  obs::MetricsSnapshot metrics = obs::MetricsRegistry::global().snapshot();
+  metrics.merge(serve1.metrics);
+  metrics.merge(serve8.metrics);
+  const std::string metrics_path = out_dir + "METRICS_infer.json";
+  if (metrics.write_json(metrics_path)) {
+    std::printf("wrote %s\n", metrics_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+  }
+  if (obs::enabled()) {
+    const std::string trace_path = out_dir + "TRACE_infer.json";
+    if (obs::dump_trace(trace_path)) {
+      std::printf("wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+    }
+  }
   return 0;
 }

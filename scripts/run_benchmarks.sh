@@ -1,6 +1,10 @@
 #!/usr/bin/env sh
 # Build and run the performance benchmarks, writing BENCH_gemm.json and
-# BENCH_infer.json at the repo root.
+# BENCH_infer.json at the repo root. bench_infer_latency also writes
+# METRICS_infer.json (a yollo::obs metrics snapshot: serve counters and
+# latency histograms, plus kernel counters when profiling is on) next to
+# BENCH_infer.json, and TRACE_infer.json (chrome://tracing spans) when the
+# run is invoked with YOLLO_OBS=1.
 #
 #   scripts/run_benchmarks.sh [build-dir]
 #

@@ -8,7 +8,9 @@
 #         thread             ThreadSanitizer (races in yollo::serve and the
 #                            intra-op parallel_for pool; the kernel-heavy
 #                            suites are re-run with YOLLO_NUM_THREADS=4 so
-#                            the pool actually partitions work)
+#                            the pool actually partitions work, and the obs
+#                            suites with YOLLO_OBS=1 so the profiling hooks
+#                            are live rather than compiled-out branches)
 #         both               address tree, then thread tree
 set -eu
 
@@ -40,6 +42,15 @@ run_mode() {
     for t in tensor_test gemm_test nn_test infer_engine_test; do
       echo "  YOLLO_NUM_THREADS=4 $t"
       YOLLO_NUM_THREADS=4 "$dir/tests/$t"
+    done
+    # Observability: the metrics registry and the trace ring buffers are
+    # written from every worker thread, and the serve counters now live on
+    # the registry. Re-run those suites with the profiling hooks live so
+    # TSan watches the span records and counter merges, not no-ops.
+    echo "re-running obs suites with YOLLO_NUM_THREADS=4 YOLLO_OBS=1 ..."
+    for t in obs_test serve_test; do
+      echo "  YOLLO_NUM_THREADS=4 YOLLO_OBS=1 $t"
+      YOLLO_NUM_THREADS=4 YOLLO_OBS=1 "$dir/tests/$t"
     done
   fi
 }

@@ -3,6 +3,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace yollo::ag {
 
 thread_local bool GradMode::enabled_ = true;
@@ -98,16 +101,31 @@ void Variable::backward() const {
   }
   if (!node_->requires_grad) return;
 
+  OBS_SPAN("ag.backward");
+
   std::unordered_set<Node*> visited;
   std::vector<Node*> order;  // parents before children (post-order)
   topo_sort(node_.get(), visited, order);
 
   accumulate_grad(*node_, Tensor::ones(node_->data.shape()));
 
+  const bool profiled = obs::enabled();
+  if (profiled) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::global().counter("ag.backward.calls");
+    static obs::Counter& nodes =
+        obs::MetricsRegistry::global().counter("ag.backward.nodes");
+    calls.inc();
+    nodes.inc(static_cast<int64_t>(order.size()));
+  }
+
   // Children first: walk post-order in reverse.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
     if (n->backward_fn && n->grad.defined()) {
+      // op_name is a string literal owned by the op registry, so it is safe
+      // to retain in the trace ring beyond this node's lifetime.
+      obs::Span span(profiled ? n->op_name : nullptr);
       n->backward_fn(n->grad);
     }
   }

@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/optim.h"
 #include "runtime/checkpoint.h"
 #include "runtime/fault.h"
@@ -77,6 +79,22 @@ TrainResult train_yollo(YolloModel& model,
   // column buffers of conv forward+backward are the largest tensors in the
   // process. A scope across the whole loop recycles all of them through the
   // StoragePool, so steady-state steps stop hitting the allocator.
+  // Per-phase wall-clock accounting (always on: one histogram observe per
+  // phase per step is noise next to the step itself). The registry refs are
+  // resolved once, outside the loop.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const std::vector<double> lat = obs::latency_ms_bounds();
+  obs::Histogram& h_data = reg.histogram("train.data_ms", lat);
+  obs::Histogram& h_forward = reg.histogram("train.forward_ms", lat);
+  obs::Histogram& h_backward = reg.histogram("train.backward_ms", lat);
+  obs::Histogram& h_optim = reg.histogram("train.optim_ms", lat);
+  obs::Histogram& h_checkpoint = reg.histogram("train.checkpoint_ms", lat);
+  obs::Gauge& g_loss = reg.gauge("train.loss");
+  obs::Gauge& g_grad_norm = reg.gauge("train.grad_norm");
+  obs::Counter& c_steps = reg.counter("train.steps");
+  obs::Counter& c_skipped = reg.counter("train.skipped_steps");
+  obs::Counter& c_rollbacks = reg.counter("train.rollbacks");
+
   PoolScope pool;
   eval::Stopwatch watch;
   std::vector<std::vector<int64_t>> batches;
@@ -98,19 +116,29 @@ TrainResult train_yollo(YolloModel& model,
     faults.check_halt(step);
     const std::vector<int64_t>& batch =
         batches[static_cast<size_t>(step % steps_per_epoch)];
-    const Tensor images = data::render_batch(samples, batch);
-    const std::vector<int64_t> tokens = data::batch_tokens(
-        samples, batch, model.config().max_query_len);
+    Tensor images;
+    std::vector<int64_t> tokens;
     std::vector<vision::Box> targets;
-    targets.reserve(batch.size());
-    for (int64_t idx : batch) {
-      targets.push_back(samples[static_cast<size_t>(idx)].target_box());
+    {
+      obs::ScopedTimer timer(h_data);
+      OBS_SPAN("train.data");
+      images = data::render_batch(samples, batch);
+      tokens = data::batch_tokens(samples, batch,
+                                  model.config().max_query_len);
+      targets.reserve(batch.size());
+      for (int64_t idx : batch) {
+        targets.push_back(samples[static_cast<size_t>(idx)].target_box());
+      }
     }
 
     adam.zero_grad();
     adam.set_lr(schedule.lr_at(step));
-    const YolloModel::Output out = model.forward(images, tokens);
-    const YolloModel::Losses losses = model.compute_loss(out, targets, rng);
+    const YolloModel::Losses losses = [&] {
+      obs::ScopedTimer timer(h_forward);
+      OBS_SPAN("train.forward");
+      const YolloModel::Output out = model.forward(images, tokens);
+      return model.compute_loss(out, targets, rng);
+    }();
     const float total_val =
         faults.filter_loss(losses.total.value().item(), step);
 
@@ -120,12 +148,16 @@ TrainResult train_yollo(YolloModel& model,
     // checkpoint rather than continuing from a possibly-poisoned state.
     bool bad = !std::isfinite(total_val);
     if (!bad) {
+      obs::ScopedTimer timer(h_backward);
+      OBS_SPAN("train.backward");
       losses.total.backward();
       const float norm = adam.clip_grad_norm(config.grad_clip);
+      g_grad_norm.set(norm);
       bad = !std::isfinite(norm) || norm > config.explode_norm;
     }
     if (bad) {
       ++result.skipped_steps;
+      c_skipped.inc();
       ++bad_streak;
       adam.zero_grad();
       if (config.verbose) {
@@ -143,6 +175,7 @@ TrainResult train_yollo(YolloModel& model,
           step = state.step;
           batches_epoch = -1;  // epoch shuffle must be regenerated
           ++result.rollbacks;
+          c_rollbacks.inc();
           bad_streak = 0;
           if (config.verbose) {
             std::printf("divergence guard: rolled back to %s (step %lld)\n",
@@ -155,9 +188,15 @@ TrainResult train_yollo(YolloModel& model,
       continue;
     }
     bad_streak = 0;
-    adam.step();
+    {
+      obs::ScopedTimer timer(h_optim);
+      OBS_SPAN("train.optim");
+      adam.step();
+    }
     ++step;
     last_loss = total_val;
+    c_steps.inc();
+    g_loss.set(total_val);
 
     if (step % config.log_every == 0 || step == 1) {
       CurvePoint point;
@@ -181,6 +220,8 @@ TrainResult train_yollo(YolloModel& model,
       state.step = step;
       state.epoch = step / steps_per_epoch;
       state.rng = rng;
+      obs::ScopedTimer timer(h_checkpoint);
+      OBS_SPAN("train.checkpoint");
       ckpt->save(model, adam, state);
     }
   }

@@ -1,0 +1,314 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+namespace yollo::obs {
+
+namespace {
+
+// fetch_add on atomic<double> via CAS: exact under concurrency, no C++20
+// floating fetch_add dependence.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Minimal JSON string escaping for metric names (which are code-controlled,
+// but a snapshot must never emit invalid JSON regardless).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Gauge::set_max(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: bounds must be ascending");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound covers v; values above every bound land
+  // in the overflow bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  count_.store(0);
+  sum_.store(0.0);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count <= 0 || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int64_t c = counts[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= rank) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket: clamp
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double within =
+          std::max(0.0, rank - static_cast<double>(cum)) /
+          static_cast<double>(c);
+      return lo + within * (hi - lo);
+    }
+    cum += c;
+  }
+  return bounds.back();
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (bounds != other.bounds) {
+    throw std::invalid_argument(
+        "HistogramSnapshot::merge: bucket bounds disagree");
+  }
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+std::vector<double> latency_ms_bounds() {
+  return {0.05, 0.1, 0.2, 0.5, 1.0,   2.0,   5.0,   10.0,
+          20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0};
+}
+
+std::vector<double> depth_bounds(int64_t up_to) {
+  std::vector<double> bounds{0.0};
+  for (int64_t b = 1; ; b *= 2) {
+    bounds.push_back(static_cast<double>(b));
+    if (b >= up_to) break;
+  }
+  return bounds;
+}
+
+// --- MetricsSnapshot ---------------------------------------------------------
+
+int64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it != counters.end() ? it->second : 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it != gauges.end() ? it->second : 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it != histograms.end() ? &it->second : nullptr;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    const auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      gauges[name] = v;
+    } else {
+      it->second = std::max(it->second, v);
+    }
+  }
+  for (const auto& [name, h] : other.histograms) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = h;
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": ";
+    append_double(out, v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": ";
+    append_double(out, h.sum);
+    out += ", \"mean\": ";
+    append_double(out, h.mean());
+    out += ", \"p50\": ";
+    append_double(out, h.quantile(0.50));
+    out += ", \"p95\": ";
+    append_double(out, h.quantile(0.95));
+    out += ", \"p99\": ";
+    append_double(out, h.quantile(0.99));
+    out += ", \"buckets\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      if (i < h.bounds.size()) {
+        append_double(out, h.bounds[i]);
+      } else {
+        out += "\"inf\"";
+      }
+      out += ", \"count\": " + std::to_string(h.counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsSnapshot::write_json(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (slot->bounds() != bounds) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' re-registered with different bounds");
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Heap-allocated and intentionally leaked: kernel hooks may fire from
+  // detached pool workers during process teardown.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+// --- ScopedTimer -------------------------------------------------------------
+
+ScopedTimer::ScopedTimer(Histogram& h) : h_(&h), start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  h_->observe(static_cast<double>(now_ns() - start_ns_) * 1e-6);
+}
+
+}  // namespace yollo::obs

@@ -1,0 +1,161 @@
+// yollo::obs metrics — thread-safe counters, gauges, and fixed-bucket
+// histograms behind a named registry (DESIGN.md §11).
+//
+// Cost model: a registered Counter/Gauge/Histogram is a stable object whose
+// updates are relaxed atomics — callers look the object up by name once
+// (registry lock, cold path) and hold a reference for the hot path. N
+// threads hammering one counter lose no increments; histograms lose no
+// observations (bucket counts and the running sum are atomic, so a
+// concurrent snapshot may see a sum slightly ahead of the bucket counts —
+// the counter taxonomy that carries invariants should be read under the
+// owner's coherence lock, as yollo::serve does).
+//
+// Snapshots are plain values: mergeable across registries (per-thread or
+// per-service aggregation), queryable (p50/p95/p99 from bucket
+// interpolation), and exportable as JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace yollo::obs {
+
+class Counter {
+ public:
+  void inc(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  // Monotonic high-water mark (CAS; exact under concurrency).
+  void set_max(double v);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Value snapshot of one histogram. `bounds` are ascending bucket upper
+// bounds; `counts` has bounds.size() + 1 entries, the last being the
+// overflow bucket for observations above the largest bound.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;
+  int64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  // Quantile by linear interpolation inside the covering bucket. The first
+  // bucket interpolates from 0 (histograms hold non-negative measurements);
+  // ranks landing in the overflow bucket clamp to the largest bound.
+  // q in [0, 1]; returns 0 for an empty histogram.
+  double quantile(double q) const;
+
+  // Add `other`'s populations into this snapshot (bounds must match;
+  // throws std::invalid_argument otherwise).
+  void merge(const HistogramSnapshot& other);
+};
+
+class Histogram {
+ public:
+  // `bounds` must be non-empty and strictly ascending (throws
+  // std::invalid_argument otherwise).
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Default bucket sets.
+std::vector<double> latency_ms_bounds();           // 0.05 ms .. 5 s, ~2x steps
+std::vector<double> depth_bounds(int64_t up_to);   // 0,1,2,4,... >= up_to
+
+// Coherent value copy of a whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  int64_t counter(const std::string& name) const;  // 0 when absent
+  double gauge(const std::string& name) const;     // 0 when absent
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  // Counters add, gauges take the max, histograms merge bucket-wise
+  // (mismatched bounds throw). Metrics present only in `other` are copied.
+  void merge(const MetricsSnapshot& other);
+
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+};
+
+// Named metric registry. The process-global registry (`global()`) carries
+// the kernel, trainer, and checkpoint metrics; subsystems that need
+// isolated accounting (one serve::InferenceService per test, say) own a
+// private instance and export its snapshot.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. Returned references are stable for the
+  // registry's lifetime — resolve once, update lock-free.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // `bounds` applies on first registration; re-registering an existing
+  // histogram with different bounds throws std::invalid_argument.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  // Zero every registered metric (tests). Objects stay registered, so
+  // cached references remain valid.
+  void reset();
+
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// RAII wall-clock phase timer: observes elapsed milliseconds into a
+// histogram on destruction. Always-on (the accounting cost class); pair
+// with OBS_SPAN for the gated trace view of the same phase.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  int64_t start_ns_;
+};
+
+}  // namespace yollo::obs

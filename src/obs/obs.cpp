@@ -1,0 +1,29 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+
+namespace yollo::obs {
+
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+int init_enabled_from_env() {
+  const char* env = std::getenv("YOLLO_OBS");
+  const int v = (env != nullptr && std::atoi(env) != 0) ? 1 : 0;
+  // A concurrent set_enabled() wins: only replace the "unknown" sentinel.
+  int expected = -1;
+  if (g_enabled.compare_exchange_strong(expected, v,
+                                        std::memory_order_relaxed)) {
+    return v;
+  }
+  return expected;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace yollo::obs

@@ -1,0 +1,39 @@
+// yollo::obs — runtime gating for the observability subsystem.
+//
+// Everything under src/obs/ is dependency-free (standard library only) and
+// splits into two cost classes:
+//   - accounting metrics (obs/metrics.h): always on, plain relaxed atomics —
+//     the serving counters and trainer phase timings live here;
+//   - profiling hooks (OBS_SPAN, the kernel counters): compiled in but
+//     runtime-gated on YOLLO_OBS=1, so a disabled hot path pays exactly one
+//     relaxed atomic load + branch (asserted by the overhead regression test
+//     in tests/obs_test.cpp).
+//
+// `enabled()` caches the YOLLO_OBS environment variable on first use;
+// `set_enabled()` overrides it programmatically (tests, tools) and wins over
+// the environment from then on.
+#pragma once
+
+#include <atomic>
+
+namespace yollo::obs {
+
+namespace detail {
+// -1 = not yet read from the environment, 0 = off, 1 = on.
+extern std::atomic<int> g_enabled;
+// Reads YOLLO_OBS, stores the verdict in g_enabled, returns it.
+int init_enabled_from_env();
+}  // namespace detail
+
+// True when profiling hooks (spans, kernel counters) should record.
+inline bool enabled() {
+  const int v = detail::g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return detail::init_enabled_from_env() != 0;
+}
+
+// Programmatic override of YOLLO_OBS (takes effect immediately on all
+// threads; spans already open finish normally).
+void set_enabled(bool on);
+
+}  // namespace yollo::obs

@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace yollo::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Per-thread span ring. The owner thread takes `mu` uncontended on every
+// record (a handful of ns); dump/clear take it briefly from outside. Owned
+// by shared_ptr from both the thread_local holder and the global list, so
+// spans survive their thread's exit until clear_trace().
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> ring;
+  int64_t capacity = 0;
+  int64_t next = 0;  // next write slot
+  int64_t size = 0;  // valid records, <= capacity
+  uint32_t tid = 0;
+  int32_t depth = 0;  // current span nesting on the owner thread
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+  std::atomic<int64_t> capacity{16384};
+};
+
+// Leaked: pool workers may record while static destructors run.
+TraceState& state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+  if (!t_buffer) {
+    t_buffer = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    t_buffer->tid = s.next_tid++;
+    s.buffers.push_back(t_buffer);
+  }
+  return *t_buffer;
+}
+
+}  // namespace
+
+int64_t trace_clock_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              trace_epoch())
+      .count();
+}
+
+void Span::start(const char* name) {
+  if (name == nullptr) return;  // null name = skip (dtor keys off name_)
+  name_ = name;
+  ThreadBuffer& buf = local_buffer();
+  {
+    std::lock_guard<std::mutex> lock(buf.mu);
+    ++buf.depth;
+  }
+  // Timestamp taken last so the span excludes its own setup.
+  start_ns_ = trace_clock_ns();
+}
+
+void Span::finish() {
+  const int64_t end_ns = trace_clock_ns();
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  --buf.depth;
+  const int64_t cap = state().capacity.load(std::memory_order_relaxed);
+  if (buf.capacity != cap) {  // first record, or capacity was changed
+    buf.capacity = cap;
+    buf.ring.assign(static_cast<size_t>(cap), SpanRecord{});
+    buf.next = 0;
+    buf.size = 0;
+  }
+  SpanRecord& rec = buf.ring[static_cast<size_t>(buf.next)];
+  rec.name = name_;
+  rec.start_ns = start_ns_;
+  rec.dur_ns = end_ns - start_ns_;
+  rec.tid = buf.tid;
+  rec.depth = buf.depth;
+  buf.next = (buf.next + 1) % buf.capacity;
+  buf.size = std::min(buf.size + 1, buf.capacity);
+}
+
+std::vector<SpanRecord> collect_trace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    // Oldest-first: when wrapped, the oldest record sits at `next`.
+    const int64_t start = buf->size == buf->capacity ? buf->next : 0;
+    for (int64_t i = 0; i < buf->size; ++i) {
+      out.push_back(
+          buf->ring[static_cast<size_t>((start + i) % buf->capacity)]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+void clear_trace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->next = 0;
+    buf->size = 0;
+  }
+}
+
+void set_trace_capacity(int64_t capacity) {
+  state().capacity.store(capacity >= 1 ? capacity : 1,
+                         std::memory_order_relaxed);
+}
+
+int64_t trace_capacity() {
+  return state().capacity.load(std::memory_order_relaxed);
+}
+
+bool dump_trace(const std::string& path) {
+  const std::vector<SpanRecord> spans = collect_trace();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    // Complete event: ts/dur in microseconds, one chrome row per thread.
+    std::fprintf(f,
+                 "%s\n{\"name\": \"%s\", \"cat\": \"yollo\", \"ph\": \"X\", "
+                 "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                 "\"args\": {\"depth\": %d}}",
+                 i == 0 ? "" : ",", s.name == nullptr ? "" : s.name,
+                 static_cast<double>(s.start_ns) * 1e-3,
+                 static_cast<double>(s.dur_ns) * 1e-3, s.tid, s.depth);
+  }
+  std::fprintf(f, "\n]}\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace yollo::obs

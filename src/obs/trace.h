@@ -1,0 +1,86 @@
+// yollo::obs trace spans — scoped wall-clock spans recorded into lock-light
+// per-thread ring buffers, exportable as chrome://tracing JSON
+// (DESIGN.md §11).
+//
+//   void hot_path() {
+//     OBS_SPAN("gemm.pack_a");      // no-op unless YOLLO_OBS=1 / set_enabled
+//     ...
+//   }                               // duration recorded at scope exit
+//   obs::dump_trace("trace.json");  // load in chrome://tracing / Perfetto
+//
+// Each thread owns a fixed-capacity ring (set_trace_capacity, default
+// 16384 spans): recording is one uncontended per-thread mutex acquire plus
+// a ring write — no global lock, no allocation after the first span — and
+// wraparound overwrites the oldest spans, so tracing is always bounded.
+// dump_trace()/collect_trace() walk every thread's ring (including threads
+// that have exited) and serialise complete "X" (duration) events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace yollo::obs {
+
+// One completed span. `name` must point at storage that outlives the trace
+// (string literals; autograd op names). Timestamps count from the process
+// trace epoch (first use), monotonic.
+struct SpanRecord {
+  const char* name = nullptr;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  uint32_t tid = 0;   // small sequential id, stable per thread
+  int32_t depth = 0;  // nesting depth at entry (0 = top-level)
+};
+
+// Nanoseconds since the trace epoch (monotonic clock).
+int64_t trace_clock_ns();
+
+// RAII span: records [construction, destruction) on the calling thread when
+// observability is enabled at construction. Disabled cost: one relaxed
+// atomic load + branch.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) start(name);
+  }
+  ~Span() {
+    if (name_ != nullptr) finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void start(const char* name);
+  void finish();
+
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+#define YOLLO_OBS_CONCAT_INNER(a, b) a##b
+#define YOLLO_OBS_CONCAT(a, b) YOLLO_OBS_CONCAT_INNER(a, b)
+// Scoped trace span: OBS_SPAN("gemm.pack_a");
+#define OBS_SPAN(name) \
+  ::yollo::obs::Span YOLLO_OBS_CONCAT(obs_span_, __LINE__)(name)
+
+// Every retained span across all threads, sorted by start time. Spans still
+// open (constructor ran, destructor pending) are not included.
+std::vector<SpanRecord> collect_trace();
+
+// Drop every retained span (ring buffers stay registered).
+void clear_trace();
+
+// Per-thread ring capacity in spans (>= 1; applies to every buffer on its
+// next record, discarding its current contents if resized).
+void set_trace_capacity(int64_t capacity);
+int64_t trace_capacity();
+
+// Serialise the collected spans as a chrome://tracing "traceEvents" JSON
+// array of complete ("ph":"X") events, timestamps in microseconds. Returns
+// false on I/O failure.
+bool dump_trace(const std::string& path);
+
+}  // namespace yollo::obs

@@ -4,9 +4,26 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "tensor/serialize.h"
 
 namespace yollo::runtime {
+namespace {
+
+// Always-on accounting: checkpoint I/O is rare and slow next to a metric.
+obs::Histogram& save_ms() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "checkpoint.save_ms", obs::latency_ms_bounds());
+  return h;
+}
+
+obs::Histogram& load_ms() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "checkpoint.load_ms", obs::latency_ms_bounds());
+  return h;
+}
+
+}  // namespace
 
 CheckpointManager::CheckpointManager(std::string dir) : dir_(std::move(dir)) {
   std::filesystem::create_directories(dir_);
@@ -14,6 +31,8 @@ CheckpointManager::CheckpointManager(std::string dir) : dir_(std::move(dir)) {
 
 void CheckpointManager::save(nn::Module& model, const optim::Adam& adam,
                              const TrainState& state) {
+  obs::ScopedTimer timer(save_ms());
+  obs::MetricsRegistry::global().counter("checkpoint.saves").inc();
   io::PayloadWriter writer;
   writer.write_pod<int64_t>(state.step);
   writer.write_pod<int64_t>(state.epoch);
@@ -38,13 +57,17 @@ void CheckpointManager::save(nn::Module& model, const optim::Adam& adam,
 bool CheckpointManager::load_latest(nn::Module& model, optim::Adam& adam,
                                     TrainState& state,
                                     std::string* which) const {
+  obs::ScopedTimer timer(load_ms());
+  obs::MetricsRegistry::global().counter("checkpoint.loads").inc();
   for (const std::string& path : {latest_path(), previous_path()}) {
     try {
       load_file(path, model, adam, state);
       if (which) *which = path;
       return true;
     } catch (const std::exception&) {
-      // Missing or failed integrity checks; fall through to the older one.
+      // Missing or failed integrity checks (absent file, bad magic/CRC,
+      // trailing bytes); count it and fall through to the older one.
+      obs::MetricsRegistry::global().counter("checkpoint.load_failures").inc();
     }
   }
   return false;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/module.h"
+#include "obs/trace.h"
 #include "tensor/pool.h"
 
 namespace yollo::serve {
@@ -30,7 +31,30 @@ InferenceService::InferenceService(core::YolloModel& model,
     : config_(config),
       model_config_(model.config()),
       vocab_(&vocab),
-      fallback_(fallback) {
+      fallback_(fallback),
+      c_submitted_(metrics_.counter("serve.submitted")),
+      c_served_(metrics_.counter("serve.served")),
+      c_degraded_(metrics_.counter("serve.degraded")),
+      c_rejected_(metrics_.counter("serve.rejected")),
+      c_rejected_invalid_(metrics_.counter("serve.rejected_invalid")),
+      c_rejected_overloaded_(metrics_.counter("serve.rejected_overloaded")),
+      c_deadline_exceeded_(metrics_.counter("serve.deadline_exceeded")),
+      c_failed_(metrics_.counter("serve.failed")),
+      c_retries_(metrics_.counter("serve.retries")),
+      c_breaker_trips_(metrics_.counter("serve.breaker_trips")),
+      c_batches_coalesced_(metrics_.counter("serve.batches_coalesced")),
+      c_batched_requests_(metrics_.counter("serve.batched_requests")),
+      g_queue_high_water_(metrics_.gauge("serve.queue_high_water")),
+      g_max_batch_(metrics_.gauge("serve.max_batch")),
+      h_queue_depth_(metrics_.histogram(
+          "serve.queue_depth",
+          obs::depth_bounds(std::max<int64_t>(1, config.queue_capacity)))),
+      h_queue_wait_ms_(
+          metrics_.histogram("serve.queue_wait_ms", obs::latency_ms_bounds())),
+      h_model_ms_(
+          metrics_.histogram("serve.model_ms", obs::latency_ms_bounds())),
+      h_latency_ms_(
+          metrics_.histogram("serve.latency_ms", obs::latency_ms_bounds())) {
   config_.num_workers = std::max<int64_t>(1, config_.num_workers);
   config_.queue_capacity = std::max<int64_t>(1, config_.queue_capacity);
   config_.batch_max = std::max<int64_t>(1, config_.batch_max);
@@ -63,6 +87,7 @@ InferenceService::Clock::time_point InferenceService::resolve_deadline(
 }
 
 std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
+  OBS_SPAN("serve.submit");
   const Clock::time_point now = Clock::now();
   std::promise<GroundResponse> promise;
   std::future<GroundResponse> future = promise.get_future();
@@ -77,7 +102,7 @@ std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
     response.latency_ms = ms_since(now);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++counters_.submitted;
+      c_submitted_.inc();
       record(response);
     }
     promise.set_value(std::move(response));
@@ -106,7 +131,7 @@ std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.submitted;
+    c_submitted_.inc();
     if (!accepting_) {
       GroundResponse response;
       response.status = Status::overloaded("service is stopped");
@@ -137,8 +162,9 @@ std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
     job.deadline = deadline;
     job.promise = std::move(promise);
     queue_.push_back(std::move(job));
-    counters_.queue_high_water = std::max(
-        counters_.queue_high_water, static_cast<int64_t>(queue_.size()));
+    const double depth = static_cast<double>(queue_.size());
+    g_queue_high_water_.set_max(depth);
+    h_queue_depth_.observe(depth);
   }
   cv_.notify_one();
   return future;
@@ -185,6 +211,9 @@ void InferenceService::process_batch(core::YolloModel& replica,
   std::vector<Job*> live;
   live.reserve(batch.size());
   for (Job& job : batch) {
+    h_queue_wait_ms_.observe(
+        std::chrono::duration<double, std::milli>(now - job.submitted_at)
+            .count());
     if (now >= job.deadline) {
       GroundResponse response;
       response.normalised_query = job.normalised_query;
@@ -264,12 +293,16 @@ void InferenceService::run_batched_model_tier(core::YolloModel& replica,
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.batches_coalesced;
-    counters_.batched_requests += k;
-    counters_.max_batch = std::max(counters_.max_batch, k);
+    c_batches_coalesced_.inc();
+    c_batched_requests_.inc(k);
+    g_max_batch_.set_max(static_cast<double>(k));
   }
 
-  const core::YolloModel::InferOutcome outcome = replica.infer(batched, tokens);
+  const core::YolloModel::InferOutcome outcome = [&] {
+    obs::ScopedTimer timer(h_model_ms_);
+    OBS_SPAN("serve.batch_forward");
+    return replica.infer(batched, tokens);
+  }();
 
   if (outcome.element_errors.size() != static_cast<size_t>(k)) {
     // Batch-level failure (thrown fault, invalid input): no per-element
@@ -324,8 +357,11 @@ bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,
       return true;
     }
     if (attempt > 0) ++response.retries;
-    const core::YolloModel::InferOutcome outcome =
-        replica.infer(batched, job.tokens);
+    const core::YolloModel::InferOutcome outcome = [&] {
+      obs::ScopedTimer timer(h_model_ms_);
+      OBS_SPAN("serve.model_forward");
+      return replica.infer(batched, job.tokens);
+    }();
     if (outcome.ok()) {
       // ...and after it: a slow forward that ate the budget is a deadline
       // miss even though it produced a box.
@@ -354,7 +390,7 @@ bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,
     if (consecutive_failures_ >= config_.breaker_threshold &&
         breaker_cooldown_left_ == 0) {
       breaker_cooldown_left_ = config_.breaker_cooldown;
-      ++counters_.breaker_trips;
+      c_breaker_trips_.inc();
     }
   }
   response.status = Status::internal(last_error);
@@ -363,6 +399,7 @@ bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,
 
 void InferenceService::run_fallback_tier(Job& job, const std::string& reason,
                                          GroundResponse& response) {
+  OBS_SPAN("serve.fallback");
   if (fallback_ == nullptr) {
     response.status = Status::internal(
         reason + "; no baseline fallback tier is configured");
@@ -393,36 +430,39 @@ void InferenceService::run_fallback_tier(Job& job, const std::string& reason,
 
 void InferenceService::finish(Job& job, GroundResponse response) {
   response.latency_ms = ms_since(job.submitted_at);
+  h_latency_ms_.observe(response.latency_ms);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    counters_.retries += response.retries;
+    c_retries_.inc(response.retries);
     record(response);
   }
   job.promise.set_value(std::move(response));
 }
 
 void InferenceService::record(const GroundResponse& response) {
+  // Caller holds mutex_: the submitted increment and the terminal-state
+  // increment are indivisible from a snapshot's point of view.
   switch (response.status.code) {
     case StatusCode::kOk:
-      ++counters_.served;
+      c_served_.inc();
       break;
     case StatusCode::kDegraded:
-      ++counters_.served;
-      ++counters_.degraded;
+      c_served_.inc();
+      c_degraded_.inc();
       break;
     case StatusCode::kInvalidInput:
-      ++counters_.rejected;
-      ++counters_.rejected_invalid;
+      c_rejected_.inc();
+      c_rejected_invalid_.inc();
       break;
     case StatusCode::kOverloaded:
-      ++counters_.rejected;
-      ++counters_.rejected_overloaded;
+      c_rejected_.inc();
+      c_rejected_overloaded_.inc();
       break;
     case StatusCode::kDeadlineExceeded:
-      ++counters_.deadline_exceeded;
+      c_deadline_exceeded_.inc();
       break;
     case StatusCode::kInternalError:
-      ++counters_.failed;
+      c_failed_.inc();
       break;
   }
 }
@@ -440,9 +480,15 @@ void InferenceService::stop() {
   workers_.clear();
 }
 
-ServiceCounters InferenceService::counters() const {
+obs::MetricsSnapshot InferenceService::metrics_snapshot() const {
+  // Snapshot under the service lock: every taxonomy update happens with
+  // mutex_ held, so the snapshot is a consistent cut of the accounting.
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  return metrics_.snapshot();
+}
+
+ServiceCounters InferenceService::counters() const {
+  return counters_from_snapshot(metrics_snapshot());
 }
 
 HealthSnapshot InferenceService::health() const {
@@ -452,8 +498,28 @@ HealthSnapshot InferenceService::health() const {
   snapshot.breaker_open = breaker_cooldown_left_ > 0;
   snapshot.queue_depth = static_cast<int64_t>(queue_.size());
   snapshot.workers = static_cast<int64_t>(replicas_.size());
-  snapshot.counters = counters_;
+  snapshot.counters = counters_from_snapshot(metrics_.snapshot());
   return snapshot;
+}
+
+ServiceCounters counters_from_snapshot(const obs::MetricsSnapshot& snapshot) {
+  ServiceCounters c;
+  c.submitted = snapshot.counter("serve.submitted");
+  c.served = snapshot.counter("serve.served");
+  c.degraded = snapshot.counter("serve.degraded");
+  c.rejected = snapshot.counter("serve.rejected");
+  c.rejected_invalid = snapshot.counter("serve.rejected_invalid");
+  c.rejected_overloaded = snapshot.counter("serve.rejected_overloaded");
+  c.deadline_exceeded = snapshot.counter("serve.deadline_exceeded");
+  c.failed = snapshot.counter("serve.failed");
+  c.retries = snapshot.counter("serve.retries");
+  c.breaker_trips = snapshot.counter("serve.breaker_trips");
+  c.batches_coalesced = snapshot.counter("serve.batches_coalesced");
+  c.batched_requests = snapshot.counter("serve.batched_requests");
+  c.queue_high_water =
+      static_cast<int64_t>(snapshot.gauge("serve.queue_high_water"));
+  c.max_batch = static_cast<int64_t>(snapshot.gauge("serve.max_batch"));
+  return c;
 }
 
 }  // namespace yollo::serve

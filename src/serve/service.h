@@ -46,6 +46,7 @@
 #include "baseline/matcher.h"
 #include "core/yollo.h"
 #include "data/vocab.h"
+#include "obs/metrics.h"
 #include "serve/status.h"
 #include "serve/validation.h"
 
@@ -98,6 +99,8 @@ struct GroundResponse {
 
 // Monotonic per-service counters. Invariant once all submitted futures have
 // resolved:  served + rejected + deadline_exceeded + failed == submitted.
+// The authoritative store is the service's obs::MetricsRegistry (names
+// "serve.*"); this struct is the flat view derived from one snapshot.
 struct ServiceCounters {
   int64_t submitted = 0;
   int64_t served = 0;    // answered: kOk + kDegraded
@@ -151,8 +154,13 @@ class InferenceService {
   // join the workers. Idempotent; also called by the destructor.
   void stop();
 
+  // All three read the same coherent registry snapshot, taken under the
+  // service lock that every counter update holds — the accounting invariant
+  // can never be observed mid-update (e.g. submitted incremented but the
+  // terminal counter not yet).
   ServiceCounters counters() const;
   HealthSnapshot health() const;
+  obs::MetricsSnapshot metrics_snapshot() const;
 
   const ServeConfig& config() const { return config_; }
   const core::YolloConfig& model_config() const { return model_config_; }
@@ -211,7 +219,31 @@ class InferenceService {
   std::deque<Job> queue_;
   bool accepting_ = true;
   bool stopping_ = false;
-  ServiceCounters counters_;
+
+  // Per-service registry (isolated accounting: each service in a test
+  // binary owns its own counters) plus cached references for the hot path.
+  // The taxonomy counters are only ever updated under mutex_ — that is what
+  // makes snapshot-under-lock coherent; the latency/depth histograms are
+  // observability-only and may be observed off-lock.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& c_submitted_;
+  obs::Counter& c_served_;
+  obs::Counter& c_degraded_;
+  obs::Counter& c_rejected_;
+  obs::Counter& c_rejected_invalid_;
+  obs::Counter& c_rejected_overloaded_;
+  obs::Counter& c_deadline_exceeded_;
+  obs::Counter& c_failed_;
+  obs::Counter& c_retries_;
+  obs::Counter& c_breaker_trips_;
+  obs::Counter& c_batches_coalesced_;
+  obs::Counter& c_batched_requests_;
+  obs::Gauge& g_queue_high_water_;
+  obs::Gauge& g_max_batch_;
+  obs::Histogram& h_queue_depth_;
+  obs::Histogram& h_queue_wait_ms_;
+  obs::Histogram& h_model_ms_;
+  obs::Histogram& h_latency_ms_;
 
   // Circuit breaker (guarded by mutex_). consecutive_failures_ is not reset
   // when the breaker trips, so a failed probe after cooldown re-trips
@@ -221,5 +253,10 @@ class InferenceService {
 
   std::mutex fallback_mutex_;  // serialises the shared baseline tier
 };
+
+// Flatten a service metrics snapshot ("serve.*" names) into the legacy
+// counter struct. Derived from ONE snapshot, so the accounting invariant
+// holds for the returned struct whenever it held for the snapshot.
+ServiceCounters counters_from_snapshot(const obs::MetricsSnapshot& snapshot);
 
 }  // namespace yollo::serve

@@ -4,12 +4,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/parallel.h"
 
 namespace yollo {
 
 Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  OBS_SPAN("conv.im2col");
   const int64_t n = input.size(0);
   const int64_t c = input.size(1);
   const int64_t h = input.size(2);
@@ -57,6 +59,7 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
 
 Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,
               int64_t in_w) {
+  OBS_SPAN("conv.col2im");
   const int64_t n = columns.size(0);
   const int64_t c = spec.in_channels;
   const int64_t oh = spec.out_height(in_h);
@@ -101,6 +104,7 @@ Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,
 
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec) {
+  OBS_SPAN("conv.forward");
   const int64_t n = input.size(0);
   const int64_t h = input.size(2);
   const int64_t w = input.size(3);
@@ -134,6 +138,7 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
 Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
                             bool has_bias, const Tensor& grad_output,
                             const Conv2dSpec& spec) {
+  OBS_SPAN("conv.backward");
   const int64_t n = input.size(0);
   const int64_t h = input.size(2);
   const int64_t w = input.size(3);

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/parallel.h"
 
 namespace yollo {
@@ -229,6 +231,12 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     epilogue_only(m, n, c, ep);
     return;
   }
+  OBS_SPAN("gemm");
+  if (obs::enabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::global().counter("gemm.calls");
+    calls.inc();
+  }
   const int64_t num_m_blocks = (m + MC - 1) / MC;
   for (int64_t jc = 0; jc < n; jc += NC) {
     const int64_t nc = std::min(NC, n - jc);
@@ -249,6 +257,7 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       const bool last = pc + kc == k;
       const float* bpack = nullptr;
       if (trans_b) {
+        OBS_SPAN("gemm.pack_b");
         pack_b(b, trans_b, k, n, pc, kc, jc, nc, bbuf.data());
         bpack = bbuf.data();
       }
@@ -262,7 +271,10 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
           const int64_t ic = blk * MC;
           const int64_t mc = std::min(MC, m - ic);
-          pack_a(a, trans_a, m, k, ic, mc, pc, kc, apack);
+          {
+            OBS_SPAN("gemm.pack_a");
+            pack_a(a, trans_a, m, k, ic, mc, pc, kc, apack);
+          }
           for (int64_t j0 = 0; j0 < nc; j0 += NR) {
             const int64_t nr = std::min(NR, nc - j0);
             const float* bpanel;
@@ -275,6 +287,7 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
               ldb = n;
             } else {
               if (!bedge_packed) {  // same panel for every blk: pack once
+                OBS_SPAN("gemm.pack_b");
                 pack_b(b, trans_b, k, n, pc, kc, jc + j0, nr, bedge);
                 bedge_packed = true;
               }

@@ -1,6 +1,8 @@
 #include "tensor/parallel.h"
 
 #include <algorithm>
+
+#include "obs/trace.h"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -151,6 +153,9 @@ void parallel_for(int64_t begin, int64_t end, int64_t grain,
     fn(begin, end);
     return;
   }
+  // Span only on the pool-dispatch branch: the serial fast path above must
+  // stay one integer compare, even with observability enabled.
+  OBS_SPAN("parallel_for");
   pool().run(fn, begin, end, chunk, want_workers);
 }
 

@@ -1,0 +1,675 @@
+// Deterministic harness for the yollo::obs subsystem (DESIGN.md §11):
+// counter/gauge/histogram semantics, quantile anchors, cross-thread
+// exactness (TSan target via scripts/run_sanitized_tests.sh), snapshot
+// merging, span nesting and ring wraparound, chrome://tracing JSON
+// validity (parsed back with a minimal JSON checker), and the disabled-path
+// overhead guardband.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "tensor/gemm.h"
+
+namespace obs = yollo::obs;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader, just enough to validate the files
+// the subsystem emits. Not a general-purpose parser: no \uXXXX decoding
+// (escapes are passed through verbatim), numbers via strtod.
+struct JValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JValue> arr;
+  std::map<std::string, JValue> obj;
+
+  const JValue* find(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse(JValue& out) {
+    if (!value(out)) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const char* q = p_;
+    for (; *lit != '\0'; ++lit, ++q) {
+      if (q == end_ || *q != *lit) return false;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (p_ == end_ || *p_ != '"') return false;
+    ++p_;
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        out.push_back(*p_++);
+        if (p_ == end_) return false;
+      }
+      out.push_back(*p_++);
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool value(JValue& out) {
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': {
+        out.kind = JValue::kObject;
+        ++p_;
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') {
+          ++p_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!string(key)) return false;
+          skip_ws();
+          if (p_ == end_ || *p_ != ':') return false;
+          ++p_;
+          JValue v;
+          if (!value(v)) return false;
+          out.obj.emplace(std::move(key), std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        out.kind = JValue::kArray;
+        ++p_;
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') {
+          ++p_;
+          return true;
+        }
+        for (;;) {
+          JValue v;
+          if (!value(v)) return false;
+          out.arr.push_back(std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ != end_ && *p_ == ']') {
+            ++p_;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        out.kind = JValue::kString;
+        return string(out.str);
+      case 't':
+        out.kind = JValue::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JValue::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JValue::kNull;
+        return literal("null");
+      default: {
+        char* after = nullptr;
+        out.kind = JValue::kNumber;
+        out.number = std::strtod(p_, &after);
+        if (after == p_ || after > end_) return false;
+        p_ = after;
+        return true;
+      }
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const char* stem) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + stem + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+// ---------------------------------------------------------------------------
+// Metrics semantics
+
+TEST(Counter, IncrementValueReset) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+  // Find-or-create returns the same object.
+  EXPECT_EQ(&reg.counter("c"), &c);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Gauge, SetAndHighWaterMark) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("g");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.set_max(7.0);
+  g.set_max(2.0);  // below the mark: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketSemanticsAreLessOrEqual) {
+  obs::Histogram h({1.0, 2.0, 4.0, 8.0});
+  h.observe(1.0);  // on a bound: counts in that bucket (le semantics)
+  h.observe(1.5);
+  h.observe(8.0);
+  h.observe(9.0);  // above the last bound: overflow bucket
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 5u);
+  EXPECT_EQ(s.counts[0], 1);
+  EXPECT_EQ(s.counts[1], 1);
+  EXPECT_EQ(s.counts[2], 0);
+  EXPECT_EQ(s.counts[3], 1);
+  EXPECT_EQ(s.counts[4], 1);
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.sum, 19.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 19.5 / 4.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, RegistryReRegistrationBoundsMustMatch) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&reg.histogram("h", {1.0, 2.0}), &h);
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileAnchors) {
+  obs::Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (double v : {0.5, 1.5, 3.0, 6.0}) h.observe(v);
+  const obs::HistogramSnapshot s = h.snapshot();
+  // rank(0.5) = 2 lands at the top of bucket (1, 2].
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);
+  // rank(0.99) = 3.96 interpolates 96% into bucket (4, 8].
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 4.0 + 0.96 * 4.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 8.0);
+}
+
+TEST(Histogram, QuantileFirstBucketInterpolatesFromZero) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(0.1);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.5);
+}
+
+TEST(Histogram, QuantileOverflowClampsToLastBound) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(100.0);
+  h.observe(200.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.99), 2.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  obs::Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeRequiresMatchingBounds) {
+  obs::Histogram a({1.0, 2.0});
+  obs::Histogram b({1.0, 2.0});
+  obs::Histogram c({1.0, 4.0});
+  a.observe(0.5);
+  b.observe(1.5);
+  c.observe(3.0);
+  obs::HistogramSnapshot sa = a.snapshot();
+  sa.merge(b.snapshot());
+  EXPECT_EQ(sa.count, 2);
+  EXPECT_EQ(sa.counts[0], 1);
+  EXPECT_EQ(sa.counts[1], 1);
+  EXPECT_DOUBLE_EQ(sa.sum, 2.0);
+  EXPECT_THROW(sa.merge(c.snapshot()), std::invalid_argument);
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersMaxesGaugesMergesHistograms) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("shared").inc(2);
+  b.counter("shared").inc(3);
+  b.counter("only_b").inc(7);
+  a.gauge("peak").set(5.0);
+  b.gauge("peak").set(4.0);
+  a.histogram("lat", {1.0, 2.0}).observe(0.5);
+  b.histogram("lat", {1.0, 2.0}).observe(1.5);
+
+  obs::MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counter("shared"), 5);
+  EXPECT_EQ(merged.counter("only_b"), 7);
+  EXPECT_EQ(merged.counter("absent"), 0);
+  EXPECT_DOUBLE_EQ(merged.gauge("peak"), 5.0);
+  const obs::HistogramSnapshot* lat = merged.histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2);
+  EXPECT_EQ(lat->counts[0], 1);
+  EXPECT_EQ(lat->counts[1], 1);
+}
+
+TEST(MetricsSnapshot, JsonRoundTripsThroughParser) {
+  obs::MetricsRegistry reg;
+  reg.counter("req.count").inc(12);
+  reg.gauge("queue.peak").set(3.0);
+  obs::Histogram& h = reg.histogram("lat_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(20.0);
+
+  const std::string json = reg.snapshot().to_json();
+  JValue root;
+  ASSERT_TRUE(JsonReader(json).parse(root)) << json;
+  ASSERT_EQ(root.kind, JValue::kObject);
+
+  const JValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JValue* count = counters->find("req.count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->number, 12.0);
+
+  const JValue* gauges = root.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("queue.peak")->number, 3.0);
+
+  const JValue* hists = root.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JValue* lat = hists->find("lat_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("count")->number, 2.0);
+  const JValue* buckets = lat->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->arr.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(buckets->arr[2].find("le")->str, "inf");
+  EXPECT_DOUBLE_EQ(buckets->arr[2].find("count")->number, 1.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Histogram& h = reg.histogram("h", {1.0});
+  c.inc(5);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  c.inc();  // the cached reference is still live
+  EXPECT_EQ(reg.snapshot().counter("c"), 1);
+}
+
+TEST(ScopedTimer, ObservesOnceOnScopeExit) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("t_ms", obs::latency_ms_bounds());
+  {
+    obs::ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(h.snapshot().sum, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: exact totals under contention (TSan leg re-runs these).
+
+TEST(MetricsConcurrency, SharedRegistryExactTotals) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("hits");
+  obs::Gauge& g = reg.gauge("peak");
+  obs::Histogram& h = reg.histogram("obs", {1.0, 10.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.observe(i % 2 == 0 ? 0.5 : 5.0);
+        g.set_max(static_cast<double>(t * kIters + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kIters);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, int64_t{kThreads} * kIters);
+  EXPECT_EQ(s.counts[0], int64_t{kThreads} * kIters / 2);
+  EXPECT_EQ(s.counts[1], int64_t{kThreads} * kIters / 2);
+  EXPECT_DOUBLE_EQ(g.value(), double{kThreads - 1} * kIters + kIters - 1);
+}
+
+TEST(MetricsConcurrency, PerThreadRegistriesMergeExactly) {
+  constexpr int kThreads = 6;
+  constexpr int kIters = 5000;
+  std::vector<obs::MetricsRegistry> regs(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&regs, t] {
+      obs::Counter& c = regs[static_cast<size_t>(t)].counter("work");
+      obs::Histogram& h =
+          regs[static_cast<size_t>(t)].histogram("ms", {1.0, 2.0});
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.observe(1.5);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  obs::MetricsSnapshot total = regs[0].snapshot();
+  for (int t = 1; t < kThreads; ++t) total.merge(regs[static_cast<size_t>(t)].snapshot());
+  EXPECT_EQ(total.counter("work"), int64_t{kThreads} * kIters);
+  ASSERT_NE(total.histogram("ms"), nullptr);
+  EXPECT_EQ(total.histogram("ms")->counts[1], int64_t{kThreads} * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Gating
+
+TEST(Gating, SetEnabledOverridesAndEnvIsReadOnce) {
+  const bool was = obs::enabled();
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::enabled());
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::enabled());
+  // Force a re-read of the environment.
+  ::setenv("YOLLO_OBS", "1", 1);
+  obs::detail::g_enabled.store(-1);
+  EXPECT_TRUE(obs::enabled());
+  ::setenv("YOLLO_OBS", "0", 1);
+  obs::detail::g_enabled.store(-1);
+  EXPECT_FALSE(obs::enabled());
+  ::unsetenv("YOLLO_OBS");
+  obs::set_enabled(was);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans. Each test owns the global enable flag and the rings.
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = obs::enabled();
+    obs::set_enabled(true);
+    obs::clear_trace();
+  }
+  void TearDown() override {
+    obs::set_trace_capacity(16384);
+    obs::clear_trace();
+    obs::set_enabled(was_enabled_);
+  }
+
+  static std::vector<obs::SpanRecord> spans_named(const std::string& prefix) {
+    std::vector<obs::SpanRecord> out;
+    for (const obs::SpanRecord& s : obs::collect_trace()) {
+      if (s.name != nullptr && std::string(s.name).rfind(prefix, 0) == 0) {
+        out.push_back(s);
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment) {
+  {
+    OBS_SPAN("nest.outer");
+    {
+      OBS_SPAN("nest.inner");
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  const std::vector<obs::SpanRecord> spans = spans_named("nest.");
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start: the outer span opened first.
+  EXPECT_STREQ(spans[0].name, "nest.outer");
+  EXPECT_STREQ(spans[1].name, "nest.inner");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+  // Containment: the inner interval sits inside the outer one.
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].start_ns + spans[0].dur_ns,
+            spans[1].start_ns + spans[1].dur_ns);
+  EXPECT_GT(spans[1].dur_ns, 0);
+}
+
+TEST_F(TraceTest, SequentialSpansAreTopLevel) {
+  { OBS_SPAN("seq.a"); }
+  { OBS_SPAN("seq.b"); }
+  const std::vector<obs::SpanRecord> spans = spans_named("seq.");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].depth, 0);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  obs::set_enabled(false);
+  { OBS_SPAN("off.never"); }
+  obs::set_enabled(true);
+  EXPECT_TRUE(spans_named("off.").empty());
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestSpans) {
+  obs::set_trace_capacity(8);
+  for (int i = 0; i < 12; ++i) {
+    OBS_SPAN("wrap.early");
+  }
+  for (int i = 0; i < 8; ++i) {
+    OBS_SPAN("wrap.late");
+  }
+  const std::vector<obs::SpanRecord> spans = spans_named("wrap.");
+  ASSERT_EQ(spans.size(), 8u);
+  for (const obs::SpanRecord& s : spans) EXPECT_STREQ(s.name, "wrap.late");
+}
+
+TEST_F(TraceTest, SpansFromManyThreadsAllRetained) {
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        OBS_SPAN("mt.span");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<obs::SpanRecord> spans = spans_named("mt.");
+  EXPECT_EQ(spans.size(), static_cast<size_t>(kThreads) * kSpans);
+}
+
+TEST_F(TraceTest, DumpTraceEmitsValidChromeJson) {
+  {
+    OBS_SPAN("dump.outer");
+    OBS_SPAN("dump.inner");
+  }
+  const std::string path = temp_path("obs_trace");
+  ASSERT_TRUE(obs::dump_trace(path));
+  const std::string text = read_file(path);
+  std::remove(path.c_str());
+
+  JValue root;
+  ASSERT_TRUE(JsonReader(text).parse(root)) << text;
+  ASSERT_EQ(root.kind, JValue::kObject);
+  const JValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JValue::kArray);
+
+  bool saw_outer = false;
+  bool saw_inner = false;
+  for (const JValue& ev : events->arr) {
+    ASSERT_EQ(ev.kind, JValue::kObject);
+    const JValue* name = ev.find("name");
+    const JValue* ph = ev.find("ph");
+    const JValue* ts = ev.find("ts");
+    const JValue* dur = ev.find("dur");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    EXPECT_EQ(ph->str, "X");
+    EXPECT_EQ(ts->kind, JValue::kNumber);
+    EXPECT_EQ(dur->kind, JValue::kNumber);
+    EXPECT_GE(dur->number, 0.0);
+    if (name->str == "dump.outer") saw_outer = true;
+    if (name->str == "dump.inner") saw_inner = true;
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST_F(TraceTest, DumpTraceFailsOnUnwritablePath) {
+  EXPECT_FALSE(obs::dump_trace("/nonexistent-dir-for-obs-test/trace.json"));
+}
+
+// ---------------------------------------------------------------------------
+// Kernel hooks: an enabled run of the instrumented GEMM records its span
+// and bumps the gated call counter.
+
+TEST_F(TraceTest, GemmRecordsSpanAndCallCounter) {
+  obs::Counter& calls = obs::MetricsRegistry::global().counter("gemm.calls");
+  const int64_t before = calls.value();
+  constexpr int64_t kN = 24;
+  std::vector<float> a(kN * kN, 1.0f);
+  std::vector<float> b(kN * kN, 2.0f);
+  std::vector<float> c(kN * kN, 0.0f);
+  yollo::gemm(false, false, kN, kN, kN, a.data(), b.data(), c.data(), {});
+  EXPECT_EQ(calls.value(), before + 1);
+  EXPECT_FLOAT_EQ(c[0], 2.0f * kN);
+  EXPECT_FALSE(spans_named("gemm").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Overhead regression: with YOLLO_OBS off, an OBS_SPAN in a tight loop must
+// stay within a small guardband of its uninstrumented twin (one relaxed
+// atomic load + branch per iteration). Alternating best-of-N runs cancel
+// machine-load drift.
+
+uint64_t xorshift_step(uint64_t x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+__attribute__((noinline)) uint64_t loop_plain(int64_t iters, uint64_t x) {
+  for (int64_t i = 0; i < iters; ++i) x = xorshift_step(x);
+  return x;
+}
+
+__attribute__((noinline)) uint64_t loop_instrumented(int64_t iters,
+                                                     uint64_t x) {
+  for (int64_t i = 0; i < iters; ++i) {
+    OBS_SPAN("overhead.iter");
+    x = xorshift_step(x);
+  }
+  return x;
+}
+
+TEST(ObsOverhead, DisabledSpanStaysWithinGuardband) {
+  const bool was = obs::enabled();
+  obs::set_enabled(false);  // the sanitizer leg exports YOLLO_OBS=1
+  constexpr int64_t kIters = 2000000;
+  constexpr int kReps = 5;
+  double best_plain = 1e300;
+  double best_instr = 1e300;
+  uint64_t sink = 0x2545f4914f6cdd1dULL;
+  using Clock = std::chrono::steady_clock;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Clock::time_point t0 = Clock::now();
+    sink = loop_plain(kIters, sink);
+    const double plain =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    t0 = Clock::now();
+    sink = loop_instrumented(kIters, sink);
+    const double instr =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    best_plain = std::min(best_plain, plain);
+    best_instr = std::min(best_instr, instr);
+  }
+  obs::set_enabled(was);
+  EXPECT_NE(sink, 0u);
+  // Guardband: the disabled hook may not double the loop (plus 2 ms of
+  // absolute slack so sanitizer/debug builds do not flake on tiny bases).
+  EXPECT_LE(best_instr, best_plain * 2.0 + 2.0)
+      << "plain " << best_plain << " ms vs instrumented " << best_instr
+      << " ms over " << kIters << " iterations";
+}
+
+}  // namespace

@@ -6,6 +6,11 @@
 // Every fault-driven branch is exercised through runtime::FaultInjector's
 // inference-path hooks — the service must answer every request with a typed
 // Status: zero crashes, zero hung requests.
+//
+// Counter assertions read the service's obs::MetricsRegistry snapshot
+// (metrics_snapshot() / counters_from_snapshot) — one coherent cut of the
+// accounting, the same path counters() and health() use.
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <future>
@@ -315,7 +320,18 @@ TEST(ServiceTest, ServesValidRequestAndCounts) {
   expect_box_within(response.box, h.cfg);
   EXPECT_GE(response.latency_ms, 0.0);
 
-  const ServiceCounters counters = service.counters();
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(snap.counter("serve.submitted"), 1);
+  EXPECT_EQ(snap.counter("serve.served"), 1);
+  EXPECT_EQ(snap.counter("serve.degraded"), 0);
+  EXPECT_EQ(snap.counter("serve.rejected"), 0);
+  // Stage latency histograms populated for the one request that ran.
+  ASSERT_NE(snap.histogram("serve.latency_ms"), nullptr);
+  EXPECT_EQ(snap.histogram("serve.latency_ms")->count, 1);
+  ASSERT_NE(snap.histogram("serve.model_ms"), nullptr);
+  EXPECT_GE(snap.histogram("serve.model_ms")->count, 1);
+  // The legacy flat struct is a pure projection of the same snapshot.
+  const ServiceCounters counters = counters_from_snapshot(snap);
   EXPECT_EQ(counters.submitted, 1);
   EXPECT_EQ(counters.served, 1);
   EXPECT_EQ(counters.degraded, 0);
@@ -344,11 +360,11 @@ TEST(ServiceTest, RejectsInvalidInputsAtAdmission) {
   EXPECT_EQ(service.ground(std::move(nan_image)).status.code,
             StatusCode::kInvalidInput);
 
-  const ServiceCounters counters = service.counters();
-  EXPECT_EQ(counters.submitted, 4);
-  EXPECT_EQ(counters.rejected, 4);
-  EXPECT_EQ(counters.rejected_invalid, 4);
-  EXPECT_EQ(counters.served, 0);
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(snap.counter("serve.submitted"), 4);
+  EXPECT_EQ(snap.counter("serve.rejected"), 4);
+  EXPECT_EQ(snap.counter("serve.rejected_invalid"), 4);
+  EXPECT_EQ(snap.counter("serve.served"), 0);
 }
 
 TEST(ServiceTest, BoundedQueueRejectsWithOverloaded) {
@@ -381,10 +397,12 @@ TEST(ServiceTest, BoundedQueueRejectsWithOverloaded) {
   EXPECT_TRUE(first.get().status.answered());
   EXPECT_TRUE(second.get().status.answered());
 
-  const ServiceCounters counters = service.counters();
-  EXPECT_EQ(counters.submitted, 3);
-  EXPECT_EQ(counters.rejected_overloaded, 1);
-  EXPECT_EQ(counters.queue_high_water, 1);
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(snap.counter("serve.submitted"), 3);
+  EXPECT_EQ(snap.counter("serve.rejected_overloaded"), 1);
+  EXPECT_DOUBLE_EQ(snap.gauge("serve.queue_high_water"), 1.0);
+  ASSERT_NE(snap.histogram("serve.queue_depth"), nullptr);
+  EXPECT_GE(snap.histogram("serve.queue_depth")->count, 1);
 }
 
 TEST(ServiceTest, DeadlineCheckedAtEnqueue) {
@@ -537,7 +555,8 @@ TEST(ServiceTest, CircuitBreakerTripsAndReprobes) {
     expect_box_within(response.box, h.cfg);
   }
 
-  const ServiceCounters counters = service.counters();
+  const ServiceCounters counters =
+      counters_from_snapshot(service.metrics_snapshot());
   EXPECT_EQ(counters.served, 6);
   EXPECT_EQ(counters.degraded, 6);
   EXPECT_EQ(counters.breaker_trips, 2);
@@ -698,6 +717,17 @@ TEST(ServiceStressTest, MixedLoadUnderFaultsLosesNoRequest) {
   const char* queries[] = {"red circle", "the large square",
                            "blue thing on the left", "small green triangle"};
   constexpr int kRequests = 220;
+
+  // Concurrent stats poller: health() (and metrics_snapshot() underneath)
+  // must hand back one coherent cut of the accounting — the sub-invariants
+  // below hold in EVERY observation, not just after quiescence. Totals may
+  // be behind `submitted` mid-flight (requests in the pipeline), never
+  // ahead, and the taxonomy subsets always reconcile.
+  std::atomic<bool> poll_stop{false};
+  std::atomic<int64_t> poll_violations{0};
+  std::atomic<int64_t> polls{0};
+  std::thread poller;
+
   std::vector<std::future<GroundResponse>> futures;
   futures.reserve(kRequests);
   for (int i = 0; i < kRequests; ++i) {
@@ -723,6 +753,23 @@ TEST(ServiceStressTest, MixedLoadUnderFaultsLosesNoRequest) {
         request.image = h.image(static_cast<uint64_t>(i));
         request.query = queries[i % 4];
         break;
+    }
+    if (i == 0) {
+      poller = std::thread([&] {
+        while (!poll_stop.load(std::memory_order_relaxed)) {
+          const HealthSnapshot health = service.health();
+          const ServiceCounters& c = health.counters;
+          const bool coherent =
+              c.rejected == c.rejected_invalid + c.rejected_overloaded &&
+              c.degraded <= c.served &&
+              c.served + c.rejected + c.deadline_exceeded + c.failed <=
+                  c.submitted &&
+              c.queue_high_water <= 32 && health.queue_depth <= 32;
+          if (!coherent) poll_violations.fetch_add(1);
+          polls.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
     }
     futures.push_back(service.submit(std::move(request)));
   }
@@ -752,14 +799,36 @@ TEST(ServiceStressTest, MixedLoadUnderFaultsLosesNoRequest) {
         break;
     }
   }
+  poll_stop.store(true);
+  poller.join();
+  EXPECT_EQ(poll_violations.load(), 0)
+      << "a stats poll observed the accounting mid-update";
+  EXPECT_GE(polls.load(), 1);
   service.stop();
 
-  // Counter invariant: every submitted request is accounted exactly once.
-  const ServiceCounters counters = service.counters();
+  // Counter invariant: every submitted request is accounted exactly once —
+  // asserted on the raw registry snapshot and on the derived flat struct,
+  // which must agree (both come from the same coherent cut).
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(snap.counter("serve.served") + snap.counter("serve.rejected") +
+                snap.counter("serve.deadline_exceeded") +
+                snap.counter("serve.failed"),
+            snap.counter("serve.submitted"));
+  const ServiceCounters counters = counters_from_snapshot(snap);
+  const ServiceCounters via_legacy = service.counters();
+  EXPECT_EQ(via_legacy.submitted, counters.submitted);
+  EXPECT_EQ(via_legacy.served, counters.served);
+  EXPECT_EQ(via_legacy.rejected, counters.rejected);
+  EXPECT_EQ(via_legacy.deadline_exceeded, counters.deadline_exceeded);
+  EXPECT_EQ(via_legacy.failed, counters.failed);
   EXPECT_EQ(counters.submitted, kRequests);
   EXPECT_EQ(counters.served + counters.rejected + counters.deadline_exceeded +
                 counters.failed,
             counters.submitted);
+  // Latency histogram covers at least every answered request (admission
+  // rejections resolve before reaching the worker pipeline).
+  ASSERT_NE(snap.histogram("serve.latency_ms"), nullptr);
+  EXPECT_GE(snap.histogram("serve.latency_ms")->count, counters.served);
   EXPECT_EQ(counters.served, answered);
   EXPECT_EQ(counters.rejected, rejected);
   EXPECT_EQ(counters.deadline_exceeded, deadline);
