@@ -28,7 +28,7 @@ BASELINE_REV="${YOLLO_BASELINE_REV-05c8f6177aaa74578863d644996955595649245e}"
 # Pin Release: latency numbers from a Debug/RelWithDebInfo tree are noise.
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" -j --target bench_infer_latency --target bench_gemm \
-  > /dev/null
+  --target bench_serve_shard > /dev/null
 
 # GEMM kernel throughput (naive vs blocked vs fused, 1 vs N threads).
 "$BUILD/bench/bench_gemm" "$ROOT/BENCH_gemm.json"
@@ -65,3 +65,9 @@ fi
 
 # shellcheck disable=SC2086  # word-splitting of BASELINE_ARGS is intended
 "$BUILD/bench/bench_infer_latency" "$ROOT/BENCH_infer.json" $BASELINE_ARGS
+
+# Sharded serving: open-loop Poisson sweep (latency knee + SLO line, 1 vs 3
+# shards) and the chaos legs (kill / poison / slow one shard mid-run; zero
+# lost requests, post-failure throughput floor). Exits non-zero if a chaos
+# leg loses a request or the throughput floor is violated.
+"$BUILD/bench/bench_serve_shard" "$ROOT/BENCH_serve_shard.json"

@@ -48,10 +48,20 @@ run_mode() {
     # the registry. Re-run those suites with the profiling hooks live so
     # TSan watches the span records and counter merges, not no-ops.
     echo "re-running obs suites with YOLLO_NUM_THREADS=4 YOLLO_OBS=1 ..."
-    for t in obs_test serve_test; do
+    for t in obs_test serve_test router_test; do
       echo "  YOLLO_NUM_THREADS=4 YOLLO_OBS=1 $t"
       YOLLO_NUM_THREADS=4 YOLLO_OBS=1 "$dir/tests/$t"
     done
+    # Router chaos under TSan, fault-injecting configuration: the
+    # RouterChaosTest suite arms per-shard *scoped* FaultInjector instances
+    # itself (kill / poison a shard mid-run) — the YOLLO_FAULT_* env vars
+    # arm only the process-global injector, which sharded routers
+    # deliberately bypass. YOLLO_ROUTER_CHAOS_PER_THREAD raises the
+    # injected-fault load well past the default so TSan watches routing,
+    # hedging, failover, and drain/probe under sustained concurrent faults.
+    echo "re-running router chaos suite with heavier injected faults ..."
+    YOLLO_NUM_THREADS=4 YOLLO_OBS=1 YOLLO_ROUTER_CHAOS_PER_THREAD=60 \
+      "$dir/tests/router_test" --gtest_filter='RouterChaosTest.*'
   fi
 }
 

@@ -175,7 +175,7 @@ YolloModel::ForwardDecode YolloModel::forward_and_decode(
   ForwardDecode fd;
   Output out = forward(images, tokens);
   if (apply_fault_hooks &&
-      runtime::FaultInjector::instance().take_poison_forward()) {
+      runtime::FaultInjector::active().take_poison_forward()) {
     // Stand-in for silently corrupted activations: the finiteness scan
     // below must catch this, never the caller. Only the last batch element
     // is poisoned — real corruption hits activations, not whole batches —
@@ -300,8 +300,10 @@ YolloModel::InferOutcome YolloModel::infer(
     PoolScope pool;
 
     // Fault hooks: a slow-forward fault sleeps here, a transient forward
-    // failure throws here (caught below as kFault).
-    runtime::FaultInjector::instance().check_forward();
+    // failure throws here (caught below as kFault). active() resolves to a
+    // thread-bound scoped injector when one is installed (per-shard chaos),
+    // else the env-driven process-wide instance.
+    runtime::FaultInjector::active().check_forward();
 
     ForwardDecode fd =
         forward_and_decode(images, tokens, /*apply_fault_hooks=*/true);

@@ -16,14 +16,36 @@ int64_t env_int(const char* name, int64_t fallback) {
   return std::strtoll(value, nullptr, 10);
 }
 
+// The injector bound to this thread by a live ThreadBinding; null means the
+// thread resolves to the process-wide instance().
+thread_local FaultInjector* t_active = nullptr;
+
 }  // namespace
 
 FaultInjector& FaultInjector::instance() {
-  static FaultInjector injector;
+  static FaultInjector injector{GlobalTag{}};
   return injector;
 }
 
-FaultInjector::FaultInjector() {
+FaultInjector& FaultInjector::active() {
+  FaultInjector* bound = t_active;
+  return bound != nullptr ? *bound : instance();
+}
+
+FaultInjector::ThreadBinding::ThreadBinding(FaultInjector* injector) {
+  if (injector == nullptr) return;
+  prev_ = t_active;
+  t_active = injector;
+  bound_ = true;
+}
+
+FaultInjector::ThreadBinding::~ThreadBinding() {
+  if (bound_) t_active = prev_;
+}
+
+FaultInjector::FaultInjector() = default;
+
+FaultInjector::FaultInjector(GlobalTag) : global_(true) {
   Config config;
   config.crash_write_after_bytes =
       env_int("YOLLO_FAULT_CRASH_WRITE_BYTES", -1);
@@ -42,6 +64,12 @@ void FaultInjector::configure(const Config& config) {
   config_ = config;
   poisons_fired_ = 0;
   max_poisoned_step_ = -1;
+  // The io write hook is process-global state: only the process-wide
+  // instance may own it. Scoped injectors carry the inference-path faults.
+  if (!global_) {
+    config_.crash_write_after_bytes = -1;
+    return;
+  }
   if (config_.crash_write_after_bytes >= 0) {
     install_write_hook();
   } else {

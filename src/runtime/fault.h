@@ -31,6 +31,18 @@
 // from genuine errors. All faults are disarmed by default; configure()
 // or the YOLLO_FAULT_* environment variables arm them. The inference-path
 // hooks are thread-safe: serve workers consume fault shots concurrently.
+//
+// Scoping (PR 6): faults used to be process-global only — arming a fault hit
+// every model replica in every service at once, so a sharded front-end could
+// not express "poison shard 1, leave shards 0 and 2 healthy". A FaultInjector
+// can now also be constructed directly as a scoped instance and bound to a
+// thread with ThreadBinding; the consumer side (YolloModel::infer) reads
+// FaultInjector::active(), which resolves to the thread-bound instance when
+// one is installed and falls back to the env-driven process-wide instance()
+// otherwise — existing tests and manual YOLLO_FAULT_* chaos runs are
+// untouched. Scoped instances carry only the inference-path faults; the
+// serialisation write hook is process-global io state and stays exclusive to
+// instance() (a scoped configure() ignores crash_write_after_bytes).
 #pragma once
 
 #include <cstdint>
@@ -75,12 +87,39 @@ class FaultInjector {
     int64_t slow_forward_count = 0;
   };
 
+  // A scoped injector: starts disarmed, never reads the environment, and
+  // never touches the process-wide io write hook. Bind it to the threads
+  // whose forwards it should govern with ThreadBinding (one shard's worker
+  // pool, say); unbound threads keep consuming instance().
+  FaultInjector();
+
   // Process-wide instance. On first access, faults named in the
   // environment (YOLLO_FAULT_CRASH_WRITE_BYTES, YOLLO_FAULT_HALT_STEP,
   // YOLLO_FAULT_POISON_STEP, YOLLO_FAULT_POISON_COUNT,
   // YOLLO_FAULT_FAIL_FORWARD, YOLLO_FAULT_POISON_FORWARD,
   // YOLLO_FAULT_SLOW_FORWARD_MS, YOLLO_FAULT_SLOW_FORWARD_COUNT) are armed.
   static FaultInjector& instance();
+
+  // The injector governing the calling thread: the ThreadBinding-installed
+  // scoped instance when present, otherwise instance(). This is what the
+  // inference path consumes.
+  static FaultInjector& active();
+
+  // RAII thread binding for a scoped injector. A null injector is a no-op
+  // binding (the thread keeps its previous resolution), so callers can pass
+  // an optional injector through unconditionally. Nests: the previous
+  // binding is restored on destruction.
+  class ThreadBinding {
+   public:
+    explicit ThreadBinding(FaultInjector* injector);
+    ~ThreadBinding();
+    ThreadBinding(const ThreadBinding&) = delete;
+    ThreadBinding& operator=(const ThreadBinding&) = delete;
+
+   private:
+    FaultInjector* prev_ = nullptr;
+    bool bound_ = false;
+  };
 
   // Arm the given faults (replaces the current config and re-installs or
   // removes the io write hook as needed).
@@ -111,9 +150,11 @@ class FaultInjector {
   const Config& config() const { return config_; }
 
  private:
-  FaultInjector();
+  struct GlobalTag {};
+  explicit FaultInjector(GlobalTag);  // env-armed; owns the io write hook
   void install_write_hook();
 
+  bool global_ = false;
   Config config_;
   int64_t poisons_fired_ = 0;
   int64_t max_poisoned_step_ = -1;  // steps <= this have already fired

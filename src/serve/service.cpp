@@ -5,6 +5,7 @@
 
 #include "nn/module.h"
 #include "obs/trace.h"
+#include "runtime/fault.h"
 #include "tensor/pool.h"
 
 namespace yollo::serve {
@@ -27,7 +28,8 @@ bool box_is_finite(const vision::Box& box) {
 InferenceService::InferenceService(core::YolloModel& model,
                                    const data::Vocab& vocab,
                                    const ServeConfig& config,
-                                   baseline::TwoStagePipeline* fallback)
+                                   baseline::TwoStagePipeline* fallback,
+                                   std::mutex* fallback_mutex)
     : config_(config),
       model_config_(model.config()),
       vocab_(&vocab),
@@ -54,7 +56,9 @@ InferenceService::InferenceService(core::YolloModel& model,
       h_model_ms_(
           metrics_.histogram("serve.model_ms", obs::latency_ms_bounds())),
       h_latency_ms_(
-          metrics_.histogram("serve.latency_ms", obs::latency_ms_bounds())) {
+          metrics_.histogram("serve.latency_ms", obs::latency_ms_bounds())),
+      fallback_lock_(fallback_mutex != nullptr ? fallback_mutex
+                                               : &fallback_mutex_) {
   config_.num_workers = std::max<int64_t>(1, config_.num_workers);
   config_.queue_capacity = std::max<int64_t>(1, config_.queue_capacity);
   config_.batch_max = std::max<int64_t>(1, config_.batch_max);
@@ -134,7 +138,7 @@ std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
     c_submitted_.inc();
     if (!accepting_) {
       GroundResponse response;
-      response.status = Status::overloaded("service is stopped");
+      response.status = Status::overloaded("service is stopped or paused");
       response.normalised_query = std::move(query.normalised);
       response.latency_ms = ms_since(now);
       record(response);
@@ -176,6 +180,9 @@ GroundResponse InferenceService::ground(GroundRequest request) {
 
 void InferenceService::worker_loop(int64_t worker_id) {
   core::YolloModel& replica = *replicas_[static_cast<size_t>(worker_id)];
+  // Scoped fault injector (when the service owns one): every forward this
+  // worker runs consumes the shard-local injector instead of the global.
+  runtime::FaultInjector::ThreadBinding fault_binding(config_.fault_injector);
   // Long-lived per-worker storage pool: the PoolScope that infer() installs
   // internally joins this one, so tensor storage recycles across requests
   // instead of only within a single forward.
@@ -191,8 +198,20 @@ void InferenceService::worker_loop(int64_t worker_id) {
       // to fill. All admitted jobs share the model's image geometry
       // (admission validates against the config), so every queued job is
       // batch-compatible.
-      const int64_t take =
+      int64_t take =
           std::min(config_.batch_max, static_cast<int64_t>(queue_.size()));
+      // Deadline-aware coalescing: a batch of k is slower than a batch of
+      // 1, so a near-deadline request must not be serialised into a batched
+      // forward behind strangers. When the oldest queued request's slack is
+      // below the observed model-stage p95, it runs solo.
+      if (take > 1 &&
+          queue_.front().deadline != Clock::time_point::max()) {
+        const double slack_ms =
+            std::chrono::duration<double, std::milli>(queue_.front().deadline -
+                                                      Clock::now())
+                .count();
+        if (slack_ms < h_model_ms_.snapshot().quantile(0.95)) take = 1;
+      }
       batch.reserve(static_cast<size_t>(take));
       for (int64_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
@@ -408,9 +427,10 @@ void InferenceService::run_fallback_tier(Job& job, const std::string& reason,
   try {
     vision::Box box;
     {
-      // The baseline tier is shared across workers; degradation is the
+      // The baseline tier is shared across workers (and, when the caller
+      // provided a shared mutex, across sibling shards); degradation is the
       // rare path, so serialising it is the right trade.
-      std::lock_guard<std::mutex> lock(fallback_mutex_);
+      std::lock_guard<std::mutex> lock(*fallback_lock_);
       box = fallback_->ground(job.image, job.tokens);
     }
     if (!box_is_finite(box)) {
@@ -480,6 +500,18 @@ void InferenceService::stop() {
   workers_.clear();
 }
 
+void InferenceService::pause_admission() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accepting_ = false;
+}
+
+bool InferenceService::resume_admission() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return false;
+  accepting_ = true;
+  return true;
+}
+
 obs::MetricsSnapshot InferenceService::metrics_snapshot() const {
   // Snapshot under the service lock: every taxonomy update happens with
   // mutex_ held, so the snapshot is a consistent cut of the accounting.
@@ -489,6 +521,10 @@ obs::MetricsSnapshot InferenceService::metrics_snapshot() const {
 
 ServiceCounters InferenceService::counters() const {
   return counters_from_snapshot(metrics_snapshot());
+}
+
+double InferenceService::latency_p95_ms() const {
+  return h_latency_ms_.snapshot().quantile(0.95);
 }
 
 HealthSnapshot InferenceService::health() const {

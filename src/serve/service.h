@@ -50,6 +50,10 @@
 #include "serve/status.h"
 #include "serve/validation.h"
 
+namespace yollo::runtime {
+class FaultInjector;
+}  // namespace yollo::runtime
+
 namespace yollo::serve {
 
 struct ServeConfig {
@@ -61,6 +65,11 @@ struct ServeConfig {
   // under backlog the per-op fixed costs amortise across the batch.
   // Per-request deadlines and per-element finiteness/clipping checks are
   // preserved: a poisoned element degrades only that request. 1 disables.
+  // Coalescing is deadline-aware: when the oldest queued request's deadline
+  // slack is below the observed model-stage p95, it runs solo instead of
+  // being serialised into a batched forward behind strangers (a batch of k
+  // is slower than a batch of 1, and the near-deadline request pays that
+  // difference with budget it does not have).
   int64_t batch_max = 4;
   // Deadline applied to requests that do not carry their own (deadline_ms
   // < 0). <= 0 disables the default deadline.
@@ -76,6 +85,12 @@ struct ServeConfig {
   int64_t breaker_cooldown = 8;
   // Seed for constructing the per-worker replicas.
   uint64_t seed = 1234;
+  // Optional scoped fault injector for this service's worker threads (must
+  // outlive the service). null keeps the process-wide env-driven injector —
+  // the default, so single-service deployments and existing tests are
+  // untouched. A sharded front-end gives each shard its own instance so
+  // chaos can hit one replica set without touching the others.
+  runtime::FaultInjector* fault_injector = nullptr;
 };
 
 struct GroundRequest {
@@ -132,11 +147,15 @@ class InferenceService {
   // `model` is copied into num_workers eval-mode replicas; the source is
   // not referenced after construction. `fallback` (optional) is the
   // baseline proposer+matcher tier used for degraded answers; it is shared
-  // and internally serialised (degradation is the rare path). `vocab` must
-  // outlive the service.
+  // and internally serialised (degradation is the rare path). When several
+  // services share one fallback pipeline (a sharded front-end), pass the
+  // same `fallback_mutex` to all of them so the serialisation spans every
+  // sharer; null uses a service-private mutex. `vocab` must outlive the
+  // service.
   InferenceService(core::YolloModel& model, const data::Vocab& vocab,
                    const ServeConfig& config,
-                   baseline::TwoStagePipeline* fallback = nullptr);
+                   baseline::TwoStagePipeline* fallback = nullptr,
+                   std::mutex* fallback_mutex = nullptr);
   ~InferenceService();
 
   InferenceService(const InferenceService&) = delete;
@@ -154,6 +173,14 @@ class InferenceService {
   // join the workers. Idempotent; also called by the destructor.
   void stop();
 
+  // Drain/probe hooks for a sharded front-end. pause_admission() closes the
+  // door (new submissions are typed kOverloaded) while the workers keep
+  // draining — queued work is still answered, never dropped. After the
+  // drain, resume_admission() reopens it; returns false once the service
+  // has been stop()ped for good (a dead shard cannot be probed back in).
+  void pause_admission();
+  bool resume_admission();
+
   // All three read the same coherent registry snapshot, taken under the
   // service lock that every counter update holds — the accounting invariant
   // can never be observed mid-update (e.g. submitted incremented but the
@@ -161,6 +188,11 @@ class InferenceService {
   ServiceCounters counters() const;
   HealthSnapshot health() const;
   obs::MetricsSnapshot metrics_snapshot() const;
+
+  // Live p95 of end-to-end request latency (ms) from the service histogram
+  // — lock-free; the router's hedging policy reads this at high frequency.
+  // 0 until the first request completes.
+  double latency_p95_ms() const;
 
   const ServeConfig& config() const { return config_; }
   const core::YolloConfig& model_config() const { return model_config_; }
@@ -251,7 +283,8 @@ class InferenceService {
   int64_t consecutive_failures_ = 0;
   int64_t breaker_cooldown_left_ = 0;  // > 0 == open
 
-  std::mutex fallback_mutex_;  // serialises the shared baseline tier
+  std::mutex fallback_mutex_;   // serialises the shared baseline tier...
+  std::mutex* fallback_lock_;   // ...or a caller-shared mutex spanning shards
 };
 
 // Flatten a service metrics snapshot ("serve.*" names) into the legacy

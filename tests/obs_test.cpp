@@ -23,6 +23,14 @@
 #include "obs/trace.h"
 #include "tensor/gemm.h"
 
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define YOLLO_OBS_TEST_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define YOLLO_OBS_TEST_TSAN 1
+#endif
+
 namespace obs = yollo::obs;
 
 namespace {
@@ -643,6 +651,11 @@ __attribute__((noinline)) uint64_t loop_instrumented(int64_t iters,
 }
 
 TEST(ObsOverhead, DisabledSpanStaysWithinGuardband) {
+#ifdef YOLLO_OBS_TEST_TSAN
+  // TSan intercepts the disabled path's single atomic load, inflating it
+  // far past the guardband; the overhead claim is about production builds.
+  GTEST_SKIP() << "disabled-hook overhead is not meaningful under TSan";
+#endif
   const bool was = obs::enabled();
   obs::set_enabled(false);  // the sanitizer leg exports YOLLO_OBS=1
   constexpr int64_t kIters = 2000000;

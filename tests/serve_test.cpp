@@ -30,8 +30,25 @@
 #include "serve/status.h"
 #include "serve/validation.h"
 
+// TSan slows real forward passes ~15x while injected wall-clock delays
+// (slow_forward_ms) stay fixed; stretch the latency constants of the
+// timing-sensitive tests so their ratios survive the race detector.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define YOLLO_TSAN_BUILD 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define YOLLO_TSAN_BUILD 1
+#endif
+
 namespace yollo::serve {
 namespace {
+
+#ifdef YOLLO_TSAN_BUILD
+constexpr int kTimeScale = 8;
+#else
+constexpr int kTimeScale = 1;
+#endif
 
 // A guard that always leaves the process-wide injector disarmed.
 struct FaultGuard {
@@ -565,6 +582,51 @@ TEST(ServiceTest, CircuitBreakerTripsAndReprobes) {
   EXPECT_TRUE(service.health().breaker_open);
 }
 
+TEST(ServiceTest, BreakerHalfOpenFailedProbeRetripsImmediately) {
+  FaultGuard guard;
+  ServeHarness h;
+  // Exactly three failing forwards: two to trip the breaker, one for the
+  // half-open probe. Every later forward is clean.
+  runtime::FaultInjector::Config fc;
+  fc.fail_forward_count = 3;
+  runtime::FaultInjector::instance().configure(fc);
+
+  ServeConfig sc;
+  sc.num_workers = 1;
+  sc.max_retries = 0;  // one attempt per tier entry: shot accounting is exact
+  sc.breaker_threshold = 2;
+  sc.breaker_cooldown = 3;
+  InferenceService service(h.model, h.vocab, sc, h.pipeline.get());
+
+  // r1, r2: tier fails -> consecutive = 2 -> trip #1 (cooldown 3).
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(service.ground(h.request()).status.code, StatusCode::kDegraded);
+  }
+  EXPECT_TRUE(service.health().breaker_open);
+  // r3..r5 ride out the cooldown on the baseline tier.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(service.ground(h.request()).status.code, StatusCode::kDegraded);
+  }
+  // r6 is the half-open probe; it consumes the third failing shot. Because
+  // consecutive_failures_ survives the trip, ONE failed probe is >= the
+  // threshold again and the breaker must re-trip immediately — not ride
+  // through threshold-1 further model failures first.
+  EXPECT_EQ(service.ground(h.request()).status.code, StatusCode::kDegraded);
+  EXPECT_TRUE(service.health().breaker_open);
+  EXPECT_EQ(service.counters().breaker_trips, 2);
+  // r7..r9: the re-tripped cooldown, still baseline-only (no model
+  // attempts: the fail shots are exhausted, so any forward would succeed —
+  // a kDegraded answer here proves the breaker really is open again).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(service.ground(h.request()).status.code, StatusCode::kDegraded);
+  }
+  // r10: the second probe runs clean and closes the breaker.
+  const GroundResponse probe = service.ground(h.request());
+  EXPECT_TRUE(probe.status.ok()) << probe.status.to_string();
+  EXPECT_FALSE(service.health().breaker_open);
+  EXPECT_EQ(service.counters().breaker_trips, 2);
+}
+
 TEST(ServiceTest, HealthSnapshotReflectsLifecycle) {
   FaultGuard guard;
   ServeHarness h;
@@ -649,6 +711,56 @@ TEST(ServiceBatchingTest, BatchMaxOneDisablesCoalescing) {
   EXPECT_EQ(counters.batches_coalesced, 0);
   EXPECT_EQ(counters.batched_requests, 0);
   EXPECT_EQ(counters.served, 4);
+}
+
+TEST(ServiceBatchingTest, NearDeadlineRequestRunsSoloNotCoalesced) {
+  FaultGuard guard;
+  ServeHarness h;
+  // Regression for the burst-batching latency cliff (BENCH_infer.json
+  // serve_burst: batch_max 8 ran at 0.78x of batch_max 1): greedy
+  // coalescing serialised near-deadline requests into k-wide forwards that
+  // cost budget they did not have. The worker must fall back to solo
+  // serving when the oldest queued request's slack is below the observed
+  // model-stage p95.
+  runtime::FaultInjector::Config fc;
+  fc.slow_forward_ms = 250 * kTimeScale;
+  fc.slow_forward_count = 2;
+  runtime::FaultInjector::instance().configure(fc);
+
+  ServeConfig sc;
+  sc.num_workers = 1;
+  sc.batch_max = 4;
+  InferenceService service(h.model, h.vocab, sc, h.pipeline.get());
+
+  // Prime serve.model_ms with one ~250ms sample so its p95 lands in the
+  // 204.8..409.6ms bucket — every later slack below ~205ms trips the guard.
+  EXPECT_TRUE(service.ground(h.request("red circle", 1)).status.ok());
+
+  // Block the worker (second slow shot) and queue three requests behind it
+  // whose slack at dequeue (~150ms of their 300ms budget) is under that
+  // p95. Greedy coalescing would batch all three; the guard must serve
+  // them one by one instead — and each solo forward is fast enough that
+  // every one still answers kOk inside its budget.
+  auto blocker = service.submit(h.request("red circle", 2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100 * kTimeScale));
+  std::vector<std::future<GroundResponse>> queued;
+  for (uint64_t i = 0; i < 3; ++i) {
+    GroundRequest near_deadline = h.request("red circle", 40 + i);
+    near_deadline.deadline_ms = 300 * kTimeScale;
+    queued.push_back(service.submit(std::move(near_deadline)));
+  }
+
+  EXPECT_TRUE(blocker.get().status.ok());
+  for (auto& future : queued) {
+    const GroundResponse response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+    expect_box_within(response.box, h.cfg);
+  }
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.batches_coalesced, 0);
+  EXPECT_EQ(counters.batched_requests, 0);
+  EXPECT_EQ(counters.served, 5);
+  EXPECT_EQ(counters.deadline_exceeded, 0);
 }
 
 TEST(ServiceBatchingTest, PoisonedElementDegradesOnlyItsOwnRequest) {
