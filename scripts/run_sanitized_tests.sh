@@ -52,6 +52,14 @@ run_mode() {
       echo "  YOLLO_NUM_THREADS=4 YOLLO_OBS=1 $t"
       YOLLO_NUM_THREADS=4 YOLLO_OBS=1 "$dir/tests/$t"
     done
+    # Cancellation + supervision: checkpoints fire from pool workers while
+    # arm()/cancel()/the watchdog write from other threads, and the
+    # watchdog reap races worker settlement. Re-run with a real worker
+    # pool so TSan watches every edge of that protocol (the ExecContext
+    # atomics, the CancelToken attach/detach handshake, the settled
+    # exchange, and the reap/replace path).
+    echo "re-running supervision suite with YOLLO_NUM_THREADS=4 under TSan ..."
+    YOLLO_NUM_THREADS=4 YOLLO_OBS=1 "$dir/tests/supervision_test"
     # Router chaos under TSan, fault-injecting configuration: the
     # RouterChaosTest suite arms per-shard *scoped* FaultInjector instances
     # itself (kill / poison a shard mid-run) — the YOLLO_FAULT_* env vars

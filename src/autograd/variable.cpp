@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/exec.h"
 
 namespace yollo::ag {
 
@@ -41,6 +42,12 @@ Variable Variable::detach() const {
 }
 
 Variable Variable::make_no_grad_leaf(Tensor data, const char* op_name) {
+  // Op-dispatch cancellation checkpoint for the grad-free forward: every
+  // inference op result funnels through here on the dispatching thread
+  // (never inside a parallel_for body), so a cancelled or expired context
+  // aborts between ops even where no instrumented kernel is on the path —
+  // and discards the garbage a cancelled kernel may have left in `data`.
+  if (ExecContext* ctx = ExecContext::current()) ctx->throw_if_cancelled();
   Variable out(std::move(data), /*requires_grad=*/false);
   out.node_->produced_without_grad = true;
   out.node_->op_name = op_name;

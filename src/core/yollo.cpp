@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "runtime/fault.h"
+#include "tensor/exec.h"
 #include "tensor/pool.h"
 
 namespace yollo::core {
@@ -307,6 +308,16 @@ YolloModel::InferOutcome YolloModel::infer(
 
     ForwardDecode fd =
         forward_and_decode(images, tokens, /*apply_fault_hooks=*/true);
+    // A context cancelled on the *last* kernel has no later dispatch
+    // checkpoint to throw from, and the abandoned kernel's partial output
+    // can look finite — so the cancelled flag always wins over whatever
+    // forward_and_decode scanned out of the data.
+    if (ExecContext* ctx = ExecContext::current();
+        ctx != nullptr && ctx->cancelled()) {
+      return fail(InferError::kCancelled,
+                  std::string("forward cancelled: ") +
+                      cancel_cause_name(ctx->cause()));
+    }
     outcome.element_errors = std::move(fd.element_errors);
     outcome.element_boxes = std::move(fd.boxes);
     if (!fd.all_ok()) {
@@ -317,6 +328,10 @@ YolloModel::InferOutcome YolloModel::infer(
     }
     outcome.boxes = outcome.element_boxes;
     return outcome;
+  } catch (const ExecCancelled& e) {
+    return fail(InferError::kCancelled, e.what());
+  } catch (const PoolBudgetExceeded& e) {
+    return fail(InferError::kResourceExhausted, e.what());
   } catch (const std::exception& e) {
     return fail(InferError::kFault, e.what());
   } catch (...) {

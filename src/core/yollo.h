@@ -65,6 +65,11 @@ class YolloModel : public nn::Module {
     kInvalidInput,   // image/token shapes do not match the config
     kNonFinite,      // forward produced non-finite activations or boxes
     kFault,          // forward threw (includes runtime::InjectedFault)
+    kCancelled,      // the caller's ExecContext was cancelled (explicit
+                     // cancel or deadline expiry) mid-forward; distinguish
+                     // via ExecContext::cause()
+    kResourceExhausted,  // the active PoolScope's byte budget refused an
+                         // allocation (PoolBudgetExceeded)
   };
   struct InferOutcome {
     InferError error = InferError::kNone;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <thread>
 
+#include "tensor/exec.h"
 #include "tensor/serialize.h"
 
 namespace yollo::runtime {
@@ -56,6 +57,8 @@ FaultInjector::FaultInjector(GlobalTag) : global_(true) {
   config.poison_forward_count = env_int("YOLLO_FAULT_POISON_FORWARD", 0);
   config.slow_forward_ms = env_int("YOLLO_FAULT_SLOW_FORWARD_MS", 0);
   config.slow_forward_count = env_int("YOLLO_FAULT_SLOW_FORWARD_COUNT", 0);
+  config.wedge_forward_ms = env_int("YOLLO_FAULT_WEDGE_FORWARD_MS", 0);
+  config.wedge_forward_count = env_int("YOLLO_FAULT_WEDGE_FORWARD_COUNT", 0);
   configure(config);
 }
 
@@ -111,6 +114,7 @@ float FaultInjector::filter_loss(float loss, int64_t step) {
 
 void FaultInjector::check_forward() {
   int64_t sleep_ms = 0;
+  int64_t wedge_ms = 0;
   bool fail = false;
   {
     std::lock_guard<std::mutex> lock(forward_mutex_);
@@ -118,13 +122,33 @@ void FaultInjector::check_forward() {
       --config_.slow_forward_count;
       sleep_ms = config_.slow_forward_ms;
     }
+    if (config_.wedge_forward_count > 0 && config_.wedge_forward_ms > 0) {
+      --config_.wedge_forward_count;
+      wedge_ms = config_.wedge_forward_ms;
+    }
     if (config_.fail_forward_count > 0) {
       --config_.fail_forward_count;
       fail = true;
     }
   }
   if (sleep_ms > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    // Sliced, cancellation-aware stall: each slice polls the dispatching
+    // thread's ExecContext (cancel flag + deadline) without bumping its
+    // heartbeat — the stall must look wedged to the watchdog so injected
+    // slowness exercises the kick path, yet abort promptly once cancelled.
+    constexpr int64_t kSliceMs = 2;
+    ExecContext* ctx = ExecContext::current();
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(sleep_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      if (ctx != nullptr && ctx->cancelled_or_expired()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(kSliceMs));
+    }
+  }
+  if (wedge_ms > 0) {
+    // Deliberately uninterruptible: stands in for a worker stuck where no
+    // checkpoint is polled. Only the watchdog's reap path can end it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(wedge_ms));
   }
   if (fail) {
     throw InjectedFault("transient forward failure");

@@ -25,7 +25,16 @@
 //                       inference path must catch in its finiteness scan;
 //   - slow forward:     the next N forwards sleep a configured number of
 //                       milliseconds first, driving requests past their
-//                       deadline.
+//                       deadline. The sleep is cancellation-aware: it runs
+//                       in small slices, each checking the thread's active
+//                       ExecContext, so injected stalls exercise mid-flight
+//                       cancel instead of an uninterruptible sleep_for.
+//                       Slices deliberately do not bump the heartbeat — a
+//                       slow forward *should* look stuck to the watchdog.
+//   - wedged forward:   like slow, but uninterruptible and invisible to
+//                       cancellation — stands in for a worker stuck in a
+//                       kernel that never polls, so the watchdog's
+//                       reap-and-replace path is testable.
 //
 // Injected failures surface as InjectedFault so tests can distinguish them
 // from genuine errors. All faults are disarmed by default; configure()
@@ -82,9 +91,15 @@ class FaultInjector {
     // batch of one).
     int64_t poison_forward_count = 0;
     // Sleep `slow_forward_ms` milliseconds at the start of the next
-    // `slow_forward_count` forwards.
+    // `slow_forward_count` forwards (sliced; aborts early when the
+    // thread's ExecContext is cancelled or past its deadline).
     int64_t slow_forward_ms = 0;
     int64_t slow_forward_count = 0;
+    // Sleep `wedge_forward_ms` milliseconds uninterruptibly at the start
+    // of the next `wedge_forward_count` forwards: ignores cancellation so
+    // the serve watchdog's lost-worker path can be exercised.
+    int64_t wedge_forward_ms = 0;
+    int64_t wedge_forward_count = 0;
   };
 
   // A scoped injector: starts disarmed, never reads the environment, and
@@ -97,7 +112,9 @@ class FaultInjector {
   // environment (YOLLO_FAULT_CRASH_WRITE_BYTES, YOLLO_FAULT_HALT_STEP,
   // YOLLO_FAULT_POISON_STEP, YOLLO_FAULT_POISON_COUNT,
   // YOLLO_FAULT_FAIL_FORWARD, YOLLO_FAULT_POISON_FORWARD,
-  // YOLLO_FAULT_SLOW_FORWARD_MS, YOLLO_FAULT_SLOW_FORWARD_COUNT) are armed.
+  // YOLLO_FAULT_SLOW_FORWARD_MS, YOLLO_FAULT_SLOW_FORWARD_COUNT,
+  // YOLLO_FAULT_WEDGE_FORWARD_MS, YOLLO_FAULT_WEDGE_FORWARD_COUNT) are
+  // armed.
   static FaultInjector& instance();
 
   // The injector governing the calling thread: the ThreadBinding-installed

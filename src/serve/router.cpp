@@ -33,10 +33,14 @@ uint64_t splitmix64(uint64_t x) {
 int failure_precedence(StatusCode code) {
   switch (code) {
     case StatusCode::kInvalidInput:
-      return 4;
+      return 6;
     case StatusCode::kDeadlineExceeded:
-      return 3;
+      return 5;
+    case StatusCode::kCancelled:
+      return 4;
     case StatusCode::kInternalError:
+      return 3;
+    case StatusCode::kResourceExhausted:
       return 2;
     case StatusCode::kOverloaded:
       return 1;
@@ -46,7 +50,13 @@ int failure_precedence(StatusCode code) {
 }
 
 bool retryable(StatusCode code) {
-  return code == StatusCode::kOverloaded || code == StatusCode::kInternalError;
+  // kResourceExhausted is shard-local memory pressure: another shard's
+  // worker pools may well have the headroom. kCancelled is not retried —
+  // a cancel is a supervision verdict on this request, not shard
+  // happenstance.
+  return code == StatusCode::kOverloaded ||
+         code == StatusCode::kInternalError ||
+         code == StatusCode::kResourceExhausted;
 }
 
 }  // namespace
@@ -145,6 +155,7 @@ Router::Router(core::YolloModel& model, const data::Vocab& vocab,
       c_failed_(metrics_.counter("router.failed")),
       c_hedges_launched_(metrics_.counter("router.hedges_launched")),
       c_hedges_won_(metrics_.counter("router.hedges_won")),
+      c_hedge_cancelled_(metrics_.counter("router.hedge_cancelled")),
       c_failovers_(metrics_.counter("router.failovers")),
       c_probes_sent_(metrics_.counter("router.probes_sent")),
       c_probes_failed_(metrics_.counter("router.probes_failed")),
@@ -246,7 +257,7 @@ int64_t Router::pick_hedge(uint64_t key_hash, int64_t primary) {
   return -1;
 }
 
-std::future<GroundResponse> Router::dispatch(const Job& job, int64_t shard) {
+void Router::dispatch(const Job& job, Attempt& attempt) {
   GroundRequest request;
   request.image = job.image;  // storage is shared, not copied
   request.query = job.query;
@@ -255,7 +266,9 @@ std::future<GroundResponse> Router::dispatch(const Job& job, int64_t shard) {
   } else {
     request.deadline_at = job.deadline;
   }
-  return shards_[static_cast<size_t>(shard)].service->submit(
+  attempt.cancel = std::make_shared<CancelToken>();
+  request.cancel = attempt.cancel;
+  attempt.future = shards_[static_cast<size_t>(attempt.shard)].service->submit(
       std::move(request));
 }
 
@@ -329,14 +342,14 @@ std::future<RouteResponse> Router::submit(RouteRequest request) {
   Attempt primary;
   primary.shard = pick.shard;
   primary.probe = pick.probe;
-  primary.future = dispatch(*job, pick.shard);
+  dispatch(*job, primary);
   job->tried.push_back(pick.shard);
   job->attempts.push_back(std::move(primary));
   if (hedge >= 0) {
     Attempt duplicate;
     duplicate.shard = hedge;
     duplicate.hedge = true;
-    duplicate.future = dispatch(*job, hedge);
+    dispatch(*job, duplicate);
     job->hedged = true;
     job->tried.push_back(hedge);
     job->attempts.push_back(std::move(duplicate));
@@ -397,6 +410,17 @@ void Router::note_shard_result(int64_t shard, bool retryable_failure,
 
 void Router::finish_job(Job& job, GroundResponse response, int64_t shard,
                         bool hedge_won) {
+  // The race is decided: cancel every attempt still in flight so its shard
+  // aborts the forward at the next checkpoint instead of finishing an
+  // answer nobody will read. The loser resolves kCancelled at shard level
+  // (that shard's `cancelled` bucket); it never reaches the router
+  // taxonomy — this job terminates exactly once, below.
+  int64_t losers = 0;
+  for (Attempt& attempt : job.attempts) {
+    if (attempt.done || attempt.cancel == nullptr) continue;
+    attempt.cancel->cancel();
+    ++losers;
+  }
   RouteResponse out;
   out.status = std::move(response.status);
   out.box = response.box;
@@ -411,6 +435,7 @@ void Router::finish_job(Job& job, GroundResponse response, int64_t shard,
     std::lock_guard<std::mutex> lock(mutex_);
     h_latency_ms_.observe(out.latency_ms);
     if (out.hedge_won) c_hedges_won_.inc();
+    if (losers > 0) c_hedge_cancelled_.inc(losers);
     switch (out.status.code) {
       case StatusCode::kOk:
         c_served_.inc();
@@ -423,10 +448,18 @@ void Router::finish_job(Job& job, GroundResponse response, int64_t shard,
       case StatusCode::kOverloaded:
         c_rejected_.inc();
         break;
+      case StatusCode::kResourceExhausted:
+        // Shed under memory pressure on every tried shard: a rejection,
+        // keeping the four-term router invariant intact.
+        c_rejected_.inc();
+        break;
       case StatusCode::kDeadlineExceeded:
         c_deadline_exceeded_.inc();
         break;
       case StatusCode::kInternalError:
+      case StatusCode::kCancelled:
+        // A terminal shard-level cancel the router did not ask for (e.g. a
+        // watchdog kick): the request died inside the serving stack.
         c_failed_.inc();
         break;
     }
@@ -526,7 +559,7 @@ bool Router::advance_job(Job& job, Clock::time_point now) {
   Attempt attempt;
   attempt.shard = next.shard;
   attempt.probe = next.probe;
-  attempt.future = dispatch(job, next.shard);
+  dispatch(job, attempt);
   job.tried.push_back(next.shard);
   ++job.failovers;
   job.attempts.push_back(std::move(attempt));
@@ -733,6 +766,7 @@ RouterCounters router_counters_from_snapshot(
   c.failed = snapshot.counter("router.failed");
   c.hedges_launched = snapshot.counter("router.hedges_launched");
   c.hedges_won = snapshot.counter("router.hedges_won");
+  c.hedge_cancelled = snapshot.counter("router.hedge_cancelled");
   c.failovers = snapshot.counter("router.failovers");
   c.probes_sent = snapshot.counter("router.probes_sent");
   c.probes_failed = snapshot.counter("router.probes_failed");

@@ -157,6 +157,10 @@ struct RouterCounters {
   int64_t failed = 0;
   int64_t hedges_launched = 0;
   int64_t hedges_won = 0;
+  // Losing attempts (hedge or stale racer) actively cancelled after another
+  // attempt won. Visibility only: a cancelled loser never reaches the
+  // router taxonomy (its job already terminated with the winner).
+  int64_t hedge_cancelled = 0;
   int64_t failovers = 0;
   int64_t probes_sent = 0;
   int64_t probes_failed = 0;
@@ -243,6 +247,10 @@ class Router {
     bool hedge = false;
     bool probe = false;
     std::future<GroundResponse> future;
+    // Per-attempt cancellation handle: when another attempt wins the race,
+    // the losers are cancelled so their shards stop burning compute on an
+    // answer nobody will read (the shard accounts them kCancelled).
+    std::shared_ptr<CancelToken> cancel;
     bool done = false;
   };
 
@@ -287,9 +295,10 @@ class Router {
   int64_t pick_hedge(uint64_t key_hash, int64_t primary);
 
   // Builds the per-attempt GroundRequest (image storage is shared, not
-  // copied) and submits it to the shard — called WITHOUT mutex_ held (shard
+  // copied) with a fresh CancelToken and submits it to the shard, filling
+  // attempt.future/attempt.cancel — called WITHOUT mutex_ held (shard
   // admission validates O(pixels) and takes the shard lock).
-  std::future<GroundResponse> dispatch(const Job& job, int64_t shard);
+  void dispatch(const Job& job, Attempt& attempt);
 
   void completion_loop();
   void health_loop();
@@ -337,6 +346,7 @@ class Router {
   obs::Counter& c_failed_;
   obs::Counter& c_hedges_launched_;
   obs::Counter& c_hedges_won_;
+  obs::Counter& c_hedge_cancelled_;
   obs::Counter& c_failovers_;
   obs::Counter& c_probes_sent_;
   obs::Counter& c_probes_failed_;

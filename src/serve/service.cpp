@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "nn/module.h"
 #include "obs/trace.h"
@@ -23,7 +24,41 @@ bool box_is_finite(const vision::Box& box) {
          std::isfinite(box.w) && std::isfinite(box.h);
 }
 
+int64_t env_int(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
 }  // namespace
+
+void CancelToken::cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  requested_ = true;
+  if (ctx_ != nullptr) {
+    ctx_->cancel_if_generation(generation_, CancelCause::kCancelled);
+  }
+}
+
+bool CancelToken::requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requested_;
+}
+
+bool CancelToken::attach(ExecContext* ctx, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_ = ctx;
+  generation_ = generation;
+  if (requested_ && ctx_ != nullptr) {
+    ctx_->cancel_if_generation(generation_, CancelCause::kCancelled);
+  }
+  return requested_;
+}
+
+void CancelToken::detach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx_ = nullptr;
+}
 
 InferenceService::InferenceService(core::YolloModel& model,
                                    const data::Vocab& vocab,
@@ -40,12 +75,18 @@ InferenceService::InferenceService(core::YolloModel& model,
       c_rejected_(metrics_.counter("serve.rejected")),
       c_rejected_invalid_(metrics_.counter("serve.rejected_invalid")),
       c_rejected_overloaded_(metrics_.counter("serve.rejected_overloaded")),
+      c_rejected_resource_(metrics_.counter("serve.rejected_resource")),
       c_deadline_exceeded_(metrics_.counter("serve.deadline_exceeded")),
       c_failed_(metrics_.counter("serve.failed")),
+      c_cancelled_(metrics_.counter("serve.cancelled")),
       c_retries_(metrics_.counter("serve.retries")),
       c_breaker_trips_(metrics_.counter("serve.breaker_trips")),
       c_batches_coalesced_(metrics_.counter("serve.batches_coalesced")),
       c_batched_requests_(metrics_.counter("serve.batched_requests")),
+      c_watchdog_kicks_(metrics_.counter("serve.watchdog_kicks")),
+      c_workers_lost_(metrics_.counter("serve.workers_lost")),
+      c_workers_spawned_(metrics_.counter("serve.workers_spawned")),
+      c_pool_rejected_(metrics_.counter("serve.pool_rejected")),
       g_queue_high_water_(metrics_.gauge("serve.queue_high_water")),
       g_max_batch_(metrics_.gauge("serve.max_batch")),
       h_queue_depth_(metrics_.histogram(
@@ -57,25 +98,51 @@ InferenceService::InferenceService(core::YolloModel& model,
           metrics_.histogram("serve.model_ms", obs::latency_ms_bounds())),
       h_latency_ms_(
           metrics_.histogram("serve.latency_ms", obs::latency_ms_bounds())),
+      h_cancel_latency_ms_(metrics_.histogram("serve.cancel_latency_ms",
+                                              obs::latency_ms_bounds())),
       fallback_lock_(fallback_mutex != nullptr ? fallback_mutex
                                                : &fallback_mutex_) {
   config_.num_workers = std::max<int64_t>(1, config_.num_workers);
   config_.queue_capacity = std::max<int64_t>(1, config_.queue_capacity);
   config_.batch_max = std::max<int64_t>(1, config_.batch_max);
+  if (config_.watchdog_interval_ms < 0) {
+    config_.watchdog_interval_ms = env_int("YOLLO_WATCHDOG_MS", 0);
+  }
+  if (config_.pool_budget_mb < 0) {
+    config_.pool_budget_mb = env_int("YOLLO_POOL_BUDGET_MB", 0);
+  }
+  // The watchdog judges progress by ExecContext heartbeats, which only
+  // tick when cancellation arms the contexts.
+  if (!config_.enable_cancellation) config_.watchdog_interval_ms = 0;
+  config_.watchdog_stall_intervals =
+      std::max<int64_t>(1, config_.watchdog_stall_intervals);
+  config_.watchdog_grace_intervals =
+      std::max<int64_t>(1, config_.watchdog_grace_intervals);
   // One eval-mode replica per worker: threads never share mutable tensor
-  // storage, so the pool needs no lock around the forward pass.
-  replicas_.reserve(static_cast<size_t>(config_.num_workers));
-  for (int64_t i = 0; i < config_.num_workers; ++i) {
-    Rng rng(config_.seed + static_cast<uint64_t>(i));
-    auto replica = std::make_unique<core::YolloModel>(model_config_,
-                                                      vocab.size(), rng);
-    nn::copy_module_state(*replica, model);
-    replica->set_training(false);
-    replicas_.push_back(std::move(replica));
+  // storage, so the pool needs no lock around the forward pass. The master
+  // replica never serves — it exists so the watchdog can stamp out a
+  // replacement without copying from a replica that is mid-forward.
+  {
+    Rng rng(config_.seed);
+    master_replica_ = std::make_unique<core::YolloModel>(model_config_,
+                                                         vocab.size(), rng);
+    nn::copy_module_state(*master_replica_, model);
+    master_replica_->set_training(false);
   }
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int64_t i = 0; i < config_.num_workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    auto worker = std::make_unique<Worker>();
+    Rng rng(config_.seed + 1 + static_cast<uint64_t>(i));
+    worker->replica = std::make_unique<core::YolloModel>(model_config_,
+                                                         vocab.size(), rng);
+    nn::copy_module_state(*worker->replica, model);
+    worker->replica->set_training(false);
+    Worker* raw = worker.get();
+    worker->thread = std::thread([this, raw] { worker_loop(raw); });
+    workers_.push_back(std::move(worker));
+  }
+  if (config_.watchdog_interval_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
@@ -164,7 +231,9 @@ std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
     job.normalised_query = std::move(query.normalised);
     job.submitted_at = now;
     job.deadline = deadline;
-    job.promise = std::move(promise);
+    job.cancel = std::move(request.cancel);
+    job.state = std::make_shared<JobState>();
+    job.state->promise = std::move(promise);
     queue_.push_back(std::move(job));
     const double depth = static_cast<double>(queue_.size());
     g_queue_high_water_.set_max(depth);
@@ -178,8 +247,7 @@ GroundResponse InferenceService::ground(GroundRequest request) {
   return submit(std::move(request)).get();
 }
 
-void InferenceService::worker_loop(int64_t worker_id) {
-  core::YolloModel& replica = *replicas_[static_cast<size_t>(worker_id)];
+void InferenceService::worker_loop(Worker* self) {
   // Scoped fault injector (when the service owns one): every forward this
   // worker runs consumes the shard-local injector instead of the global.
   runtime::FaultInjector::ThreadBinding fault_binding(config_.fault_injector);
@@ -187,11 +255,28 @@ void InferenceService::worker_loop(int64_t worker_id) {
   // internally joins this one, so tensor storage recycles across requests
   // instead of only within a single forward.
   PoolScope pool;
+  if (config_.pool_budget_mb > 0) {
+    pool.set_budget_bytes(config_.pool_budget_mb * 1024 * 1024);
+  }
+  // Install this worker's ExecContext for the thread's lifetime; each
+  // forward attempt re-arms it with the request deadline. Without
+  // cancellation the context stays uninstalled and every kernel sees the
+  // plain nullptr fast path.
+  std::unique_ptr<ExecContext::Scope> exec_scope;
+  if (config_.enable_cancellation) {
+    exec_scope = std::make_unique<ExecContext::Scope>(&self->ctx);
+  }
   for (;;) {
     std::vector<Job> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_.wait(lock, [this, self] {
+        return stopping_ || self->lost.load(std::memory_order_relaxed) ||
+               !queue_.empty();
+      });
+      // A reaped worker must stop claiming queue work: its replacement
+      // owns this slot's share of the pool now.
+      if (self->lost.load(std::memory_order_relaxed)) return;
       if (queue_.empty()) return;  // stopping_ and fully drained
       // Micro-batching: coalesce whatever compatible work is already
       // queued, up to batch_max — never hold the queue waiting for a batch
@@ -218,14 +303,32 @@ void InferenceService::worker_loop(int64_t worker_id) {
         queue_.pop_front();
       }
     }
-    process_batch(replica, batch);
+    // Register the claimed requests on the slot (so a reap can fail them)
+    // and mark the worker busy for the watchdog. Never hold slot->mu and
+    // mutex_ together.
+    {
+      std::lock_guard<std::mutex> lock(self->mu);
+      for (const Job& job : batch) {
+        self->active.push_back(job.state);
+        self->active_queries.push_back(job.normalised_query);
+      }
+    }
+    self->busy.store(true, std::memory_order_release);
+    process_batch(*self, batch);
+    self->busy.store(false, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(self->mu);
+      self->active.clear();
+      self->active_queries.clear();
+    }
+    if (self->lost.load(std::memory_order_relaxed)) return;
   }
 }
 
-void InferenceService::process_batch(core::YolloModel& replica,
-                                     std::vector<Job>& batch) {
-  // Deadline check at dequeue, per request: a request that starved in the
-  // queue is answered (typed), not silently processed past its budget.
+void InferenceService::process_batch(Worker& self, std::vector<Job>& batch) {
+  // Deadline and cancel checks at dequeue, per request: a request that
+  // starved in the queue (or whose token fired while it waited) is
+  // answered (typed), not silently processed past its budget.
   const Clock::time_point now = Clock::now();
   std::vector<Job*> live;
   live.reserve(batch.size());
@@ -233,7 +336,12 @@ void InferenceService::process_batch(core::YolloModel& replica,
     h_queue_wait_ms_.observe(
         std::chrono::duration<double, std::milli>(now - job.submitted_at)
             .count());
-    if (now >= job.deadline) {
+    if (job.cancel != nullptr && job.cancel->requested()) {
+      GroundResponse response;
+      response.normalised_query = job.normalised_query;
+      response.status = Status::cancelled("cancelled while queued");
+      finish(job, std::move(response));
+    } else if (now >= job.deadline) {
       GroundResponse response;
       response.normalised_query = job.normalised_query;
       response.status =
@@ -264,22 +372,22 @@ void InferenceService::process_batch(core::YolloModel& replica,
   for (Job* job : breaker_jobs) {
     GroundResponse response;
     response.normalised_query = job->normalised_query;
-    run_fallback_tier(*job, "circuit breaker open", response);
+    run_fallback_tier(self, *job, "circuit breaker open", response);
     finish(*job, std::move(response));
   }
 
   if (model_jobs.empty()) return;
   if (model_jobs.size() == 1) {
-    run_single(replica, *model_jobs.front());
+    run_single(self, *model_jobs.front());
   } else {
-    run_batched_model_tier(replica, model_jobs);
+    run_batched_model_tier(self, model_jobs);
   }
 }
 
-void InferenceService::run_single(core::YolloModel& replica, Job& job) {
+void InferenceService::run_single(Worker& self, Job& job) {
   GroundResponse response;
   response.normalised_query = job.normalised_query;
-  if (run_model_tier(replica, job, response)) {
+  if (run_model_tier(self, job, response)) {
     finish(job, std::move(response));
     return;
   }
@@ -292,11 +400,11 @@ void InferenceService::run_single(core::YolloModel& replica, Job& job) {
     finish(job, std::move(response));
     return;
   }
-  run_fallback_tier(job, degrade_reason, response);
+  run_fallback_tier(self, job, degrade_reason, response);
   finish(job, std::move(response));
 }
 
-void InferenceService::run_batched_model_tier(core::YolloModel& replica,
+void InferenceService::run_batched_model_tier(Worker& self,
                                               const std::vector<Job*>& jobs) {
   const int64_t k = static_cast<int64_t>(jobs.size());
   const int64_t plane = 3 * model_config_.img_h * model_config_.img_w;
@@ -317,19 +425,32 @@ void InferenceService::run_batched_model_tier(core::YolloModel& replica,
     g_max_batch_.set_max(static_cast<double>(k));
   }
 
+  // Arm the worker's context with the tightest deadline in the batch: the
+  // most-constrained rider bounds the coalesced forward. Client tokens are
+  // not attached in the batched path — a lone cancel must not abort its
+  // batch mates; the per-request salvage pass below honours it instead.
+  if (config_.enable_cancellation) {
+    Clock::time_point min_deadline = Clock::time_point::max();
+    for (const Job* job : jobs) {
+      min_deadline = std::min(min_deadline, job->deadline);
+    }
+    self.ctx.arm(min_deadline);
+  }
+
   const core::YolloModel::InferOutcome outcome = [&] {
     obs::ScopedTimer timer(h_model_ms_);
     OBS_SPAN("serve.batch_forward");
-    return replica.infer(batched, tokens);
+    return self.replica->infer(batched, tokens);
   }();
 
   if (outcome.element_errors.size() != static_cast<size_t>(k)) {
-    // Batch-level failure (thrown fault, invalid input): no per-element
-    // verdicts exist. Every request re-runs the single-image pipeline —
-    // per-request retries and degradation, exactly as if it had never been
-    // coalesced. The failed batch attempt itself does not feed the breaker;
-    // the per-request salvage runs below do.
-    for (Job* job : jobs) run_single(replica, *job);
+    // Batch-level failure (thrown fault, invalid input, cancellation,
+    // pool-budget refusal): no per-element verdicts exist. Every request
+    // re-runs the single-image pipeline — per-request retries, deadline
+    // verdicts, and degradation, exactly as if it had never been coalesced.
+    // The failed batch attempt itself does not feed the breaker; the
+    // per-request salvage runs below do.
+    for (Job* job : jobs) run_single(self, *job);
     return;
   }
 
@@ -358,15 +479,16 @@ void InferenceService::run_batched_model_tier(core::YolloModel& replica,
     }
     finish(job, std::move(response));
   }
-  for (Job* job : salvage) run_single(replica, *job);
+  for (Job* job : salvage) run_single(self, *job);
 }
 
-bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,
+bool InferenceService::run_model_tier(Worker& self, Job& job,
                                       GroundResponse& response) {
   const Tensor batched =
       job.image.reshape({1, 3, model_config_.img_h, model_config_.img_w});
   const int64_t attempts = 1 + std::max<int64_t>(0, config_.max_retries);
   std::string last_error = "model tier did not run";
+  bool last_resource = false;
   for (int64_t attempt = 0; attempt < attempts; ++attempt) {
     // Deadline check before every forward attempt...
     if (Clock::now() >= job.deadline) {
@@ -376,11 +498,53 @@ bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,
       return true;
     }
     if (attempt > 0) ++response.retries;
+    // Arm the worker's context for this attempt: an expired deadline or an
+    // external cancel now aborts the forward at its next kernel checkpoint.
+    // The client token (if any) binds to this context generation, so a
+    // late cancel can never hit the worker's next request.
+    if (config_.enable_cancellation) {
+      // Job::deadline shares ExecContext's steady clock and its max() ==
+      // "no deadline" convention, so it arms directly.
+      self.ctx.arm(job.deadline);
+      if (job.cancel != nullptr &&
+          job.cancel->attach(&self.ctx, self.ctx.generation())) {
+        job.cancel->detach();
+        response.status = Status::cancelled("cancelled before the forward");
+        return true;
+      }
+    }
     const core::YolloModel::InferOutcome outcome = [&] {
       obs::ScopedTimer timer(h_model_ms_);
       OBS_SPAN("serve.model_forward");
-      return replica.infer(batched, job.tokens);
+      return self.replica->infer(batched, job.tokens);
     }();
+    if (config_.enable_cancellation && job.cancel != nullptr) {
+      job.cancel->detach();
+    }
+    if (outcome.error == core::YolloModel::InferError::kCancelled) {
+      // Terminal: whatever interrupted this forward (deadline, token,
+      // watchdog kick) will interrupt a retry identically.
+      response.status = map_cancelled(self);
+      return true;
+    }
+    if (outcome.error == core::YolloModel::InferError::kResourceExhausted) {
+      // The pool budget refused the forward. Trim the worker's pool (parked
+      // blocks are the reclaimable share of the budget) and let the retry
+      // loop probe again; if every attempt is refused the request degrades
+      // to the baseline tier below, which allocates outside this pool.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        c_pool_rejected_.inc();
+      }
+      {
+        PoolScope joined;  // passthrough into the worker's long-lived pool
+        joined.trim();
+      }
+      last_error = outcome.message;
+      last_resource = true;
+      continue;
+    }
+    last_resource = false;
     if (outcome.ok()) {
       // ...and after it: a slow forward that ate the budget is a deadline
       // miss even though it produced a box.
@@ -400,9 +564,17 @@ bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,
     last_error = outcome.message;
   }
 
-  // Tier failed: feed the circuit breaker. consecutive_failures_ is left
-  // accumulated when the breaker trips, so a failed probe after cooldown
-  // re-trips immediately.
+  // Tier failed. Pool-budget refusals do not feed the circuit breaker —
+  // they are memory pressure, not model sickness, and tripping the breaker
+  // on them would take the model away from requests the budget would have
+  // admitted.
+  if (last_resource) {
+    response.status = Status::resource_exhausted(last_error);
+    return false;
+  }
+  // Feed the circuit breaker. consecutive_failures_ is left accumulated
+  // when the breaker trips, so a failed probe after cooldown re-trips
+  // immediately.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++consecutive_failures_;
@@ -416,9 +588,14 @@ bool InferenceService::run_model_tier(core::YolloModel& replica, Job& job,
   return false;
 }
 
-void InferenceService::run_fallback_tier(Job& job, const std::string& reason,
+void InferenceService::run_fallback_tier(Worker& self, Job& job,
+                                         const std::string& reason,
                                          GroundResponse& response) {
   OBS_SPAN("serve.fallback");
+  // Re-arm before the baseline tier: a context left cancelled by the model
+  // tier (deadline already answered there) must not poison the baseline
+  // ops, and the fallback still deserves in-flight deadline enforcement.
+  if (config_.enable_cancellation) self.ctx.arm(job.deadline);
   if (fallback_ == nullptr) {
     response.status = Status::internal(
         reason + "; no baseline fallback tier is configured");
@@ -431,7 +608,28 @@ void InferenceService::run_fallback_tier(Job& job, const std::string& reason,
       // provided a shared mutex, across sibling shards); degradation is the
       // rare path, so serialising it is the right trade.
       std::lock_guard<std::mutex> lock(*fallback_lock_);
-      box = fallback_->ground(job.image, job.tokens);
+      // The baseline tier is the escape hatch for memory pressure: it runs
+      // budget-exempt (its working set is a fraction of the model tier's),
+      // otherwise the same pool budget that refused the model forward also
+      // refuses the degraded answer and degradation collapses into an
+      // internal error.
+      PoolScope joined;  // passthrough into the worker's long-lived pool
+      const int64_t saved_budget = joined.budget_bytes();
+      joined.set_budget_bytes(0);
+      try {
+        box = fallback_->ground(job.image, job.tokens);
+      } catch (...) {
+        joined.set_budget_bytes(saved_budget);
+        throw;
+      }
+      joined.set_budget_bytes(saved_budget);
+    }
+    // A kernel that observed the cancel abandons its remaining work and
+    // returns partial (garbage) output — the box cannot be trusted even
+    // when it happens to look finite.
+    if (config_.enable_cancellation && self.ctx.cancelled()) {
+      response.status = map_cancelled(self);
+      return;
     }
     if (!box_is_finite(box)) {
       response.status =
@@ -442,13 +640,41 @@ void InferenceService::run_fallback_tier(Job& job, const std::string& reason,
                                     static_cast<float>(job.image.size(1)));
     response.status = Status::degraded("served by baseline tier (" + reason +
                                        ")");
+  } catch (const ExecCancelled&) {
+    response.status = map_cancelled(self);
   } catch (const std::exception& e) {
     response.status = Status::internal(reason + "; baseline fallback threw: " +
                                        e.what());
   }
 }
 
+Status InferenceService::map_cancelled(Worker& self) {
+  // Measure signal -> first checkpoint that observed it. cancel_time_ns is
+  // stamped by whichever writer fired first; by the time the forward has
+  // unwound back here the observation already happened.
+  const int64_t cancel_ns = self.ctx.cancel_time_ns();
+  if (cancel_ns > 0) {
+    const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               Clock::now().time_since_epoch())
+                               .count();
+    h_cancel_latency_ms_.observe(
+        std::max<double>(0.0, static_cast<double>(now_ns - cancel_ns) / 1e6));
+  }
+  // A deadline-caused cancel is the same client-visible event the observe-
+  // only path reported: the budget ran out. Keep it kDeadlineExceeded so
+  // the legacy four-term accounting holds in deadline-only scenarios.
+  if (self.ctx.cause() == CancelCause::kDeadlineExceeded) {
+    return Status::deadline_exceeded(
+        "deadline expired mid-forward (cancelled at a kernel checkpoint)");
+  }
+  return Status::cancelled("cancelled mid-forward at a kernel checkpoint");
+}
+
 void InferenceService::finish(Job& job, GroundResponse response) {
+  // Claim the settlement: if the watchdog already failed this request while
+  // its worker was wedged, the worker's late answer is dropped on the floor
+  // (accounted exactly once, promise fulfilled exactly once).
+  if (job.state->settled.exchange(true)) return;
   response.latency_ms = ms_since(job.submitted_at);
   h_latency_ms_.observe(response.latency_ms);
   {
@@ -456,7 +682,16 @@ void InferenceService::finish(Job& job, GroundResponse response) {
     c_retries_.inc(response.retries);
     record(response);
   }
-  job.promise.set_value(std::move(response));
+  job.state->promise.set_value(std::move(response));
+}
+
+void InferenceService::settle(JobState& state, GroundResponse response) {
+  if (state.settled.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    record(response);
+  }
+  state.promise.set_value(std::move(response));
 }
 
 void InferenceService::record(const GroundResponse& response) {
@@ -484,20 +719,149 @@ void InferenceService::record(const GroundResponse& response) {
     case StatusCode::kInternalError:
       c_failed_.inc();
       break;
+    case StatusCode::kCancelled:
+      c_cancelled_.inc();
+      break;
+    case StatusCode::kResourceExhausted:
+      // Memory-pressure refusal that even the fallback could not answer:
+      // accounted as a rejection (the request was shed, not failed).
+      c_rejected_.inc();
+      c_rejected_resource_.inc();
+      break;
   }
 }
 
+void InferenceService::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(watchdog_mu_);
+  for (;;) {
+    if (watchdog_cv_.wait_for(
+            lk, std::chrono::milliseconds(config_.watchdog_interval_ms),
+            [this] { return watchdog_stop_; })) {
+      return;
+    }
+    // Snapshot the live slots under mutex_ (reap_worker may append); the
+    // slots themselves are heap-stable, so raw pointers survive the
+    // unlock.
+    std::vector<Worker*> slots;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& worker : workers_) {
+        if (!worker->lost.load(std::memory_order_acquire)) {
+          slots.push_back(worker.get());
+        }
+      }
+    }
+    for (Worker* w : slots) {
+      const uint64_t hb = w->ctx.heartbeats();
+      const uint64_t gen = w->ctx.generation();
+      if (!w->busy.load(std::memory_order_acquire)) {
+        // Idle workers are healthy by definition; keep the bookkeeping in
+        // sync so a stall is only ever counted against one request.
+        w->last_heartbeats = hb;
+        w->last_generation = gen;
+        w->stalled_polls = 0;
+        w->kicked = false;
+        continue;
+      }
+      if (hb != w->last_heartbeats || gen != w->last_generation) {
+        // Progress (or a new unit of work) since the last poll.
+        w->last_heartbeats = hb;
+        w->last_generation = gen;
+        w->stalled_polls = 0;
+        w->kicked = false;
+        continue;
+      }
+      ++w->stalled_polls;
+      if (!w->kicked &&
+          w->stalled_polls >= config_.watchdog_stall_intervals) {
+        // First escalation: cancel the stalled unit of work. Generation-
+        // pinned so a worker that finished between our read and this call
+        // keeps its next request.
+        if (w->ctx.cancel_if_generation(gen, CancelCause::kCancelled)) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          c_watchdog_kicks_.inc();
+        }
+        w->kicked = true;
+        w->stalled_polls = 0;
+      } else if (w->kicked &&
+                 w->stalled_polls >= config_.watchdog_grace_intervals) {
+        // The kick went unobserved past the grace period: the worker is
+        // stuck somewhere no checkpoint is polled. Declare it lost.
+        reap_worker(w);
+      }
+    }
+  }
+}
+
+void InferenceService::reap_worker(Worker* worker) {
+  // Mark first: the wedged thread checks `lost` when it eventually wakes,
+  // and worker_loop stops claiming queue work for this slot.
+  worker->lost.store(true, std::memory_order_release);
+  // Fail the requests the slot had claimed. The settled flag makes this
+  // race-free against the worker finishing one of them concurrently.
+  std::vector<std::shared_ptr<JobState>> orphans;
+  std::vector<std::string> queries;
+  {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    orphans.swap(worker->active);
+    queries.swap(worker->active_queries);
+  }
+  for (size_t i = 0; i < orphans.size(); ++i) {
+    GroundResponse response;
+    if (i < queries.size()) response.normalised_query = queries[i];
+    response.status = Status::internal(
+        "worker declared lost by the watchdog while holding this request");
+    settle(*orphans[i], std::move(response));
+  }
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    c_workers_lost_.inc();
+    spawn = !stopping_;
+  }
+  if (!spawn) return;
+  // Stamp the replacement from the master replica (never serves, so it is
+  // safe to copy) outside mutex_ — a model copy is not cheap.
+  auto replacement = std::make_unique<Worker>();
+  {
+    Rng rng(config_.seed + 1000 +
+            static_cast<uint64_t>(c_workers_spawned_.value()));
+    replacement->replica = std::make_unique<core::YolloModel>(
+        model_config_, vocab_->size(), rng);
+    nn::copy_module_state(*replacement->replica, *master_replica_);
+    replacement->replica->set_training(false);
+  }
+  Worker* raw = replacement.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // raced with stop(); drop the replacement
+    replacement->thread = std::thread([this, raw] { worker_loop(raw); });
+    workers_.push_back(std::move(replacement));
+    c_workers_spawned_.inc();
+  }
+  cv_.notify_all();
+}
+
 void InferenceService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     accepting_ = false;
     stopping_ = true;
   }
   cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  // The watchdog is joined, so no new slots can appear; index-based loop
+  // regardless, for symmetry with the heap-stable slot contract. Slots are
+  // kept (not cleared) so health() keeps reporting worker counts after
+  // stop, as it always has.
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
   }
-  workers_.clear();
 }
 
 void InferenceService::pause_admission() {
@@ -533,7 +897,11 @@ HealthSnapshot InferenceService::health() const {
   snapshot.accepting = accepting_;
   snapshot.breaker_open = breaker_cooldown_left_ > 0;
   snapshot.queue_depth = static_cast<int64_t>(queue_.size());
-  snapshot.workers = static_cast<int64_t>(replicas_.size());
+  int64_t live = 0;
+  for (const auto& worker : workers_) {
+    if (!worker->lost.load(std::memory_order_acquire)) ++live;
+  }
+  snapshot.workers = live;
   snapshot.counters = counters_from_snapshot(metrics_.snapshot());
   return snapshot;
 }
@@ -546,10 +914,16 @@ ServiceCounters counters_from_snapshot(const obs::MetricsSnapshot& snapshot) {
   c.rejected = snapshot.counter("serve.rejected");
   c.rejected_invalid = snapshot.counter("serve.rejected_invalid");
   c.rejected_overloaded = snapshot.counter("serve.rejected_overloaded");
+  c.rejected_resource = snapshot.counter("serve.rejected_resource");
   c.deadline_exceeded = snapshot.counter("serve.deadline_exceeded");
   c.failed = snapshot.counter("serve.failed");
+  c.cancelled = snapshot.counter("serve.cancelled");
   c.retries = snapshot.counter("serve.retries");
   c.breaker_trips = snapshot.counter("serve.breaker_trips");
+  c.watchdog_kicks = snapshot.counter("serve.watchdog_kicks");
+  c.workers_lost = snapshot.counter("serve.workers_lost");
+  c.workers_spawned = snapshot.counter("serve.workers_spawned");
+  c.pool_rejected = snapshot.counter("serve.pool_rejected");
   c.batches_coalesced = snapshot.counter("serve.batches_coalesced");
   c.batched_requests = snapshot.counter("serve.batched_requests");
   c.queue_high_water =

@@ -30,8 +30,21 @@
 //     breaker_cooldown requests before probing the model again;
 //   - every submitted request is answered exactly once, including during
 //     shutdown (stop() drains the queue; nothing hangs).
+//
+// Supervision (DESIGN.md §13): each worker owns an ExecContext armed with
+// the request deadline before every forward attempt, so an expired
+// deadline or an external cancel (client CancelToken, hedge-loser reap,
+// watchdog kick) aborts the forward *in flight* at the next kernel
+// checkpoint instead of after a full pass. A watchdog thread compares
+// per-worker heartbeats between polls: a busy worker making no progress
+// is kicked (cancelled); one still stuck past a grace period is declared
+// lost — its requests fail as kInternalError, a replacement replica is
+// spawned, and the accounting invariant is preserved. Workers may also
+// carry a storage-pool byte budget: a forward refused by it degrades to
+// the baseline tier instead of OOMing the process.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -49,12 +62,38 @@
 #include "obs/metrics.h"
 #include "serve/status.h"
 #include "serve/validation.h"
+#include "tensor/exec.h"
 
 namespace yollo::runtime {
 class FaultInjector;
 }  // namespace yollo::runtime
 
 namespace yollo::serve {
+
+// Client-side cancellation handle. Share one with a GroundRequest, then
+// call cancel() from any thread to abort the request mid-flight: queued
+// requests are answered kCancelled at dequeue, an in-flight forward is
+// cancelled at its next kernel checkpoint. Best-effort — a request that
+// already completed is unaffected. The token pins the worker's ExecContext
+// generation at attach time, so a late cancel can never hit the worker's
+// next request.
+class CancelToken {
+ public:
+  void cancel();
+  bool requested() const;
+
+ private:
+  friend class InferenceService;
+  // Bind/unbind the worker context executing this request. attach()
+  // applies a pre-attach cancel() immediately and reports it.
+  bool attach(ExecContext* ctx, uint64_t generation);
+  void detach();
+
+  mutable std::mutex mu_;
+  bool requested_ = false;
+  ExecContext* ctx_ = nullptr;
+  uint64_t generation_ = 0;
+};
 
 struct ServeConfig {
   int64_t num_workers = 4;
@@ -85,6 +124,26 @@ struct ServeConfig {
   int64_t breaker_cooldown = 8;
   // Seed for constructing the per-worker replicas.
   uint64_t seed = 1234;
+  // Cooperative cancellation: arm each worker's ExecContext with the
+  // request deadline per forward attempt so deadlines/cancels abort the
+  // forward in flight. Off restores the PR-2 observe-only deadline
+  // behaviour (and disables the watchdog, which needs heartbeats).
+  bool enable_cancellation = true;
+  // Watchdog poll interval in ms. -1 reads YOLLO_WATCHDOG_MS at
+  // construction; <= 0 disables the watchdog (the default when the env is
+  // unset).
+  int64_t watchdog_interval_ms = -1;
+  // Polls with zero heartbeat progress on a busy worker before it is
+  // kicked (its context cancelled), and further zero-progress polls after
+  // the kick before it is declared lost and replaced.
+  int64_t watchdog_stall_intervals = 2;
+  int64_t watchdog_grace_intervals = 3;
+  // Per-worker storage-pool byte budget in MiB. -1 reads
+  // YOLLO_POOL_BUDGET_MB at construction; <= 0 disables (the default). A
+  // forward refused by the budget is retried after trimming the pool,
+  // then degraded to the baseline tier (kResourceExhausted if even that
+  // cannot answer).
+  int64_t pool_budget_mb = -1;
   // Optional scoped fault injector for this service's worker threads (must
   // outlive the service). null keeps the process-wide env-driven injector —
   // the default, so single-service deployments and existing tests are
@@ -102,6 +161,8 @@ struct GroundRequest {
   // Absolute deadline (steady clock); overrides deadline_ms when set.
   // Requests whose deadline has already passed are rejected at enqueue.
   std::chrono::steady_clock::time_point deadline_at{};
+  // Optional cancellation handle (see CancelToken). null = not cancellable.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 struct GroundResponse {
@@ -112,10 +173,13 @@ struct GroundResponse {
   double latency_ms = 0.0;  // submit() to completion
 };
 
-// Monotonic per-service counters. Invariant once all submitted futures have
-// resolved:  served + rejected + deadline_exceeded + failed == submitted.
-// The authoritative store is the service's obs::MetricsRegistry (names
-// "serve.*"); this struct is the flat view derived from one snapshot.
+// Monotonic per-service counters. Invariant once all submitted futures
+// have resolved:
+//   served + rejected + deadline_exceeded + failed + cancelled == submitted
+// (cancelled is 0 unless CancelTokens or the watchdog fire, so the
+// original four-term form still holds in those runs). The authoritative
+// store is the service's obs::MetricsRegistry (names "serve.*"); this
+// struct is the flat view derived from one snapshot.
 struct ServiceCounters {
   int64_t submitted = 0;
   int64_t served = 0;    // answered: kOk + kDegraded
@@ -123,10 +187,20 @@ struct ServiceCounters {
   int64_t rejected = 0;  // admission rejections (invalid + overloaded)
   int64_t rejected_invalid = 0;     // subset of rejected
   int64_t rejected_overloaded = 0;  // subset of rejected
+  int64_t rejected_resource = 0;    // subset of rejected (pool budget, no
+                                    // fallback answer)
   int64_t deadline_exceeded = 0;
-  int64_t failed = 0;  // kInternalError responses
+  int64_t failed = 0;     // kInternalError responses
+  int64_t cancelled = 0;  // kCancelled responses (token / watchdog kick)
   int64_t retries = 0;
   int64_t breaker_trips = 0;
+  // Supervision visibility (no effect on the accounting invariant).
+  int64_t watchdog_kicks = 0;    // busy-but-stalled workers cancelled
+  int64_t workers_lost = 0;      // workers declared lost and detached
+  int64_t workers_spawned = 0;   // replacement workers brought up
+  int64_t pool_rejected = 0;     // forwards refused by the pool budget
+                                 // (including ones that then succeeded on
+                                 // retry or degraded)
   int64_t queue_high_water = 0;  // deepest the admission queue has been
   // Micro-batching visibility (no effect on the accounting invariant).
   int64_t batches_coalesced = 0;  // coalesced (>= 2 requests) forwards
@@ -200,40 +274,82 @@ class InferenceService {
  private:
   using Clock = std::chrono::steady_clock;
 
+  // Shared settlement state: the promise plus a claim flag, so the worker
+  // and the watchdog (which may fail a wedged worker's request while that
+  // worker is still stuck inside it) settle each request exactly once.
+  struct JobState {
+    std::promise<GroundResponse> promise;
+    std::atomic<bool> settled{false};
+  };
+
   struct Job {
     Tensor image;  // [3, H, W]
     std::vector<int64_t> tokens;
     std::string normalised_query;
     Clock::time_point submitted_at;
     Clock::time_point deadline;  // Clock::time_point::max() == none
-    std::promise<GroundResponse> promise;
+    std::shared_ptr<CancelToken> cancel;  // null = not cancellable
+    std::shared_ptr<JobState> state;
   };
 
-  void worker_loop(int64_t worker_id);
-  // One dequeue round: deadline checks, breaker accounting, then either the
-  // single-image path or a coalesced batched forward for `batch`.
-  void process_batch(core::YolloModel& replica, std::vector<Job>& batch);
+  // One worker slot: thread + replica + supervision state. Slots are
+  // heap-stable (vector of unique_ptr) because worker threads and the
+  // watchdog hold raw pointers across mutex_ sections. A lost slot keeps
+  // its thread joinable — the wedged thread eventually finishes its
+  // bounded stall, observes `lost`, and exits; stop() joins it.
+  struct Worker {
+    std::thread thread;
+    std::unique_ptr<core::YolloModel> replica;
+    ExecContext ctx;
+    std::atomic<bool> busy{false};
+    std::atomic<bool> lost{false};
+    // Requests currently held by this worker, registered so the watchdog
+    // can fail them if the worker is declared lost. Guarded by mu (never
+    // held together with mutex_).
+    std::mutex mu;
+    std::vector<std::shared_ptr<JobState>> active;
+    std::vector<std::string> active_queries;
+    // Watchdog bookkeeping (touched only by the watchdog thread).
+    uint64_t last_heartbeats = 0;
+    uint64_t last_generation = 0;
+    int64_t stalled_polls = 0;
+    bool kicked = false;
+  };
+
+  void worker_loop(Worker* self);
+  void watchdog_loop();
+  // Declare `worker` lost: fail its registered requests as kInternalError,
+  // then spawn a replacement slot (unless the service is stopping).
+  void reap_worker(Worker* worker);
+  // One dequeue round: deadline/cancel checks, breaker accounting, then
+  // either the single-image path or a coalesced batched forward.
+  void process_batch(Worker& self, std::vector<Job>& batch);
   // Full single-request pipeline: model tier (retries) then fallback tier;
   // always finishes the job. Also the salvage path for an element that
   // failed inside a coalesced forward.
-  void run_single(core::YolloModel& replica, Job& job);
+  void run_single(Worker& self, Job& job);
   // One batched forward over >= 2 jobs with per-element failure isolation:
   // healthy elements are answered from the batch, poisoned ones are retried
   // and degraded individually.
-  void run_batched_model_tier(core::YolloModel& replica,
-                              const std::vector<Job*>& jobs);
-  // Model tier for one job on this worker's replica: deadline-checked
-  // attempts with retry. Returns true when `response` is final (answered or
-  // deadline); false when the tier failed and the job should degrade.
-  bool run_model_tier(core::YolloModel& replica, Job& job,
-                      GroundResponse& response);
+  void run_batched_model_tier(Worker& self, const std::vector<Job*>& jobs);
+  // Model tier for one job on this worker's replica: deadline-checked,
+  // cancellation-armed attempts with retry. Returns true when `response`
+  // is final (answered, deadline, or cancelled); false when the tier
+  // failed and the job should degrade.
+  bool run_model_tier(Worker& self, Job& job, GroundResponse& response);
   // Baseline tier; always produces a final response (kDegraded or error).
-  void run_fallback_tier(Job& job, const std::string& reason,
+  void run_fallback_tier(Worker& self, Job& job, const std::string& reason,
                          GroundResponse& response);
-  // Fulfil the job's promise and account the response.
+  // Fulfil the job's promise and account the response (no-op when the
+  // watchdog already settled it).
   void finish(Job& job, GroundResponse response);
+  // Settle an arbitrary JobState exactly once (reap path).
+  void settle(JobState& state, GroundResponse response);
   // Classify a terminal response into the counter taxonomy.
   void record(const GroundResponse& response);
+  // Map a cancelled forward outcome to its terminal status and observe the
+  // cancel->observed latency histogram.
+  Status map_cancelled(Worker& self);
 
   static Clock::time_point resolve_deadline(const GroundRequest& request,
                                             int64_t default_ms,
@@ -243,8 +359,12 @@ class InferenceService {
   core::YolloConfig model_config_;
   const data::Vocab* vocab_;
   baseline::TwoStagePipeline* fallback_;
-  std::vector<std::unique_ptr<core::YolloModel>> replicas_;
-  std::vector<std::thread> workers_;
+  // Pristine eval-mode copy used to stamp out replacement replicas: an
+  // in-use replica cannot be copied safely (its train/eval flags flip
+  // under EvalModeGuard on another thread), this one never runs.
+  std::unique_ptr<core::YolloModel> master_replica_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread watchdog_;
 
   mutable std::mutex mutex_;  // queue, lifecycle, counters, breaker
   std::condition_variable cv_;
@@ -264,18 +384,33 @@ class InferenceService {
   obs::Counter& c_rejected_;
   obs::Counter& c_rejected_invalid_;
   obs::Counter& c_rejected_overloaded_;
+  obs::Counter& c_rejected_resource_;
   obs::Counter& c_deadline_exceeded_;
   obs::Counter& c_failed_;
+  obs::Counter& c_cancelled_;
   obs::Counter& c_retries_;
   obs::Counter& c_breaker_trips_;
   obs::Counter& c_batches_coalesced_;
   obs::Counter& c_batched_requests_;
+  obs::Counter& c_watchdog_kicks_;
+  obs::Counter& c_workers_lost_;
+  obs::Counter& c_workers_spawned_;
+  obs::Counter& c_pool_rejected_;
   obs::Gauge& g_queue_high_water_;
   obs::Gauge& g_max_batch_;
   obs::Histogram& h_queue_depth_;
   obs::Histogram& h_queue_wait_ms_;
   obs::Histogram& h_model_ms_;
   obs::Histogram& h_latency_ms_;
+  // Cancel signal -> first checkpoint that observed it, in ms: the
+  // "worker freed within one checkpoint interval" claim, measured.
+  obs::Histogram& h_cancel_latency_ms_;
+
+  // Watchdog lifecycle (separate mutex: the watchdog must be able to poll
+  // while mutex_ is busy with queue traffic).
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 
   // Circuit breaker (guarded by mutex_). consecutive_failures_ is not reset
   // when the breaker trips, so a failed probe after cooldown re-trips

@@ -16,6 +16,10 @@ const char* status_code_name(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kInternalError:
       return "INTERNAL_ERROR";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

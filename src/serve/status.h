@@ -11,6 +11,11 @@
 //   kOverloaded       rejected at admission: queue full or service stopped
 //   kDeadlineExceeded the request's deadline expired before an answer
 //   kInternalError    the model tier failed and no fallback could answer
+//   kCancelled        the request was cancelled mid-flight (client cancel
+//                     token or hedge-loser reap) before an answer
+//   kResourceExhausted rejected under memory pressure: the worker's storage
+//                     pool budget refused the forward and no fallback could
+//                     answer (DESIGN.md §13)
 #pragma once
 
 #include <string>
@@ -25,6 +30,8 @@ enum class StatusCode {
   kOverloaded,
   kDeadlineExceeded,
   kInternalError,
+  kCancelled,
+  kResourceExhausted,
 };
 
 const char* status_code_name(StatusCode code);
@@ -55,6 +62,12 @@ struct Status {
   }
   static Status internal(std::string message) {
     return Status{StatusCode::kInternalError, std::move(message)};
+  }
+  static Status cancelled(std::string message) {
+    return Status{StatusCode::kCancelled, std::move(message)};
+  }
+  static Status resource_exhausted(std::string message) {
+    return Status{StatusCode::kResourceExhausted, std::move(message)};
   }
 
   std::string to_string() const;

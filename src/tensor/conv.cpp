@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/trace.h"
+#include "tensor/exec.h"
 #include "tensor/gemm.h"
 #include "tensor/parallel.h"
 
@@ -28,11 +29,15 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
   float* dst = cols.data();
 
   // One work item per output row (ni, ci, kh, kw) — each writes a disjoint
-  // oh*ow stripe, so the rows partition freely across the pool.
+  // oh*ow stripe, so the rows partition freely across the pool. The
+  // per-item checkpoint (not just the chunk-level one in parallel_for)
+  // also covers the serial fast path at 1 thread.
+  ExecContext* const ctx = ExecContext::current();
   const int64_t kk = spec.kernel_h * spec.kernel_w;
   parallel_for(0, n * patch, std::max<int64_t>(1, 4096 / (oh * ow + 1)),
                [&](int64_t lo, int64_t hi) {
     for (int64_t item = lo; item < hi; ++item) {
+      if (ctx != nullptr && ctx->checkpoint()) return;
       const int64_t ni = item / patch;
       const int64_t row = item % patch;
       const int64_t ci = row / kk;
@@ -74,8 +79,10 @@ Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,
   // plane but never across (ni, ci) planes, so those are the parallel unit;
   // the kh/kw accumulation order within a plane stays fixed, keeping
   // results bitwise identical at any thread count.
+  ExecContext* const ctx = ExecContext::current();
   parallel_for(0, n * c, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t item = lo; item < hi; ++item) {
+      if (ctx != nullptr && ctx->checkpoint()) return;
       const int64_t ni = item / c;
       const int64_t ci = item % c;
       float* img = dst + ni * c * in_h * in_w;
@@ -125,8 +132,13 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
   const float* wp = wmat.data();
   const float* cp = cols.data();
   float* op = out.data();
+  ExecContext* const ctx = ExecContext::current();
   parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    // Propagate the dispatcher's context so the per-image gemms poll
+    // their MC-block checkpoints even when running on a pool worker.
+    ExecContext::Scope scope(ctx);
     for (int64_t ni = lo; ni < hi; ++ni) {
+      if (ctx != nullptr && ctx->cancelled()) return;
       gemm(false, false, spec.out_channels, oh * ow, patch, wp,
            cp + ni * patch * oh * ow,
            op + ni * spec.out_channels * oh * ow, ep);
@@ -162,8 +174,11 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
   // dCols[ni] = Wᵀ · dY[ni]: the transpose is a flag into the packed
   // kernel, and each image writes its own slab of grad_cols.
   float* gcp = grad_cols.data();
+  ExecContext* const ctx = ExecContext::current();
   parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    ExecContext::Scope scope(ctx);
     for (int64_t ni = lo; ni < hi; ++ni) {
+      if (ctx != nullptr && ctx->cancelled()) return;
       gemm(/*trans_a=*/true, false, patch, oh * ow, spec.out_channels, wp,
            gop + ni * go_stride, gcp + ni * col_stride, {});
     }

@@ -1,0 +1,72 @@
+#include "tensor/exec.h"
+
+namespace yollo {
+namespace {
+
+thread_local ExecContext* t_current = nullptr;
+
+}  // namespace
+
+const char* cancel_cause_name(CancelCause cause) {
+  switch (cause) {
+    case CancelCause::kNone:
+      return "NONE";
+    case CancelCause::kCancelled:
+      return "CANCELLED";
+    case CancelCause::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+ExecCancelled::ExecCancelled(CancelCause cause)
+    : std::runtime_error(std::string("execution cancelled: ") +
+                         cancel_cause_name(cause)),
+      cause_(cause) {}
+
+void ExecContext::arm(Clock::time_point deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  deadline_ = deadline;
+  has_deadline_ = deadline != Clock::time_point::max();
+  cancel_ns_.store(0, std::memory_order_release);
+  cause_.store(static_cast<int>(CancelCause::kNone),
+               std::memory_order_release);
+  // Advance the generation last: once a canceller can no longer match the
+  // old generation, the cause it would have set has already been cleared.
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+bool ExecContext::cancel(CancelCause cause) {
+  if (cause == CancelCause::kNone) return false;
+  int expected = static_cast<int>(CancelCause::kNone);
+  if (cause_.compare_exchange_strong(expected, static_cast<int>(cause),
+                                     std::memory_order_acq_rel)) {
+    cancel_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now().time_since_epoch())
+                         .count(),
+                     std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+bool ExecContext::cancel_if_generation(uint64_t gen, CancelCause cause) {
+  // The lock makes the generation check atomic with the cause CAS: arm()
+  // holds the same lock, so a context re-armed after the caller read `gen`
+  // either bumps the generation before we check (we decline) or after we
+  // return (arm clears the cause we just set — also correct, the old unit
+  // of work is gone).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_.load(std::memory_order_acquire) != gen) return false;
+  return cancel(cause);
+}
+
+ExecContext* ExecContext::current() { return t_current; }
+
+ExecContext::Scope::Scope(ExecContext* ctx) : previous_(t_current) {
+  t_current = ctx;
+}
+
+ExecContext::Scope::~Scope() { t_current = previous_; }
+
+}  // namespace yollo

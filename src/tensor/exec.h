@@ -1,0 +1,166 @@
+// ExecContext: thread-local cooperative cancellation + deadline context.
+//
+// Design (DESIGN.md §13):
+//  - Same shape as ag::GradMode: a thread-local pointer installed by an
+//    RAII Scope on the dispatching thread (a serve worker arming one per
+//    attempt). Kernels capture ExecContext::current() once at entry and
+//    poll checkpoint() at bounded-granularity points — GEMM MC-block
+//    boundaries, conv im2col/col2im chunks, parallel_for chunk claims, and
+//    op dispatch in the grad-free forward.
+//  - checkpoint() is an atomic heartbeat bump plus one relaxed flag load;
+//    a deadline (when armed) self-cancels via a steady_clock read. With no
+//    context installed the hot-path cost is one thread_local load + branch
+//    (pinned by the guardband test next to the obs one).
+//  - Cancellation never unwinds through a kernel: parallel_for bodies must
+//    not throw (they run on pool workers), so kernels observing a cancel
+//    simply abandon their remaining work and return. The partial output is
+//    garbage by construction — whoever armed the context must check
+//    cancelled() after the kernel/forward and discard the result.
+//    Exceptions (ExecCancelled) are thrown only at op-dispatch level on
+//    the thread that owns the scope, where YolloModel::infer catches them.
+//  - External cancel (watchdog kick, hedge-loser reap, client cancel) goes
+//    through cancel_if_generation(): arm() advances a generation counter
+//    under a small mutex, so a canceller holding a stale generation cannot
+//    kill the context's next unit of work.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+namespace yollo {
+
+// Why a unit of work stopped early. kNone means "still running".
+enum class CancelCause : int {
+  kNone = 0,
+  kCancelled = 1,         // explicit external cancel (hedge loser, client,
+                          // watchdog kick)
+  kDeadlineExceeded = 2,  // the armed deadline expired at a checkpoint
+};
+
+const char* cancel_cause_name(CancelCause cause);
+
+// Thrown by throw_if_cancelled() at op-dispatch level (never from inside a
+// parallel_for body). YolloModel::infer catches it and reports a typed
+// outcome instead of letting it escape a serve worker.
+class ExecCancelled : public std::runtime_error {
+ public:
+  explicit ExecCancelled(CancelCause cause);
+  CancelCause cause() const { return cause_; }
+
+ private:
+  CancelCause cause_;
+};
+
+class ExecContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Re-arm for a new unit of work: clears the cancel cause, advances the
+  // generation, and installs the deadline (Clock::time_point::max() means
+  // "no deadline" and skips the per-checkpoint clock read). Call only from
+  // the thread that owns the context, between units of work.
+  void arm(Clock::time_point deadline = Clock::time_point::max());
+
+  // Request cancellation from any thread. First cause wins; returns true
+  // if this call set it (false if already cancelled).
+  bool cancel(CancelCause cause);
+
+  // cancel(), but declined when the context has been re-armed since the
+  // caller observed `gen` — closes the race where a watchdog or hedge
+  // reaper would kill the worker's *next* request.
+  bool cancel_if_generation(uint64_t gen, CancelCause cause);
+
+  bool cancelled() const {
+    return cause_.load(std::memory_order_relaxed) !=
+           static_cast<int>(CancelCause::kNone);
+  }
+  CancelCause cause() const {
+    return static_cast<CancelCause>(cause_.load(std::memory_order_acquire));
+  }
+
+  // Monotonic progress counter bumped by every checkpoint(); the serve
+  // watchdog compares successive reads to detect a wedged worker.
+  uint64_t heartbeats() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // steady_clock nanoseconds of the first cancel()/deadline trip since the
+  // last arm(); 0 when not cancelled. Used to measure cancel→worker-free
+  // latency.
+  int64_t cancel_time_ns() const {
+    return cancel_ns_.load(std::memory_order_acquire);
+  }
+
+  // Poll point for kernels: bumps the heartbeat, self-cancels on an
+  // expired deadline, and returns true when the current unit of work
+  // should be abandoned. Safe to call from pool workers running on behalf
+  // of the owning thread.
+  bool checkpoint() {
+    heartbeats_.fetch_add(1, std::memory_order_relaxed);
+    if (cancelled()) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      cancel(CancelCause::kDeadlineExceeded);
+      return true;
+    }
+    return false;
+  }
+
+  // checkpoint() without the heartbeat bump: for code that must observe a
+  // cancel/deadline while *deliberately* looking stuck to the watchdog
+  // (the fault injector's sliced slow sleep).
+  bool cancelled_or_expired() {
+    if (cancelled()) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      cancel(CancelCause::kDeadlineExceeded);
+      return true;
+    }
+    return false;
+  }
+
+  // Op-dispatch checkpoint: throws ExecCancelled when cancelled. Call only
+  // on the thread that owns the scope — never from a parallel_for body.
+  void throw_if_cancelled() {
+    if (checkpoint()) throw ExecCancelled(cause());
+  }
+
+  // The context installed on this thread, or nullptr.
+  static ExecContext* current();
+
+  // RAII installer. Nesting replaces the outer context for the inner
+  // scope's lifetime (a serve worker's per-attempt scope shadows nothing
+  // in practice).
+  class Scope {
+   public:
+    explicit Scope(ExecContext* ctx);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ExecContext* previous_;
+  };
+
+ private:
+  // cause_ is lock-free for the checkpoint hot path; arm() and the cancel
+  // writers serialise on mu_ so cancel_if_generation's check-and-set is
+  // atomic with respect to re-arming.
+  std::atomic<int> cause_{0};
+  std::atomic<uint64_t> heartbeats_{0};
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<int64_t> cancel_ns_{0};
+  // Written under mu_ by arm() (owning thread, between units of work);
+  // read without the lock by checkpoints. Pool workers only observe these
+  // via a parallel_for dispatched after arm(), whose job hand-off mutex
+  // provides the happens-before edge.
+  Clock::time_point deadline_ = Clock::time_point::max();
+  bool has_deadline_ = false;
+  std::mutex mu_;
+};
+
+}  // namespace yollo

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/exec.h"
 #include "tensor/parallel.h"
 
 namespace yollo {
@@ -237,6 +238,11 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         obs::MetricsRegistry::global().counter("gemm.calls");
     calls.inc();
   }
+  // Cancellation: captured once; polled at (jc, pc) panel boundaries and
+  // at every MC-block inside the parallel section. A cancelled gemm
+  // returns early with partial garbage in C — the dispatcher that armed
+  // the context discards the whole forward (DESIGN.md §13).
+  ExecContext* const ctx = ExecContext::current();
   const int64_t num_m_blocks = (m + MC - 1) / MC;
   for (int64_t jc = 0; jc < n; jc += NC) {
     const int64_t nc = std::min(NC, n - jc);
@@ -252,6 +258,7 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       bbuf = Tensor::uninitialized({round_up(nc, NR) * KC});
     }
     for (int64_t pc = 0; pc < k; pc += KC) {
+      if (ctx != nullptr && ctx->checkpoint()) return;
       const int64_t kc = std::min(KC, k - pc);
       const bool first = pc == 0;
       const bool last = pc + kc == k;
@@ -269,6 +276,9 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         alignas(64) float bedge[KC * NR];
         bool bedge_packed = false;
         for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
+          // The one-checkpoint-interval latency bound for gemm: a cancel
+          // lands within one MC-block of work on every participant.
+          if (ctx != nullptr && ctx->checkpoint()) return;
           const int64_t ic = blk * MC;
           const int64_t mc = std::min(MC, m - ic);
           {
@@ -422,8 +432,14 @@ Tensor batched_matmul(const Tensor& a, bool trans_a, const Tensor& b,
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
+    ExecContext* const ctx = ExecContext::current();
     parallel_for(0, batch, 1, [&](int64_t lo, int64_t hi) {
+      // Re-install the dispatcher's context on the executing thread so the
+      // nested (serial) gemms poll their MC-block checkpoints instead of
+      // only the coarser per-batch-element chunk boundary.
+      ExecContext::Scope scope(ctx);
       for (int64_t bi = lo; bi < hi; ++bi) {
+        if (ctx != nullptr && ctx->cancelled()) return;
         gemm(trans_a, trans_b, m, n, ka, pa + bi * ar * ac,
              pb + (b_shared ? 0 : bi * br * bc), po + bi * m * n, {});
       }

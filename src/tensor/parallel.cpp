@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "tensor/exec.h"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -37,6 +38,9 @@ struct Pool {
   uint64_t job_id = 0;
   const std::function<void(int64_t, int64_t)>* fn = nullptr;
   int64_t begin = 0, end = 0, chunk = 1;
+  // The dispatching thread's ExecContext (or null): workers poll it at
+  // chunk boundaries so a cancelled job stops claiming work.
+  ExecContext* ctx = nullptr;
   std::atomic<int64_t> next_chunk{0};
   // Every spawned worker joins every job (extras find no chunks left);
   // `running` counts the ones that have not finished the current job yet.
@@ -50,6 +54,7 @@ struct Pool {
     for (;;) {
       const std::function<void(int64_t, int64_t)>* body;
       int64_t b, e, c;
+      ExecContext* job_ctx;
       {
         std::unique_lock<std::mutex> lock(mu);
         cv_job.wait(lock, [&] { return job_id != seen; });
@@ -58,8 +63,9 @@ struct Pool {
         b = begin;
         e = end;
         c = chunk;
+        job_ctx = ctx;
       }
-      drain(*body, b, e, c);
+      drain(*body, b, e, c, job_ctx);
       {
         std::lock_guard<std::mutex> lock(mu);
         if (--running == 0) cv_done.notify_all();
@@ -68,8 +74,12 @@ struct Pool {
   }
 
   void drain(const std::function<void(int64_t, int64_t)>& body, int64_t b,
-             int64_t e, int64_t c) {
+             int64_t e, int64_t c, ExecContext* job_ctx) {
     for (;;) {
+      // Checkpoint before every claim: a cancelled job abandons whatever
+      // chunks are still unclaimed (the in-flight ones finish via their
+      // own kernel-level checkpoints).
+      if (job_ctx != nullptr && job_ctx->checkpoint()) return;
       const int64_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
       const int64_t lo = b + i * c;
       if (lo >= e) return;
@@ -78,7 +88,7 @@ struct Pool {
   }
 
   void run(const std::function<void(int64_t, int64_t)>& body, int64_t b,
-           int64_t e, int64_t c, int want_workers) {
+           int64_t e, int64_t c, int want_workers, ExecContext* job_ctx) {
     std::lock_guard<std::mutex> run_lock(run_mu);
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -89,6 +99,7 @@ struct Pool {
       begin = b;
       end = e;
       chunk = c;
+      ctx = job_ctx;
       next_chunk.store(0, std::memory_order_relaxed);
       running = static_cast<int>(workers.size());
       ++job_id;
@@ -98,7 +109,7 @@ struct Pool {
     // a nested parallel_for (e.g. gemm inside a batched loop) runs serially
     // instead of re-entering the busy pool.
     t_in_worker = true;
-    drain(body, b, e, c);
+    drain(body, b, e, c, job_ctx);
     t_in_worker = false;
     std::unique_lock<std::mutex> lock(mu);
     cv_done.wait(lock, [&] { return running == 0; });
@@ -156,7 +167,9 @@ void parallel_for(int64_t begin, int64_t end, int64_t grain,
   // Span only on the pool-dispatch branch: the serial fast path above must
   // stay one integer compare, even with observability enabled.
   OBS_SPAN("parallel_for");
-  pool().run(fn, begin, end, chunk, want_workers);
+  pool().run(fn, begin, end, chunk, want_workers, ExecContext::current());
 }
+
+bool in_parallel_region() { return t_in_worker; }
 
 }  // namespace yollo

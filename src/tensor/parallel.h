@@ -34,7 +34,17 @@ void set_num_threads(int n);
 // Chunks are at least `grain` long (the last may be shorter) and are fixed
 // by (begin, end, grain) alone. Blocks until every chunk has run. The body
 // must not throw and must write only to ranges derived from its chunk.
+//
+// Cancellation: when the dispatching thread has an ExecContext installed,
+// unclaimed chunks are abandoned once the context reports cancelled — the
+// output is then garbage and the caller must discard it (DESIGN.md §13).
 void parallel_for(int64_t begin, int64_t end, int64_t grain,
                   const std::function<void(int64_t, int64_t)>& fn);
+
+// True while the calling thread is executing a parallel_for body — on a
+// pool worker, or on the dispatching thread while it drains chunks. Used
+// to confine exception-raising slow paths (pool budget enforcement) to
+// code that is never inside a must-not-throw body.
+bool in_parallel_region();
 
 }  // namespace yollo

@@ -1,10 +1,24 @@
 #include "tensor/pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "tensor/parallel.h"
+
 namespace yollo {
+
+PoolBudgetExceeded::PoolBudgetExceeded(int64_t requested, int64_t outstanding,
+                                       int64_t budget)
+    : std::runtime_error("storage pool budget exceeded: " +
+                         std::to_string(requested) + " bytes requested, " +
+                         std::to_string(outstanding) + " outstanding, " +
+                         std::to_string(budget) + " budget"),
+      requested_bytes(requested),
+      outstanding_bytes(outstanding),
+      budget_bytes(budget) {}
 namespace detail {
 namespace {
 
@@ -23,6 +37,11 @@ struct PoolState {
       free_lists;
   const std::thread::id owner = std::this_thread::get_id();
   PoolStats stats;
+  // Byte budget (0 = unlimited), written only by the owner thread.
+  int64_t budget_bytes = 0;
+  // Bytes handed out and not yet truly freed. Atomic because the deleter
+  // may run on a foreign thread.
+  std::atomic<int64_t> outstanding_bytes{0};
 };
 
 namespace {
@@ -41,17 +60,22 @@ struct PoolDeleter {
   void operator()(std::vector<float>* buffer) const {
     if (std::shared_ptr<PoolState> state = pool.lock()) {
       // `owner` is immutable after construction, safe to read anywhere;
-      // everything else is touched only when we *are* the owner thread.
+      // everything else is touched only when we *are* the owner thread
+      // (outstanding_bytes excepted — it is atomic for exactly this
+      // foreign-thread free path).
       if (state->owner == std::this_thread::get_id() &&
           t_active_pool == state) {
         auto& list = state->free_lists[static_cast<int64_t>(buffer->size())];
         if (list.size() < kMaxPerSize) {
           list.emplace_back(buffer);
           ++state->stats.recycled;
-          return;
+          return;  // parked buffers stay counted against the budget
         }
         ++state->stats.dropped;
       }
+      state->outstanding_bytes.fetch_sub(
+          static_cast<int64_t>(buffer->size() * sizeof(float)),
+          std::memory_order_relaxed);
     }
     delete buffer;
   }
@@ -77,7 +101,21 @@ std::shared_ptr<std::vector<float>> acquire_storage(int64_t n, bool zeroed) {
     return std::shared_ptr<std::vector<float>>(buffer.release(),
                                                PoolDeleter{state});
   }
+  const int64_t bytes = n * static_cast<int64_t>(sizeof(float));
+  // Budget check only on the miss path (free-list hits are already
+  // counted) and never inside a parallel_for body: those must not throw,
+  // and their scratch is transient anyway. acquire_storage with an active
+  // pool only runs on the owner thread, so stats stay lock-free.
+  if (state->budget_bytes > 0 && !in_parallel_region()) {
+    const int64_t outstanding =
+        state->outstanding_bytes.load(std::memory_order_relaxed);
+    if (outstanding + bytes > state->budget_bytes) {
+      ++state->stats.budget_rejected;
+      throw PoolBudgetExceeded(bytes, outstanding, state->budget_bytes);
+    }
+  }
   ++state->stats.misses;
+  state->outstanding_bytes.fetch_add(bytes, std::memory_order_relaxed);
   return std::shared_ptr<std::vector<float>>(
       new std::vector<float>(count, 0.0f), PoolDeleter{state});
 }
@@ -107,7 +145,34 @@ PoolStats PoolScope::stats() const {
 void PoolScope::trim() {
   const std::shared_ptr<detail::PoolState>& state =
       state_ ? state_ : detail::t_active_pool;
-  if (state) state->free_lists.clear();
+  if (!state) return;
+  // Parked buffers die via their unique_ptr (not the pool deleter), so
+  // their bytes must be released from the budget accounting here.
+  int64_t freed = 0;
+  for (const auto& entry : state->free_lists) {
+    freed += entry.first * static_cast<int64_t>(sizeof(float)) *
+             static_cast<int64_t>(entry.second.size());
+  }
+  state->free_lists.clear();
+  state->outstanding_bytes.fetch_sub(freed, std::memory_order_relaxed);
+}
+
+void PoolScope::set_budget_bytes(int64_t budget) {
+  const std::shared_ptr<detail::PoolState>& state =
+      state_ ? state_ : detail::t_active_pool;
+  if (state) state->budget_bytes = budget > 0 ? budget : 0;
+}
+
+int64_t PoolScope::budget_bytes() const {
+  const std::shared_ptr<detail::PoolState>& state =
+      state_ ? state_ : detail::t_active_pool;
+  return state ? state->budget_bytes : 0;
+}
+
+int64_t PoolScope::outstanding_bytes() const {
+  const std::shared_ptr<detail::PoolState>& state =
+      state_ ? state_ : detail::t_active_pool;
+  return state ? state->outstanding_bytes.load(std::memory_order_relaxed) : 0;
 }
 
 }  // namespace yollo

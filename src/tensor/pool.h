@@ -23,13 +23,33 @@
 //    thread is a no-op passthrough, so an outer long-lived scope (e.g. a
 //    serve worker) keeps recycling across the inner scopes that
 //    YolloModel::predict/infer install internally.
+//  - Budgeted: a scope may set a byte budget. A fresh allocation that
+//    would push the pool's outstanding bytes (live + parked) past it
+//    throws PoolBudgetExceeded instead of growing — the serving layer
+//    converts that into kResourceExhausted and degrades, rather than
+//    letting the process OOM. Enforcement is skipped inside parallel_for
+//    bodies (they must not throw); pool-worker allocations bypass the
+//    thread-local pool entirely and are never affected.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 namespace yollo {
+
+// Thrown by the Tensor storage factory when an allocation would exceed the
+// active PoolScope's byte budget. Raised only at op-dispatch level (never
+// from inside a parallel_for body); YolloModel::infer reports it as a
+// typed kResourceExhausted outcome.
+class PoolBudgetExceeded : public std::runtime_error {
+ public:
+  PoolBudgetExceeded(int64_t requested, int64_t outstanding, int64_t budget);
+  int64_t requested_bytes;
+  int64_t outstanding_bytes;
+  int64_t budget_bytes;
+};
 
 namespace detail {
 struct PoolState;
@@ -49,6 +69,7 @@ struct PoolStats {
   int64_t misses = 0;    // acquisitions that went to the allocator
   int64_t recycled = 0;  // buffers returned to the free list
   int64_t dropped = 0;   // buffers freed instead (full list / foreign thread)
+  int64_t budget_rejected = 0;  // allocations refused by the byte budget
 };
 
 class PoolScope {
@@ -66,8 +87,20 @@ class PoolScope {
   // thread only.
   PoolStats stats() const;
 
-  // Drop every cached buffer of the active pool back to the allocator.
+  // Drop every cached buffer of the active pool back to the allocator
+  // (and release their bytes from the budget accounting).
   void trim();
+
+  // Cap the pool's outstanding bytes (live tensors + parked buffers
+  // attributed to this pool). 0 disables enforcement (the default). Call
+  // from the owning thread; applies to the joined scope when this one was
+  // a passthrough.
+  void set_budget_bytes(int64_t budget);
+  int64_t budget_bytes() const;
+
+  // Bytes currently attributed to the pool: allocations handed out minus
+  // buffers actually freed (parked buffers stay counted until trimmed).
+  int64_t outstanding_bytes() const;
 
  private:
   std::shared_ptr<detail::PoolState> state_;  // null when passthrough

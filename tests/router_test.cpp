@@ -408,6 +408,68 @@ TEST(RouterTest, HedgesWhenPrimaryP95ThreatensDeadline) {
   expect_invariant(counters);
 }
 
+TEST(RouterTest, HedgeLoserIsCancelledAndAccountedAtTheShard) {
+  FaultGuard guard;
+  RouterHarness h;
+  RouterConfig rc = h.frozen_config();
+  rc.hedging = true;
+  rc.hedge_budget = 1.0;
+  rc.health_interval_ms = 2;
+  rc.drain_score = -1.0;
+  Router router(h.model, h.vocab, rc, h.pipeline.get());
+
+  const int64_t owner = 1;
+  const std::string id = id_owned_by(router, owner);
+  runtime::FaultInjector::Config fc;
+  fc.slow_forward_ms = 400 * kTimeScale;
+  fc.slow_forward_count = 100;
+  router.shard_injector(owner)->configure(fc);
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(router.route(h.request(id)).status.answered());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  RouteRequest req = h.request(id);
+  req.deadline_ms = 250 * kTimeScale;
+  const RouteResponse response = router.route(std::move(req));
+  EXPECT_TRUE(response.status.ok()) << response.status.to_string();
+  EXPECT_TRUE(response.hedge_won);
+  EXPECT_NE(response.shard, owner);
+
+  // The winner's landing cancelled the loser's token: the primary attempt
+  // on the owner aborts its slow forward instead of sleeping out the full
+  // injected 400ms. Poll until the loser drains at the shard level.
+  const auto resolve_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  ServiceCounters sc;
+  for (;;) {
+    sc = router.shard(owner).counters();
+    if (sc.served + sc.rejected + sc.deadline_exceeded + sc.failed +
+            sc.cancelled ==
+        sc.submitted) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), resolve_by)
+        << "hedge loser never resolved on the owner shard";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // 2 priming requests served + the losing primary attempt cancelled. The
+  // cancel is a shard-local verdict: the router's own taxonomy never sees
+  // it (the job was already served by the winner).
+  EXPECT_EQ(sc.submitted, 3);
+  EXPECT_EQ(sc.served, 2);
+  EXPECT_EQ(sc.cancelled, 1);
+  EXPECT_EQ(sc.deadline_exceeded, 0);
+
+  const RouterCounters counters = router.counters();
+  EXPECT_EQ(counters.hedges_launched, 1);
+  EXPECT_EQ(counters.hedges_won, 1);
+  EXPECT_EQ(counters.hedge_cancelled, 1);
+  EXPECT_EQ(counters.served, 3);
+  expect_invariant(counters);
+}
+
 TEST(RouterTest, HedgeBudgetCapsDuplicateLoad) {
   FaultGuard guard;
   RouterHarness h;
