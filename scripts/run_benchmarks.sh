@@ -28,10 +28,14 @@ BASELINE_REV="${YOLLO_BASELINE_REV-05c8f6177aaa74578863d644996955595649245e}"
 # Pin Release: latency numbers from a Debug/RelWithDebInfo tree are noise.
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" -j --target bench_infer_latency --target bench_gemm \
-  --target bench_serve_shard > /dev/null
+  --target bench_serve_shard --target bench_plan > /dev/null
 
 # GEMM kernel throughput (naive vs blocked vs fused, 1 vs N threads).
 "$BUILD/bench/bench_gemm" "$ROOT/BENCH_gemm.json"
+
+# Static forward plans (DESIGN.md §14): planned vs dynamic predict/infer
+# latency and the arena-vs-pool memory trade, same binary, same kernels.
+"$BUILD/bench/bench_plan" "$ROOT/BENCH_plan.json"
 
 BASELINE_ARGS=""
 if [ -n "$BASELINE_REV" ] && git -C "$ROOT" rev-parse --verify \

@@ -39,7 +39,7 @@ run_mode() {
     # with a real worker pool so TSan watches the job hand-off and the
     # disjoint-range writes.
     echo "re-running kernel suites with YOLLO_NUM_THREADS=4 under TSan ..."
-    for t in tensor_test gemm_test nn_test infer_engine_test; do
+    for t in tensor_test gemm_test nn_test infer_engine_test plan_test; do
       echo "  YOLLO_NUM_THREADS=4 $t"
       YOLLO_NUM_THREADS=4 "$dir/tests/$t"
     done

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "autograd/trace.h"
 #include "tensor/gemm.h"
 #include <cmath>
 #include <limits>
@@ -12,6 +13,13 @@ namespace yollo::ag {
 namespace {
 
 using NodePtr = std::shared_ptr<Node>;
+
+// Plan-trace hooks (autograd/trace.h): each instrumented op computes its
+// output eagerly, reports (op, operands, output) to the thread's sink if one
+// is installed, and only then wraps the result. The report must precede
+// make_op so the recorder sees the storage before make_no_grad_leaf's
+// on_result safety net checks it.
+trace::Sink* sink() { return trace::current(); }
 
 // Accumulate into a parent only when it participates in differentiation;
 // avoids computing reductions whose result would be discarded.
@@ -29,8 +37,10 @@ void feed_reduced(const NodePtr& parent, const Tensor& g, const Shape& shape) {
 
 Variable add(const Variable& a, const Variable& b) {
   NodePtr an = a.node(), bn = b.node();
+  Tensor out = yollo::add(a.value(), b.value());
+  if (sink()) sink()->on_binary("add", a.value(), b.value(), out);
   return Variable::make_op(
-      yollo::add(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [an, bn](const Tensor& g) {
         feed_reduced(an, g, an->data.shape());
         feed_reduced(bn, g, bn->data.shape());
@@ -40,8 +50,10 @@ Variable add(const Variable& a, const Variable& b) {
 
 Variable sub(const Variable& a, const Variable& b) {
   NodePtr an = a.node(), bn = b.node();
+  Tensor out = yollo::sub(a.value(), b.value());
+  if (sink()) sink()->on_binary("sub", a.value(), b.value(), out);
   return Variable::make_op(
-      yollo::sub(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [an, bn](const Tensor& g) {
         feed_reduced(an, g, an->data.shape());
         feed_reduced(bn, yollo::neg(g), bn->data.shape());
@@ -51,8 +63,10 @@ Variable sub(const Variable& a, const Variable& b) {
 
 Variable mul(const Variable& a, const Variable& b) {
   NodePtr an = a.node(), bn = b.node();
+  Tensor out = yollo::mul(a.value(), b.value());
+  if (sink()) sink()->on_binary("mul", a.value(), b.value(), out);
   return Variable::make_op(
-      yollo::mul(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [an, bn](const Tensor& g) {
         feed_reduced(an, yollo::mul(g, bn->data.broadcast_to(g.shape())),
                      an->data.shape());
@@ -64,8 +78,10 @@ Variable mul(const Variable& a, const Variable& b) {
 
 Variable div(const Variable& a, const Variable& b) {
   NodePtr an = a.node(), bn = b.node();
+  Tensor out = yollo::div(a.value(), b.value());
+  if (sink()) sink()->on_binary("div", a.value(), b.value(), out);
   return Variable::make_op(
-      yollo::div(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [an, bn](const Tensor& g) {
         const Tensor bb = bn->data.broadcast_to(g.shape());
         feed_reduced(an, yollo::div(g, bb), an->data.shape());
@@ -82,15 +98,19 @@ Variable div(const Variable& a, const Variable& b) {
 
 Variable add_scalar(const Variable& a, float s) {
   NodePtr an = a.node();
+  Tensor out = yollo::add_scalar(a.value(), s);
+  if (sink()) sink()->on_unary_scalar("add_scalar", a.value(), s, out);
   return Variable::make_op(
-      yollo::add_scalar(a.value(), s), {a},
+      std::move(out), {a},
       [an](const Tensor& g) { feed(an, g); }, "add_scalar");
 }
 
 Variable mul_scalar(const Variable& a, float s) {
   NodePtr an = a.node();
+  Tensor out = yollo::mul_scalar(a.value(), s);
+  if (sink()) sink()->on_unary_scalar("mul_scalar", a.value(), s, out);
   return Variable::make_op(
-      yollo::mul_scalar(a.value(), s), {a},
+      std::move(out), {a},
       [an, s](const Tensor& g) { feed(an, yollo::mul_scalar(g, s)); },
       "mul_scalar");
 }
@@ -98,6 +118,7 @@ Variable mul_scalar(const Variable& a, float s) {
 Variable pow_scalar(const Variable& a, float exponent) {
   NodePtr an = a.node();
   Tensor out = yollo::pow(a.value(), exponent);
+  if (sink()) sink()->on_unary_scalar("pow_scalar", a.value(), exponent, out);
   return Variable::make_op(
       std::move(out), {a},
       [an, exponent](const Tensor& g) {
@@ -111,8 +132,10 @@ Variable pow_scalar(const Variable& a, float exponent) {
 
 Variable relu(const Variable& a) {
   NodePtr an = a.node();
+  Tensor out = yollo::relu(a.value());
+  if (sink()) sink()->on_unary("relu", a.value(), out);
   return Variable::make_op(
-      yollo::relu(a.value()), {a},
+      std::move(out), {a},
       [an](const Tensor& g) {
         if (!an->requires_grad) return;
         Tensor d(g.shape());
@@ -143,6 +166,7 @@ Variable tanh(const Variable& a) {
 Variable sigmoid(const Variable& a) {
   NodePtr an = a.node();
   Tensor y = yollo::sigmoid(a.value());
+  if (sink()) sink()->on_unary("sigmoid", a.value(), y);
   return Variable::make_op(
       y, {a},
       [an, y](const Tensor& g) {
@@ -199,8 +223,11 @@ Variable sqrt(const Variable& a) {
 
 Variable square(const Variable& a) {
   NodePtr an = a.node();
+  Tensor out = yollo::mul(a.value(), a.value());
+  // Reported as the "mul" it computes: the recorder replays x·x exactly.
+  if (sink()) sink()->on_binary("mul", a.value(), a.value(), out);
   return Variable::make_op(
-      yollo::mul(a.value(), a.value()), {a},
+      std::move(out), {a},
       [an](const Tensor& g) {
         if (!an->requires_grad) return;
         feed(an, yollo::mul_scalar(yollo::mul(g, an->data), 2.0f));
@@ -219,8 +246,18 @@ Variable reshape(const Variable& a, Shape new_shape) {
 
 Variable transpose(const Variable& a, int64_t d0, int64_t d1) {
   NodePtr an = a.node();
+  Tensor out = a.value().transpose(d0, d1);
+  if (sink()) {
+    // Mirror Tensor::transpose's lowering to a full-axis permutation.
+    const int64_t rank = a.ndim();
+    std::vector<int64_t> order(static_cast<size_t>(rank));
+    for (int64_t i = 0; i < rank; ++i) order[static_cast<size_t>(i)] = i;
+    std::swap(order[static_cast<size_t>(normalize_axis(d0, rank))],
+              order[static_cast<size_t>(normalize_axis(d1, rank))]);
+    sink()->on_permute(a.value(), order, out);
+  }
   return Variable::make_op(
-      a.value().transpose(d0, d1), {a},
+      std::move(out), {a},
       [an, d0, d1](const Tensor& g) { feed(an, g.transpose(d0, d1)); },
       "transpose");
 }
@@ -230,8 +267,10 @@ Variable narrow(const Variable& a, int64_t axis, int64_t start,
   NodePtr an = a.node();
   const Shape in_shape = a.shape();
   const int64_t ax = normalize_axis(axis, a.ndim());
+  Tensor out = a.value().narrow(ax, start, length);
+  if (sink()) sink()->on_narrow(a.value(), ax, start, length, out);
   return Variable::make_op(
-      a.value().narrow(ax, start, length), {a},
+      std::move(out), {a},
       [an, in_shape, ax, start, length](const Tensor& g) {
         if (!an->requires_grad) return;
         // Scatter the slice gradient back into a zero tensor.
@@ -260,6 +299,7 @@ Variable concat(const std::vector<Variable>& parts, int64_t axis) {
   for (const Variable& p : parts) values.push_back(p.value());
   Tensor out = yollo::concat(values, axis);
   const int64_t ax = normalize_axis(axis, parts[0].ndim());
+  if (sink()) sink()->on_concat(values, ax, out);
 
   std::vector<NodePtr> nodes;
   std::vector<int64_t> extents;
@@ -305,6 +345,7 @@ Variable select_rows(const Variable& a, std::vector<int64_t> indices) {
   NodePtr an = a.node();
   const Shape in_shape = a.shape();
   Tensor out = a.value().index_select(0, indices);
+  if (sink()) sink()->on_gather_rows(a.value(), indices, out);
   return Variable::make_op(
       std::move(out), {a},
       [an, in_shape, indices = std::move(indices)](const Tensor& g) {
@@ -352,8 +393,10 @@ Variable embedding(const Variable& weight, const std::vector<int64_t>& ids) {
 
 Variable matmul(const Variable& a, const Variable& b) {
   NodePtr an = a.node(), bn = b.node();
+  Tensor out = yollo::matmul(a.value(), b.value());
+  if (sink()) sink()->on_matmul(a.value(), false, b.value(), false, out);
   return Variable::make_op(
-      yollo::matmul(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [an, bn](const Tensor& g) {
         // dA = g·Bᵀ, dB = Aᵀ·g — served by the transpose-aware GEMM entry
         // points, so no operand is ever materialised transposed.
@@ -365,8 +408,10 @@ Variable matmul(const Variable& a, const Variable& b) {
 
 Variable matmul_nt(const Variable& a, const Variable& b) {
   NodePtr an = a.node(), bn = b.node();
+  Tensor out = yollo::matmul_nt(a.value(), b.value());
+  if (sink()) sink()->on_matmul(a.value(), false, b.value(), true, out);
   return Variable::make_op(
-      yollo::matmul_nt(a.value(), b.value()), {a, b},
+      std::move(out), {a, b},
       [an, bn](const Tensor& g) {
         // y = a·bᵀ  ⇒  dA = g·b, dB = gᵀ·a.
         if (an->requires_grad) {
@@ -384,6 +429,10 @@ Variable linear(const Variable& x, const Variable& w, const Variable& bias,
   Tensor y = linear_forward(x.value(), w.value(),
                             bias.defined() ? bias.value() : Tensor(),
                             fuse_relu);
+  if (sink()) {
+    sink()->on_linear(x.value(), w.value(),
+                      bias.defined() ? bias.value() : Tensor(), fuse_relu, y);
+  }
   std::vector<Variable> parents{x, w};
   if (bias.defined()) parents.push_back(bias);
   return Variable::make_op(
@@ -425,8 +474,10 @@ Variable sum(const Variable& a, int64_t axis, bool keepdim) {
   NodePtr an = a.node();
   const Shape in_shape = a.shape();
   const int64_t ax = normalize_axis(axis, a.ndim());
+  Tensor out = yollo::sum(a.value(), ax, keepdim);
+  if (sink()) sink()->on_sum_axis(a.value(), ax, keepdim, out);
   return Variable::make_op(
-      yollo::sum(a.value(), ax, keepdim), {a},
+      std::move(out), {a},
       [an, in_shape, ax, keepdim](const Tensor& g) {
         if (!an->requires_grad) return;
         Tensor gk = g;
@@ -455,6 +506,7 @@ Variable softmax(const Variable& a, int64_t axis) {
   NodePtr an = a.node();
   const int64_t ax = normalize_axis(axis, a.ndim());
   Tensor y = yollo::softmax(a.value(), ax);
+  if (sink()) sink()->on_softmax(a.value(), ax, y);
   return Variable::make_op(
       y, {a},
       [an, y, ax](const Tensor& g) {
@@ -560,6 +612,10 @@ Variable conv2d(const Variable& input, const Variable& weight,
   NodePtr bn = bias.defined() ? bias.node() : nullptr;
   Tensor out = conv2d_forward(input.value(), weight.value(),
                               bias.defined() ? bias.value() : Tensor(), spec);
+  if (sink()) {
+    sink()->on_conv2d(input.value(), weight.value(),
+                      bias.defined() ? bias.value() : Tensor(), spec, out);
+  }
   std::vector<Variable> parents{input, weight};
   if (bias.defined()) parents.push_back(bias);
   return Variable::make_op(

@@ -1,0 +1,15 @@
+#include "autograd/trace.h"
+
+namespace yollo::ag::trace {
+
+namespace {
+thread_local Sink* t_sink = nullptr;
+}  // namespace
+
+Sink* current() { return t_sink; }
+
+Scope::Scope(Sink* sink) : previous_(t_sink) { t_sink = sink; }
+
+Scope::~Scope() { t_sink = previous_; }
+
+}  // namespace yollo::ag::trace

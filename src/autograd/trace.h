@@ -1,0 +1,103 @@
+// Forward-trace hooks for the plan compiler (DESIGN.md §14).
+//
+// A Sink observes the grad-free eager forward op by op: each autograd op in
+// ops.cpp computes its output tensor, then (when a sink is installed on the
+// current thread) reports the op's identity, operands and output before
+// wrapping the result in a Variable. The plan recorder (src/plan/) is the
+// only production sink: it interns operand storage pointers into slots and
+// replays the reported op stream against an arena.
+//
+// The safety net: every no-grad op result additionally funnels through
+// on_result() (called from Variable::make_no_grad_leaf). A sink that sees a
+// result whose storage it has no structural record of — an op without a
+// dedicated hook ran — must mark the trace unplannable rather than guess.
+// This makes the hook set fail-closed: forgetting to instrument a new op can
+// only disable planning, never corrupt a plan.
+//
+// Layering: this header lives in autograd (ops.cpp needs it), while the
+// concrete recorder lives in yollo_plan, which depends on yollo_autograd.
+// Installation is thread-local and RAII-scoped, mirroring GradMode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/conv.h"
+#include "tensor/tensor.h"
+
+namespace yollo::ag::trace {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  // Broadcasting binary elementwise op: "add", "sub", "mul", "div".
+  virtual void on_binary(const char* op, const Tensor& a, const Tensor& b,
+                         const Tensor& out) = 0;
+  // Unary elementwise op: "relu", "sigmoid".
+  virtual void on_unary(const char* op, const Tensor& a, const Tensor& out) = 0;
+  // Unary elementwise op with a scalar argument: "add_scalar", "mul_scalar",
+  // "pow_scalar".
+  virtual void on_unary_scalar(const char* op, const Tensor& a, float s,
+                               const Tensor& out) = 0;
+  // Materialised axis permutation (transpose lowers to this). `order` holds
+  // normalised (non-negative) axes.
+  virtual void on_permute(const Tensor& a, const std::vector<int64_t>& order,
+                          const Tensor& out) = 0;
+  // Contiguous slice along a normalised axis.
+  virtual void on_narrow(const Tensor& a, int64_t axis, int64_t start,
+                         int64_t length, const Tensor& out) = 0;
+  virtual void on_concat(const std::vector<Tensor>& parts, int64_t axis,
+                         const Tensor& out) = 0;
+  // Row gather from a [extent, inner] table (embedding lookup).
+  virtual void on_gather_rows(const Tensor& table,
+                              const std::vector<int64_t>& ids,
+                              const Tensor& out) = 0;
+  // General trans-aware matmul (2-D, batched 3-D, 3-D×2-D broadcast).
+  virtual void on_matmul(const Tensor& a, bool trans_a, const Tensor& b,
+                         bool trans_b, const Tensor& out) = 0;
+  // Fused linear: out = x·w (+bias) (+ReLU); bias may be undefined.
+  virtual void on_linear(const Tensor& x, const Tensor& w, const Tensor& bias,
+                         bool relu, const Tensor& out) = 0;
+  virtual void on_sum_axis(const Tensor& a, int64_t axis, bool keepdim,
+                           const Tensor& out) = 0;
+  virtual void on_softmax(const Tensor& a, int64_t axis, const Tensor& out) = 0;
+  // bias may be undefined.
+  virtual void on_conv2d(const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv2dSpec& spec,
+                         const Tensor& out) = 0;
+
+  // A model-declared runtime input (e.g. the CoordConv image prologue or the
+  // PAD pair mask): storage whose contents vary per call and must be refilled
+  // by the plan's prologue rather than bound as a constant.
+  virtual void on_input(const char* name, const Tensor& t) = 0;
+
+  // Safety net (see header comment). `op_name` is the autograd op's literal
+  // name; alias-producing ops ("reshape") legitimately report storage that
+  // may belong to an as-yet-unseen leaf.
+  virtual void on_result(const char* op_name, const Tensor& out) = 0;
+};
+
+// The sink installed on this thread, or nullptr.
+Sink* current();
+inline bool active() { return current() != nullptr; }
+
+// RAII installer; nests (the previous sink is restored on destruction).
+class Scope {
+ public:
+  explicit Scope(Sink* sink);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Sink* previous_;
+};
+
+// Convenience for model code: report a runtime input when a sink is active,
+// no-op otherwise.
+inline void note_input(const char* name, const Tensor& t) {
+  if (Sink* s = current()) s->on_input(name, t);
+}
+
+}  // namespace yollo::ag::trace

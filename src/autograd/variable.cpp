@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "autograd/trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/exec.h"
@@ -51,6 +52,11 @@ Variable Variable::make_no_grad_leaf(Tensor data, const char* op_name) {
   Variable out(std::move(data), /*requires_grad=*/false);
   out.node_->produced_without_grad = true;
   out.node_->op_name = op_name;
+  // Plan-trace safety net: every grad-free op result funnels through here,
+  // so a recording sink can verify it has a structural record of the
+  // storage (an op missing its dedicated hook marks the trace unplannable
+  // instead of silently producing a wrong plan).
+  if (trace::Sink* s = trace::current()) s->on_result(op_name, out.value());
   return out;
 }
 

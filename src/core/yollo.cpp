@@ -5,8 +5,13 @@
 #include <limits>
 #include <stdexcept>
 
+#include "autograd/trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "plan/plan.h"
 #include "runtime/fault.h"
 #include "tensor/exec.h"
+#include "tensor/kernels.h"
 #include "tensor/pool.h"
 
 namespace yollo::core {
@@ -73,25 +78,10 @@ YolloModel::Output YolloModel::forward(const Tensor& images,
   // signal (the paper's deep pretrained C4 features get it from context).
   const int64_t ih = images.size(2);
   const int64_t iw = images.size(3);
-  Tensor with_coords({b, 5, ih, iw});
-  {
-    const int64_t plane = ih * iw;
-    const float* src = images.data();
-    float* dst = with_coords.data();
-    for (int64_t bi = 0; bi < b; ++bi) {
-      std::copy(src + bi * 3 * plane, src + (bi + 1) * 3 * plane,
-                dst + bi * 5 * plane);
-      float* xs = dst + (bi * 5 + 3) * plane;
-      float* ys = dst + (bi * 5 + 4) * plane;
-      for (int64_t y = 0; y < ih; ++y) {
-        const float yv = static_cast<float>(y) / static_cast<float>(ih - 1);
-        for (int64_t x = 0; x < iw; ++x) {
-          xs[y * iw + x] = static_cast<float>(x) / static_cast<float>(iw - 1);
-          ys[y * iw + x] = yv;
-        }
-      }
-    }
-  }
+  Tensor with_coords = Tensor::uninitialized({b, 5, ih, iw});
+  kernels::fill_coord_channels(images.data(), with_coords.data(), b, ih, iw);
+  // The plan prologue refills this slot per execution with the same kernel.
+  ag::trace::note_input("with_coords", with_coords);
   ag::Variable feat = backbone_.forward(ag::Variable::constant(with_coords));
   ag::Variable v = ag::transpose(ag::reshape(feat, {b, c, m}), 1, 2);
 
@@ -101,12 +91,10 @@ YolloModel::Output YolloModel::forward(const Tensor& images,
   ag::Variable t =
       text_norm_.forward(ag::add(words, pos_emb_));  // pos broadcasts over batch
 
-  // PAD-validity mask shared by the whole Rel2Att stack.
-  std::vector<float> text_valid(tokens.size());
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    text_valid[i] = tokens[i] == 0 ? 0.0f : 1.0f;  // 0 == Vocab::kPad
-  }
-  const Tensor pair_mask = Rel2Att::make_pair_mask(text_valid, b, m, n);
+  // PAD-validity mask shared by the whole Rel2Att stack (0 == Vocab::kPad).
+  Tensor pair_mask = Tensor::uninitialized({b, m + n, m + n});
+  kernels::fill_pair_mask(tokens.data(), b, m, n, pair_mask.data());
+  ag::trace::note_input("pair_mask", pair_mask);
 
   // §3.2: stacked Rel2Att modules.
   Output out;
@@ -173,8 +161,37 @@ YolloModel::Losses YolloModel::compute_loss(
 YolloModel::ForwardDecode YolloModel::forward_and_decode(
     const Tensor& images, const std::vector<int64_t>& tokens,
     bool apply_fault_hooks) {
-  ForwardDecode fd;
+  if (yollo::plan::enabled()) {
+    if (std::shared_ptr<yollo::plan::Plan> p = planned_for(images, tokens)) {
+      yollo::plan::Plan::ExecGuard g = p->try_execute(images, tokens);
+      if (g) {
+        // Arena-backed views of the outputs; the plan shared_ptr keeps the
+        // arena alive. Decode happens while the guard is held — another
+        // thread executing this plan would overwrite the arena under us.
+        Output out;
+        out.scores = ag::Variable::constant(Tensor::from_external(
+            g.scores_shape(), const_cast<float*>(g.scores()), p));
+        out.deltas = ag::Variable::constant(Tensor::from_external(
+            g.deltas_shape(), const_cast<float*>(g.deltas()), p));
+        return decode_and_scan(out, images, apply_fault_hooks);
+      }
+      {
+        std::lock_guard<std::mutex> lk(plan_mu_);
+        ++plan_stats_.fallbacks;
+      }
+      static obs::Counter& fallbacks =
+          obs::MetricsRegistry::global().counter("plan.fallbacks");
+      fallbacks.inc();
+    }
+  }
   Output out = forward(images, tokens);
+  return decode_and_scan(out, images, apply_fault_hooks);
+}
+
+YolloModel::ForwardDecode YolloModel::decode_and_scan(Output& out,
+                                                      const Tensor& images,
+                                                      bool apply_fault_hooks) {
+  ForwardDecode fd;
   if (apply_fault_hooks &&
       runtime::FaultInjector::active().take_poison_forward()) {
     // Stand-in for silently corrupted activations: the finiteness scan
@@ -231,6 +248,200 @@ YolloModel::ForwardDecode YolloModel::forward_and_decode(
                  " of " + std::to_string(b) + " batch elements";
   }
   return fd;
+}
+
+std::shared_ptr<yollo::plan::Plan> YolloModel::build_plan(
+    const Tensor& images, const std::vector<int64_t>& tokens,
+    std::string* why) {
+  OBS_SPAN("plan.record");
+  yollo::plan::Recorder rec;
+  rec.set_tokens(tokens);
+  Output out;
+  {
+    // Record one ordinary grad-free forward; the hooks in autograd see
+    // every op. Callers have NoGradGuard + EvalModeGuard installed.
+    ag::trace::Scope scope(&rec);
+    out = forward(images, tokens);
+  }
+  return rec.compile(out.scores.value(), out.deltas.value(), why);
+}
+
+std::shared_ptr<yollo::plan::Plan> YolloModel::planned_for(
+    const Tensor& images, const std::vector<int64_t>& tokens) {
+  constexpr size_t kMaxPlanEntries = 16;
+  constexpr int64_t kPlanRetryPeriod = 64;
+  static obs::Counter& hits =
+      obs::MetricsRegistry::global().counter("plan.cache_hits");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::global().counter("plan.cache_misses");
+
+  const int64_t b = images.size(0);
+  std::unique_lock<std::mutex> lk(plan_mu_);
+  auto it = plan_cache_.find(b);
+  if (it == plan_cache_.end()) {
+    if (plan_cache_.size() >= kMaxPlanEntries) {
+      // Bound the cache: evict the first idle entry. Entries mid-build are
+      // never erased (the builder holds a reference across the unlock).
+      auto victim = plan_cache_.end();
+      for (auto c = plan_cache_.begin(); c != plan_cache_.end(); ++c) {
+        if (!c->second.building) {
+          victim = c;
+          break;
+        }
+      }
+      if (victim == plan_cache_.end()) return nullptr;
+      plan_cache_.erase(victim);
+    }
+    it = plan_cache_.emplace(b, PlanEntry{}).first;
+  }
+  PlanEntry& e = it->second;
+  if (e.plan) {
+    ++plan_stats_.hits;
+    hits.inc();
+    return e.plan;
+  }
+  if (e.building) return nullptr;  // concurrent miss: dynamic, non-blocking
+  if (e.failed) {
+    // Unplannable traces stay failed; budget refusals may clear up, so
+    // retry periodically instead of never.
+    if (++e.misses % kPlanRetryPeriod != 0) return nullptr;
+    e.failed = false;
+  }
+  ++plan_stats_.misses;
+  misses.inc();
+  e.plan.reset();  // release any old arena BEFORE building: one budget charge
+  e.building = true;
+  lk.unlock();
+
+  std::shared_ptr<yollo::plan::Plan> built;
+  bool failed = false;
+  try {
+    std::string why;
+    built = build_plan(images, tokens, &why);
+    failed = (built == nullptr);
+  } catch (const PoolBudgetExceeded&) {
+    // Arena refused by the pool budget: degrade to the dynamic path (which
+    // runs inside the budgeted pool) instead of failing the request.
+    failed = true;
+  } catch (...) {
+    // Cancellation or a fault mid-recording: leave the entry clean so the
+    // next request retries the build.
+    lk.lock();
+    e.building = false;
+    throw;
+  }
+  lk.lock();
+  e.building = false;
+  if (failed) {
+    e.failed = true;
+    return nullptr;
+  }
+  e.plan = std::move(built);
+  ++plan_stats_.compiles;
+  int64_t bytes = 0;
+  for (const auto& [key, entry] : plan_cache_) {
+    if (entry.plan) bytes += entry.plan->arena_bytes();
+  }
+  obs::MetricsRegistry::global()
+      .gauge("plan.arena_bytes")
+      .set(static_cast<double>(bytes));
+  return e.plan;
+}
+
+void YolloModel::warm_plan(int64_t batch) {
+  if (!yollo::plan::enabled() || batch < 1) return;
+  ag::NoGradGuard no_grad;
+  nn::EvalModeGuard eval_mode(*this);
+  // Deliberately no PoolScope: the arena's byte charge must land on the
+  // caller's active budget scope (the serve worker's), not a transient one.
+  Tensor images({batch, 3, config_.img_h, config_.img_w});
+  std::vector<int64_t> tokens(
+      static_cast<size_t>(batch * config_.max_query_len), 0);
+  std::shared_ptr<yollo::plan::Plan> p = planned_for(images, tokens);
+  if (p) {
+    // One throwaway execution warms the GEMM pack scratch and obs rings so
+    // the first real request runs at steady state.
+    yollo::plan::Plan::ExecGuard g = p->try_execute(images, tokens);
+    (void)g;
+  }
+}
+
+bool YolloModel::planned(int64_t batch) {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  auto it = plan_cache_.find(batch);
+  return it != plan_cache_.end() && it->second.plan != nullptr;
+}
+
+void YolloModel::invalidate_plans() {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  // Reset in place instead of erasing: a concurrent build holds references
+  // to its entry across the cache unlock.
+  for (auto& [key, e] : plan_cache_) {
+    e.plan.reset();
+    e.failed = false;
+    e.misses = 0;
+  }
+}
+
+YolloModel::PlanCacheStats YolloModel::plan_cache_stats() {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  PlanCacheStats s = plan_stats_;
+  s.entries = 0;
+  s.arena_bytes = 0;
+  for (const auto& [key, e] : plan_cache_) {
+    if (e.plan) {
+      ++s.entries;
+      s.arena_bytes += e.plan->arena_bytes();
+    }
+  }
+  return s;
+}
+
+YolloModel::RawForward YolloModel::raw_forward(
+    const Tensor& images, const std::vector<int64_t>& tokens) {
+  ag::NoGradGuard no_grad;
+  nn::EvalModeGuard eval_mode(*this);
+  PoolScope pool;
+  RawForward rf;
+  if (yollo::plan::enabled()) {
+    if (std::shared_ptr<yollo::plan::Plan> p = planned_for(images, tokens)) {
+      yollo::plan::Plan::ExecGuard g = p->try_execute(images, tokens);
+      if (g) {
+        // Clone out of the arena while the guard is held.
+        rf.scores = Tensor::from_external(g.scores_shape(),
+                                          const_cast<float*>(g.scores()), p)
+                        .clone();
+        rf.deltas = Tensor::from_external(g.deltas_shape(),
+                                          const_cast<float*>(g.deltas()), p)
+                        .clone();
+        rf.planned = true;
+        return rf;
+      }
+    }
+  }
+  Output out = forward(images, tokens);
+  rf.scores = out.scores.value().clone();
+  rf.deltas = out.deltas.value().clone();
+  return rf;
+}
+
+bool YolloModel::run_planned(const Tensor& images,
+                             const std::vector<int64_t>& tokens) {
+  std::shared_ptr<yollo::plan::Plan> p;
+  {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    auto it = plan_cache_.find(images.size(0));
+    if (it != plan_cache_.end()) p = it->second.plan;
+  }
+  if (!p) return false;
+  yollo::plan::Plan::ExecGuard g = p->try_execute(images, tokens);
+  return static_cast<bool>(g);
+}
+
+std::shared_ptr<yollo::plan::Plan> YolloModel::cached_plan(int64_t batch) {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  auto it = plan_cache_.find(batch);
+  return it != plan_cache_.end() ? it->second.plan : nullptr;
 }
 
 std::vector<vision::Box> YolloModel::predict(

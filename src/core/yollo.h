@@ -8,13 +8,19 @@
 // (eq. 9); inference takes the single top-scored anchor's refined box.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/detection_head.h"
 #include "core/rel2att.h"
 #include "nn/layers.h"
 #include "vision/backbone.h"
+
+namespace yollo::plan {
+class Plan;
+}
 
 namespace yollo::core {
 
@@ -112,6 +118,52 @@ class YolloModel : public nn::Module {
 
   const std::vector<vision::Box>& anchors() const { return head_.anchors(); }
 
+  // --- static forward plans (DESIGN.md §14) --------------------------------
+  // predict()/infer() route through a per-batch-size compiled plan when
+  // yollo::plan::enabled() (YOLLO_PLAN=0 disables). Plans are recorded
+  // lazily on first use; warm_plan() builds and runs one eagerly so serving
+  // workers take no compile hit on their first real request. Charges the
+  // caller's active pool budget for the arena; on PoolBudgetExceeded the
+  // entry is marked failed and execution degrades to the dynamic path.
+  void warm_plan(int64_t batch);
+
+  // True when a plan for this batch size is cached and ready.
+  bool planned(int64_t batch);
+
+  // Drop every cached plan (releases the arenas and their budget charges).
+  // Needed when parameter *storage* is replaced (pointer-level rebinding);
+  // plain in-place updates flow into cached plans automatically.
+  void invalidate_plans();
+
+  struct PlanCacheStats {
+    int64_t entries = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t compiles = 0;
+    int64_t fallbacks = 0;  // plan existed but was busy / shape-mismatched
+    int64_t arena_bytes = 0;
+  };
+  PlanCacheStats plan_cache_stats();
+
+  // Test hooks. raw_forward runs the same guarded forward predict() runs
+  // and returns the raw score/delta tensors (cloned out of the arena on the
+  // planned path) plus which path executed — the bitwise plan-vs-dynamic
+  // tests diff these. run_planned executes an already-cached plan with no
+  // decode and no output wrapping (the zero-allocation probe); returns
+  // false when no plan is cached or it was busy.
+  struct RawForward {
+    Tensor scores;
+    Tensor deltas;
+    bool planned = false;
+  };
+  RawForward raw_forward(const Tensor& images,
+                         const std::vector<int64_t>& tokens);
+  bool run_planned(const Tensor& images, const std::vector<int64_t>& tokens);
+
+  // The cached plan for a batch size (nullptr when none): arena-layout
+  // introspection for tests and diagnostics.
+  std::shared_ptr<yollo::plan::Plan> cached_plan(int64_t batch);
+
  private:
   // Shared forward-and-decode core for predict() and infer(): one place
   // owns the finiteness scan and the bounds clipping, so the two entry
@@ -127,6 +179,33 @@ class YolloModel : public nn::Module {
   ForwardDecode forward_and_decode(const Tensor& images,
                                    const std::vector<int64_t>& tokens,
                                    bool apply_fault_hooks);
+
+  // Finiteness scan + top-1 decode + clipping over a forward's outputs.
+  // On the planned path the Output wraps arena-backed views, so the caller
+  // must hold the plan's ExecGuard across this call.
+  ForwardDecode decode_and_scan(Output& out, const Tensor& images,
+                                bool apply_fault_hooks);
+
+  // Plan cache (keyed by batch size; image dims and query length are fixed
+  // by the config). `building` makes concurrent misses fall back to the
+  // dynamic path instead of blocking behind the recording thread; `failed`
+  // entries retry every kPlanRetryPeriod misses in case budget freed up.
+  struct PlanEntry {
+    std::shared_ptr<yollo::plan::Plan> plan;
+    bool failed = false;
+    bool building = false;
+    int64_t misses = 0;
+  };
+  std::shared_ptr<yollo::plan::Plan> planned_for(
+      const Tensor& images, const std::vector<int64_t>& tokens);
+  std::shared_ptr<yollo::plan::Plan> build_plan(
+      const Tensor& images, const std::vector<int64_t>& tokens,
+      std::string* why);
+
+  std::mutex plan_mu_;
+  std::map<int64_t, PlanEntry> plan_cache_;
+  PlanCacheStats plan_stats_;  // guarded by plan_mu_ (entries/arena_bytes
+                               // recomputed on read)
 
   YolloConfig config_;
   vision::Backbone backbone_;

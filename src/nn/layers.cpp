@@ -130,8 +130,11 @@ ag::Variable BatchNorm2d::forward(const ag::Variable& x) {
     scale_inplace(running_var_, 1.0f - momentum_);
     axpy_inplace(running_var_, momentum_, batch_var);
   } else {
-    mu = ag::Variable::constant(running_mean_.reshape({channels_, 1}).clone());
-    var = ag::Variable::constant(running_var_.reshape({channels_, 1}).clone());
+    // Aliases (not clones) of the running stats: eval forwards allocate
+    // nothing here, and a recorded plan's parameter bindings see in-place
+    // recalibration of the stats instead of a frozen copy.
+    mu = ag::Variable::constant(running_mean_.reshape({channels_, 1}));
+    var = ag::Variable::constant(running_var_.reshape({channels_, 1}));
   }
 
   ag::Variable inv_std = ag::pow_scalar(ag::add_scalar(var, eps_), -0.5f);

@@ -1,0 +1,380 @@
+// Recorder: ag::trace::Sink that turns one observed grad-free forward into
+// plan IR. Record-time work mirrors each eager wrapper's dispatch exactly
+// (GEMM case selection, axis splits, narrow/concat row geometry) so the
+// executor replays the identical raw kernel calls.
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "plan/plan.h"
+#include "tensor/shape.h"
+
+namespace yollo::plan {
+
+namespace {
+
+int64_t prod(const Shape& s, size_t lo, size_t hi) {
+  int64_t p = 1;
+  for (size_t d = lo; d < hi; ++d) p *= s[d];
+  return p;
+}
+
+}  // namespace
+
+Recorder::Recorder() = default;
+Recorder::~Recorder() = default;
+
+void Recorder::set_tokens(const std::vector<int64_t>& tokens) {
+  tokens_ = tokens;
+  have_tokens_ = true;
+}
+
+void Recorder::set_unplannable(std::string reason) {
+  if (unplannable_) return;
+  unplannable_ = true;
+  reason_ = std::move(reason);
+}
+
+int32_t Recorder::slot_of(const Tensor& t) {
+  auto it = by_ptr_.find(t.data());
+  if (it != by_ptr_.end()) return it->second;
+  // Never seen this storage produced: a parameter or recorded constant.
+  // The held handle keeps the storage alive (pointer identity is stable
+  // for the recorder's whole lifetime) and becomes the plan's binding.
+  const int32_t id = static_cast<int32_t>(slots_.size());
+  slots_.push_back(RecSlot{t, t.shape(), /*external=*/true, false, nullptr});
+  by_ptr_.emplace(t.data(), id);
+  return id;
+}
+
+int32_t Recorder::def_slot(const Tensor& out) {
+  auto it = by_ptr_.find(out.data());
+  if (it != by_ptr_.end()) {
+    // An op "produced" storage we already track: in-place mutation of a
+    // recorded buffer. No eval-path op does this; refuse rather than risk
+    // a stale-value replay.
+    set_unplannable("op redefines recorded storage");
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(slots_.size());
+  slots_.push_back(RecSlot{out, out.shape(), /*external=*/false, false,
+                           nullptr});
+  by_ptr_.emplace(out.data(), id);
+  return id;
+}
+
+Op& Recorder::push(OpKind kind, const Tensor& out) {
+  ops_.emplace_back();
+  Op& op = ops_.back();
+  op.kind = kind;
+  op.out = def_slot(out);
+  op.out_shape = out.shape();
+  return op;
+}
+
+void Recorder::add_arg(Op& op, const Tensor& t) {
+  op.args.push_back(slot_of(t));
+  op.arg_shapes.push_back(t.shape());
+}
+
+// --- elementwise -------------------------------------------------------------
+
+void Recorder::on_binary(const char* opname, const Tensor& a, const Tensor& b,
+                         const Tensor& out) {
+  if (unplannable_) return;
+  EltStage::Code code;
+  if (std::strcmp(opname, "add") == 0) {
+    code = EltStage::kAdd;
+  } else if (std::strcmp(opname, "sub") == 0) {
+    code = EltStage::kSub;
+  } else if (std::strcmp(opname, "mul") == 0) {
+    code = EltStage::kMul;
+  } else if (std::strcmp(opname, "div") == 0) {
+    code = EltStage::kDiv;
+  } else {
+    set_unplannable(std::string("unknown binary op ") + opname);
+    return;
+  }
+  Op& op = push(OpKind::kEltwise, out);
+  add_arg(op, a);
+  add_arg(op, b);
+  op.stages.push_back(EltStage{EltStage::kLoad, 0, 0.0f});
+  op.stages.push_back(EltStage{code, 1, 0.0f});
+}
+
+void Recorder::on_unary(const char* opname, const Tensor& a,
+                        const Tensor& out) {
+  if (unplannable_) return;
+  EltStage::Code code;
+  if (std::strcmp(opname, "relu") == 0) {
+    code = EltStage::kRelu;
+  } else if (std::strcmp(opname, "sigmoid") == 0) {
+    code = EltStage::kSigmoid;
+  } else {
+    set_unplannable(std::string("unknown unary op ") + opname);
+    return;
+  }
+  Op& op = push(OpKind::kEltwise, out);
+  add_arg(op, a);
+  op.stages.push_back(EltStage{EltStage::kLoad, 0, 0.0f});
+  op.stages.push_back(EltStage{code, -1, 0.0f});
+}
+
+void Recorder::on_unary_scalar(const char* opname, const Tensor& a, float s,
+                               const Tensor& out) {
+  if (unplannable_) return;
+  EltStage::Code code;
+  if (std::strcmp(opname, "add_scalar") == 0) {
+    code = EltStage::kAddScalar;
+  } else if (std::strcmp(opname, "mul_scalar") == 0) {
+    code = EltStage::kMulScalar;
+  } else if (std::strcmp(opname, "pow_scalar") == 0) {
+    code = EltStage::kPowScalar;
+  } else {
+    set_unplannable(std::string("unknown scalar op ") + opname);
+    return;
+  }
+  Op& op = push(OpKind::kEltwise, out);
+  add_arg(op, a);
+  op.stages.push_back(EltStage{EltStage::kLoad, 0, 0.0f});
+  op.stages.push_back(EltStage{code, -1, s});
+}
+
+// --- data movement -----------------------------------------------------------
+
+void Recorder::on_permute(const Tensor& a, const std::vector<int64_t>& order,
+                          const Tensor& out) {
+  if (unplannable_) return;
+  Op& op = push(OpKind::kPermute, out);
+  add_arg(op, a);
+  // Source strides permuted into output order — exactly what
+  // Tensor::permute hands permute_into.
+  const Strides src = contiguous_strides(a.shape());
+  op.perm_out_shape = out.shape();
+  op.perm_strides.resize(order.size());
+  for (size_t d = 0; d < order.size(); ++d) {
+    op.perm_strides[d] = src[static_cast<size_t>(order[d])];
+  }
+  op.numel = out.numel();
+}
+
+void Recorder::on_narrow(const Tensor& a, int64_t axis, int64_t start,
+                         int64_t length, const Tensor& out) {
+  if (unplannable_) return;
+  Op& op = push(OpKind::kCopyRows, out);
+  add_arg(op, a);
+  const Shape& s = a.shape();
+  const size_t ax = static_cast<size_t>(axis);
+  const int64_t inner = prod(s, ax + 1, s.size());
+  op.cp_rows = prod(s, 0, ax);
+  op.cp_src_off = start * inner;
+  op.cp_src_stride = s[ax] * inner;
+  op.cp_run = length * inner;
+}
+
+void Recorder::on_concat(const std::vector<Tensor>& parts, int64_t axis,
+                         const Tensor& out) {
+  if (unplannable_) return;
+  Op& op = push(OpKind::kConcat, out);
+  const Shape& os = out.shape();
+  const size_t ax = static_cast<size_t>(axis);
+  const int64_t inner = prod(os, ax + 1, os.size());
+  op.cat_rows = prod(os, 0, ax);
+  op.cat_dst_stride = os[ax] * inner;
+  int64_t offset = 0;
+  for (const Tensor& part : parts) {
+    ConcatPart p;
+    p.arg = static_cast<int32_t>(op.args.size());
+    add_arg(op, part);
+    p.dst_off = offset * inner;
+    p.run = part.shape()[ax] * inner;
+    offset += part.shape()[ax];
+    op.parts.push_back(p);
+  }
+}
+
+void Recorder::on_gather_rows(const Tensor& table,
+                              const std::vector<int64_t>& ids,
+                              const Tensor& out) {
+  if (unplannable_) return;
+  // Only the token-stream gather (the embedding lookup) replays: its ids
+  // are re-supplied by the caller at execution time. Any other gather has
+  // indices baked into the recorded call and cannot be trusted to repeat.
+  if (!have_tokens_ || ids != tokens_) {
+    set_unplannable("gather over non-token indices");
+    return;
+  }
+  Op& op = push(OpKind::kGather, out);
+  add_arg(op, table);
+  op.g_extent = table.shape()[0];
+  op.g_inner = table.numel() / op.g_extent;
+  op.g_count = static_cast<int64_t>(ids.size());
+}
+
+// --- GEMM family -------------------------------------------------------------
+
+void Recorder::on_matmul(const Tensor& a, bool trans_a, const Tensor& b,
+                         bool trans_b, const Tensor& out) {
+  if (unplannable_) return;
+  // Mirror batched_matmul's dispatch so the executor issues the identical
+  // gemm/batched_gemm call the eager path issued.
+  if (a.ndim() == 2 && b.ndim() == 2) {
+    Op& op = push(OpKind::kGemm, out);
+    add_arg(op, a);
+    add_arg(op, b);
+    op.trans_a = trans_a;
+    op.trans_b = trans_b;
+    op.m = trans_a ? a.size(1) : a.size(0);
+    op.k = trans_a ? a.size(0) : a.size(1);
+    op.n = trans_b ? b.size(0) : b.size(1);
+    return;
+  }
+  if (a.ndim() == 3 && b.ndim() == 2 && !trans_a) {
+    // Collapsed to one GEMM over [batch·m, k]; the contiguous output is the
+    // 3-D result.
+    Op& op = push(OpKind::kGemm, out);
+    add_arg(op, a);
+    add_arg(op, b);
+    op.trans_a = false;
+    op.trans_b = trans_b;
+    op.m = a.size(0) * a.size(1);
+    op.k = a.size(2);
+    op.n = trans_b ? b.size(0) : b.size(1);
+    return;
+  }
+  if (a.ndim() == 3 && (b.ndim() == 3 || b.ndim() == 2)) {
+    const bool b_shared = b.ndim() == 2;
+    const int64_t ar = a.size(1), ac = a.size(2);
+    const int64_t br = b_shared ? b.size(0) : b.size(1);
+    const int64_t bc = b_shared ? b.size(1) : b.size(2);
+    Op& op = push(OpKind::kBatchedGemm, out);
+    add_arg(op, a);
+    add_arg(op, b);
+    op.trans_a = trans_a;
+    op.trans_b = trans_b;
+    op.batch = a.size(0);
+    op.m = trans_a ? ac : ar;
+    op.k = trans_a ? ar : ac;
+    op.n = trans_b ? br : bc;
+    op.a_stride = ar * ac;
+    op.b_stride = b_shared ? 0 : br * bc;
+    op.c_stride = op.m * op.n;
+    return;
+  }
+  set_unplannable("matmul with unsupported ranks");
+}
+
+void Recorder::on_linear(const Tensor& x, const Tensor& w, const Tensor& bias,
+                         bool relu, const Tensor& out) {
+  if (unplannable_) return;
+  Op& op = push(OpKind::kGemm, out);
+  add_arg(op, x);
+  add_arg(op, w);
+  op.trans_a = false;
+  op.trans_b = false;
+  op.m = x.size(0);
+  op.k = x.size(1);
+  op.n = w.size(1);
+  op.relu = relu;
+  if (bias.defined()) {
+    op.bias_arg = static_cast<int32_t>(op.args.size());
+    add_arg(op, bias);
+  }
+}
+
+// --- axis reductions ---------------------------------------------------------
+
+void Recorder::on_sum_axis(const Tensor& a, int64_t axis, bool /*keepdim*/,
+                           const Tensor& out) {
+  if (unplannable_) return;
+  Op& op = push(OpKind::kSumAxis, out);
+  add_arg(op, a);
+  const Shape& s = a.shape();
+  const size_t ax = static_cast<size_t>(axis);
+  op.outer = prod(s, 0, ax);
+  op.extent = s[ax];
+  op.inner = prod(s, ax + 1, s.size());
+}
+
+void Recorder::on_softmax(const Tensor& a, int64_t axis, const Tensor& out) {
+  if (unplannable_) return;
+  Op& op = push(OpKind::kSoftmax, out);
+  add_arg(op, a);
+  const Shape& s = a.shape();
+  const size_t ax = static_cast<size_t>(axis);
+  op.outer = prod(s, 0, ax);
+  op.extent = s[ax];
+  op.inner = prod(s, ax + 1, s.size());
+}
+
+// --- convolution -------------------------------------------------------------
+
+void Recorder::on_conv2d(const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv2dSpec& spec,
+                         const Tensor& out) {
+  if (unplannable_) return;
+  Op& op = push(OpKind::kConv2d, out);
+  add_arg(op, input);
+  add_arg(op, weight);  // viewed as [Cout, Cin·kh·kw]; storage is the same
+  if (bias.defined()) {
+    op.bias_arg = static_cast<int32_t>(op.args.size());
+    add_arg(op, bias);
+  }
+  op.conv = spec;
+  op.cn = input.size(0);
+  op.ch = input.size(2);
+  op.cw = input.size(3);
+  // Dedicated im2col workspace slot: no backing tensor, no pointer — it is
+  // live only inside this op (compile() infers its interval from use sites).
+  const int64_t oh = spec.out_height(op.ch);
+  const int64_t ow = spec.out_width(op.cw);
+  const int64_t patch = spec.in_channels * spec.kernel_h * spec.kernel_w;
+  const int32_t ws = static_cast<int32_t>(slots_.size());
+  slots_.push_back(RecSlot{Tensor(), {op.cn, patch, oh * ow},
+                           /*external=*/false, false, nullptr});
+  op.cols_arg = static_cast<int32_t>(op.args.size());
+  op.args.push_back(ws);
+  op.arg_shapes.push_back(slots_.back().shape);
+}
+
+// --- inputs and the safety net ----------------------------------------------
+
+void Recorder::on_input(const char* name, const Tensor& t) {
+  if (unplannable_) return;
+  auto it = by_ptr_.find(t.data());
+  int32_t id;
+  if (it != by_ptr_.end()) {
+    id = it->second;
+    if (slots_[static_cast<size_t>(id)].external) {
+      // Registered earlier as an operand constant; promote to input.
+      slots_[static_cast<size_t>(id)].external = false;
+    }
+  } else {
+    id = static_cast<int32_t>(slots_.size());
+    slots_.push_back(RecSlot{t, t.shape(), /*external=*/false, false,
+                             nullptr});
+    by_ptr_.emplace(t.data(), id);
+  }
+  slots_[static_cast<size_t>(id)].is_input = true;
+  slots_[static_cast<size_t>(id)].input_name = name;
+}
+
+void Recorder::on_result(const char* op_name, const Tensor& out) {
+  if (unplannable_) return;
+  if (by_ptr_.find(out.data()) != by_ptr_.end()) return;  // hooked, or alias
+  if (std::strcmp(op_name, "reshape") == 0) {
+    // A reshape of storage we have not seen — an alias of an unrecorded
+    // leaf (e.g. a parameter viewed under a broadcast-friendly shape).
+    // Register it as an external binding.
+    const int32_t id = static_cast<int32_t>(slots_.size());
+    slots_.push_back(RecSlot{out, out.shape(), /*external=*/true, false,
+                             nullptr});
+    by_ptr_.emplace(out.data(), id);
+    return;
+  }
+  // An op produced storage no hook reported: the trace has a hole, so a
+  // replay would silently skip computation. Fail closed.
+  set_unplannable(std::string("unhooked op '") + op_name + "'");
+}
+
+}  // namespace yollo::plan

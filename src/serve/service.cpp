@@ -266,6 +266,22 @@ void InferenceService::worker_loop(Worker* self) {
   if (config_.enable_cancellation) {
     exec_scope = std::make_unique<ExecContext::Scope>(&self->ctx);
   }
+  // Compile the static forward plans this worker will serve from before the
+  // first request arrives (the arena charges this worker's pool budget; a
+  // refusal leaves that batch size on the dynamic path). warm_plan() runs
+  // inside the exec scope so shutdown-time cancellation can abort it.
+  if (config_.warm_plans) {
+    for (int64_t b = 1; b <= config_.batch_max; ++b) {
+      if (stopping_ || self->lost.load(std::memory_order_relaxed)) break;
+      try {
+        self->replica->warm_plan(b);
+      } catch (...) {
+        // A cancelled/failed warm-up is not fatal: that batch size simply
+        // records lazily on first use or stays dynamic.
+        break;
+      }
+    }
+  }
   for (;;) {
     std::vector<Job> batch;
     {

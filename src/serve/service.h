@@ -129,6 +129,12 @@ struct ServeConfig {
   // forward in flight. Off restores the PR-2 observe-only deadline
   // behaviour (and disables the watchdog, which needs heartbeats).
   bool enable_cancellation = true;
+  // Compile static forward plans (DESIGN.md §14) for every batch size up to
+  // batch_max before the worker takes its first request, so no request pays
+  // the record+compile cost. Charges the worker's pool budget; a refused
+  // arena just leaves that batch size on the dynamic path. No-op when
+  // YOLLO_PLAN=0.
+  bool warm_plans = true;
   // Watchdog poll interval in ms. -1 reads YOLLO_WATCHDOG_MS at
   // construction; <= 0 disables the watchdog (the default when the env is
   // unset).

@@ -1,0 +1,24 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <new>
+
+#include "tensor/pool.h"
+
+namespace yollo {
+
+Arena::Arena(int64_t floats) : floats_(std::max<int64_t>(floats, 0)) {
+  // Charge the pool budget BEFORE allocating: a refused charge throws and
+  // leaves nothing to clean up.
+  budget_charge_ = detail::charge_external_bytes(bytes());
+  base_ = static_cast<float*>(::operator new(
+      static_cast<size_t>(floats_) * sizeof(float), std::align_val_t{64}));
+  std::fill(base_, base_ + floats_, 0.0f);
+}
+
+Arena::~Arena() {
+  ::operator delete(base_, std::align_val_t{64});
+  // budget_charge_ releases the bytes when it dies.
+}
+
+}  // namespace yollo

@@ -1,0 +1,43 @@
+// Arena: one contiguous, 64-byte-aligned float allocation backing every
+// intermediate of a compiled plan (DESIGN.md §14).
+//
+// The plan compiler runs liveness analysis over its op list and assigns
+// each intermediate buffer a fixed offset; at execution time every kernel
+// writes straight into base() + offset, so steady-state planned forwards
+// perform zero heap allocations.
+//
+// Budget interaction (the PR-7 pool budget): construction charges the full
+// byte size against the calling thread's active PoolScope budget via
+// detail::charge_external_bytes — exactly once, released when the arena is
+// destroyed, so a plan rebuild that replaces an arena never double-counts.
+// A charge that would exceed YOLLO_POOL_BUDGET_MB throws PoolBudgetExceeded;
+// the plan cache converts that into dynamic-path degradation instead of a
+// failed forward.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace yollo {
+
+class Arena {
+ public:
+  // Allocates `floats` 32-bit elements (zero-initialised). Throws
+  // PoolBudgetExceeded when an active pool budget would be exceeded.
+  explicit Arena(int64_t floats);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  float* base() { return base_; }
+  const float* base() const { return base_; }
+  int64_t floats() const { return floats_; }
+  int64_t bytes() const { return floats_ * static_cast<int64_t>(sizeof(float)); }
+
+ private:
+  float* base_ = nullptr;
+  int64_t floats_ = 0;
+  std::shared_ptr<void> budget_charge_;  // releases the pool-budget bytes
+};
+
+}  // namespace yollo

@@ -11,22 +11,15 @@
 
 namespace yollo {
 
-Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+void im2col_into(const float* input, int64_t n, int64_t h, int64_t w,
+                 const Conv2dSpec& spec, float* cols) {
   OBS_SPAN("conv.im2col");
-  const int64_t n = input.size(0);
-  const int64_t c = input.size(1);
-  const int64_t h = input.size(2);
-  const int64_t w = input.size(3);
-  if (c != spec.in_channels) {
-    throw std::invalid_argument("im2col: channel mismatch");
-  }
+  const int64_t c = spec.in_channels;
   const int64_t oh = spec.out_height(h);
   const int64_t ow = spec.out_width(w);
   const int64_t patch = c * spec.kernel_h * spec.kernel_w;
-  // Every element is written below (padding positions get explicit zeros).
-  Tensor cols = Tensor::uninitialized({n, patch, oh * ow});
-  const float* src = input.data();
-  float* dst = cols.data();
+  const float* src = input;
+  float* dst = cols;
 
   // One work item per output row (ni, ci, kh, kw) — each writes a disjoint
   // oh*ow stripe, so the rows partition freely across the pool. The
@@ -59,6 +52,22 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
       }
     }
   });
+}
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  const int64_t n = input.size(0);
+  const int64_t c = input.size(1);
+  const int64_t h = input.size(2);
+  const int64_t w = input.size(3);
+  if (c != spec.in_channels) {
+    throw std::invalid_argument("im2col: channel mismatch");
+  }
+  const int64_t oh = spec.out_height(h);
+  const int64_t ow = spec.out_width(w);
+  const int64_t patch = c * spec.kernel_h * spec.kernel_w;
+  // Every element is written by the kernel (padding gets explicit zeros).
+  Tensor cols = Tensor::uninitialized({n, patch, oh * ow});
+  im2col_into(input.data(), n, h, w, spec, cols.data());
   return cols;
 }
 
@@ -109,29 +118,22 @@ Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,
   return out;
 }
 
-Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
-                      const Tensor& bias, const Conv2dSpec& spec) {
+void conv2d_forward_into(const float* input, int64_t n, int64_t h, int64_t w,
+                         const float* wmat, const float* bias,
+                         const Conv2dSpec& spec, float* cols, float* out) {
   OBS_SPAN("conv.forward");
-  const int64_t n = input.size(0);
-  const int64_t h = input.size(2);
-  const int64_t w = input.size(3);
   const int64_t oh = spec.out_height(h);
   const int64_t ow = spec.out_width(w);
   const int64_t patch = spec.in_channels * spec.kernel_h * spec.kernel_w;
 
-  const Tensor cols = im2col(input, spec);                    // [n,patch,oh*ow]
-  const Tensor wmat = weight.reshape({spec.out_channels, patch});
+  im2col_into(input, n, h, w, spec, cols);
 
   // One fused GEMM per image — W[Cout,patch] · cols[patch,oh·ow] written
   // straight into the output slab with the per-channel bias folded into the
   // epilogue (the bias varies along GEMM rows here, hence row_bias). Images
   // are independent, so the batch partitions across the pool.
-  Tensor out = Tensor::uninitialized({n, spec.out_channels, oh, ow});
   GemmEpilogue ep;
-  ep.row_bias = bias.defined() ? bias.data() : nullptr;
-  const float* wp = wmat.data();
-  const float* cp = cols.data();
-  float* op = out.data();
+  ep.row_bias = bias;
   ExecContext* const ctx = ExecContext::current();
   parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
     // Propagate the dispatcher's context so the per-image gemms poll
@@ -139,11 +141,30 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
     ExecContext::Scope scope(ctx);
     for (int64_t ni = lo; ni < hi; ++ni) {
       if (ctx != nullptr && ctx->cancelled()) return;
-      gemm(false, false, spec.out_channels, oh * ow, patch, wp,
-           cp + ni * patch * oh * ow,
-           op + ni * spec.out_channels * oh * ow, ep);
+      gemm(false, false, spec.out_channels, oh * ow, patch, wmat,
+           cols + ni * patch * oh * ow,
+           out + ni * spec.out_channels * oh * ow, ep);
     }
   });
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec) {
+  const int64_t n = input.size(0);
+  const int64_t h = input.size(2);
+  const int64_t w = input.size(3);
+  const int64_t oh = spec.out_height(h);
+  const int64_t ow = spec.out_width(w);
+  const int64_t patch = spec.in_channels * spec.kernel_h * spec.kernel_w;
+  if (input.size(1) != spec.in_channels) {
+    throw std::invalid_argument("conv2d_forward: channel mismatch");
+  }
+
+  Tensor cols = Tensor::uninitialized({n, patch, oh * ow});
+  Tensor out = Tensor::uninitialized({n, spec.out_channels, oh, ow});
+  conv2d_forward_into(input.data(), n, h, w, weight.data(),
+                      bias.defined() ? bias.data() : nullptr, spec,
+                      cols.data(), out.data());
   return out;
 }
 

@@ -31,6 +31,22 @@ struct Conv2dSpec {
 // Unfold input [N, C, H, W] into columns [N, C*kh*kw, out_h*out_w].
 Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
 
+// Raw im2col into caller storage (`cols` must hold N·C·kh·kw·oh·ow floats).
+// Shared by the Tensor wrapper above and the plan executor (which supplies
+// an arena workspace slot, DESIGN.md §14).
+void im2col_into(const float* input, int64_t n, int64_t h, int64_t w,
+                 const Conv2dSpec& spec, float* cols);
+
+// Raw forward convolution into caller storage: `wmat` is the weight viewed
+// as [Cout, Cin·kh·kw], `bias` may be null, `cols` is an im2col workspace of
+// N·patch·oh·ow floats, `out` holds N·Cout·oh·ow floats. One fused GEMM per
+// image with the bias folded into the epilogue; batch partitioned across the
+// intra-op pool. Both the eager wrapper and the plan executor run exactly
+// this routine.
+void conv2d_forward_into(const float* input, int64_t n, int64_t h, int64_t w,
+                         const float* wmat, const float* bias,
+                         const Conv2dSpec& spec, float* cols, float* out);
+
 // Fold columns [N, C*kh*kw, out_h*out_w] back into an input-shaped gradient
 // [N, C, H, W] (the adjoint of im2col; overlapping patches accumulate).
 Tensor col2im(const Tensor& columns, const Conv2dSpec& spec, int64_t in_h,

@@ -26,6 +26,26 @@ int64_t round_up(int64_t v, int64_t multiple) {
   return (v + multiple - 1) / multiple * multiple;
 }
 
+// Grow-only per-thread packing scratch. Panel sizes are bounded by the
+// blocking constants (B: round_up(NC,NR)·KC floats = 2 MiB, A:
+// round_up(MC,MR)·KC floats = 128 KiB), so each participating thread
+// converges to one fixed allocation after its first large gemm — the
+// steady-state planned forward (DESIGN.md §14) then packs with zero heap
+// traffic. Distinct members for A and B because the dispatching thread
+// holds a B panel across the parallel section while packing A inside it.
+// Deliberately outside the StoragePool: the scratch is transient per-call
+// working memory, not tensor storage, and is excluded from the pool's
+// byte-budget accounting.
+struct PackScratch {
+  std::vector<float> a, b;
+};
+thread_local PackScratch t_pack;
+
+float* pack_scratch(std::vector<float>& buf, int64_t n) {
+  if (static_cast<int64_t>(buf.size()) < n) buf.resize(static_cast<size_t>(n));
+  return buf.data();
+}
+
 // acc[MR][NR] = sum_p apanel[p][.] ⊗ b[p][.]; `kc` is the only
 // loop-carried dimension. The A panel is zero-padded to MR so there is no
 // edge branch in here; `ldb` is the stride between consecutive K rows of B
@@ -253,9 +273,9 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     // calling thread and read concurrently (read-only) by every M-block
     // task. The unpacked path still needs a packed panel for the right-edge
     // tile (nr < NR would read past the row end), built per task below.
-    Tensor bbuf;
+    float* bbuf = nullptr;
     if (trans_b) {
-      bbuf = Tensor::uninitialized({round_up(nc, NR) * KC});
+      bbuf = pack_scratch(t_pack.b, round_up(nc, NR) * KC);
     }
     for (int64_t pc = 0; pc < k; pc += KC) {
       if (ctx != nullptr && ctx->checkpoint()) return;
@@ -265,13 +285,12 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       const float* bpack = nullptr;
       if (trans_b) {
         OBS_SPAN("gemm.pack_b");
-        pack_b(b, trans_b, k, n, pc, kc, jc, nc, bbuf.data());
-        bpack = bbuf.data();
+        pack_b(b, trans_b, k, n, pc, kc, jc, nc, bbuf);
+        bpack = bbuf;
       }
       const int64_t n_full = nc / NR * NR;  // streamed full-width panels
       parallel_for(0, num_m_blocks, 1, [&](int64_t blk_lo, int64_t blk_hi) {
-        Tensor abuf = Tensor::uninitialized({round_up(MC, MR) * kc});
-        float* apack = abuf.data();
+        float* apack = pack_scratch(t_pack.a, round_up(MC, MR) * kc);
         alignas(64) float acc[MR * NR];
         alignas(64) float bedge[KC * NR];
         bool bedge_packed = false;
@@ -359,6 +378,24 @@ void gemm_reference(bool trans_a, bool trans_b, int64_t m, int64_t n,
   }
 }
 
+void batched_gemm(bool trans_a, bool trans_b, int64_t batch, int64_t m,
+                  int64_t n, int64_t k, const float* a, int64_t a_stride,
+                  const float* b, int64_t b_stride, float* c,
+                  int64_t c_stride) {
+  ExecContext* const ctx = ExecContext::current();
+  parallel_for(0, batch, 1, [&](int64_t lo, int64_t hi) {
+    // Re-install the dispatcher's context on the executing thread so the
+    // nested (serial) gemms poll their MC-block checkpoints instead of
+    // only the coarser per-batch-element chunk boundary.
+    ExecContext::Scope scope(ctx);
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      if (ctx != nullptr && ctx->cancelled()) return;
+      gemm(trans_a, trans_b, m, n, k, a + bi * a_stride, b + bi * b_stride,
+           c + bi * c_stride, {});
+    }
+  });
+}
+
 namespace {
 
 // Shape check shared by the tensor entry points: logical dims of op(a)·op(b).
@@ -429,21 +466,8 @@ Tensor batched_matmul(const Tensor& a, bool trans_a, const Tensor& b,
                                   shape_to_string(b.shape()));
     }
     Tensor out = Tensor::uninitialized({batch, m, n});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    ExecContext* const ctx = ExecContext::current();
-    parallel_for(0, batch, 1, [&](int64_t lo, int64_t hi) {
-      // Re-install the dispatcher's context on the executing thread so the
-      // nested (serial) gemms poll their MC-block checkpoints instead of
-      // only the coarser per-batch-element chunk boundary.
-      ExecContext::Scope scope(ctx);
-      for (int64_t bi = lo; bi < hi; ++bi) {
-        if (ctx != nullptr && ctx->cancelled()) return;
-        gemm(trans_a, trans_b, m, n, ka, pa + bi * ar * ac,
-             pb + (b_shared ? 0 : bi * br * bc), po + bi * m * n, {});
-      }
-    });
+    batched_gemm(trans_a, trans_b, batch, m, n, ka, a.data(), ar * ac,
+                 b.data(), b_shared ? 0 : br * bc, out.data(), m * n);
     return out;
   }
   throw std::invalid_argument("gemm: expects 2-D or batched 3-D, got " +

@@ -11,10 +11,11 @@
 //    micro-panels) are packed into contiguous, zero-padded buffers so the
 //    register-tiled MR×NR micro-kernel runs branch-free over aligned,
 //    unit-stride memory regardless of the source layout or edge sizes.
-//  - Packing buffers come from Tensor::uninitialized, i.e. they are
-//    recycled by the thread's StoragePool when a PoolScope is active
-//    (serve workers, the trainer loop) instead of hitting the allocator
-//    per call.
+//  - Packing buffers are grow-only thread_local scratch bounded by the
+//    blocking constants, so steady-state gemm calls (and the planned
+//    forward, DESIGN.md §14) touch the allocator zero times. The scratch is
+//    transient working memory and deliberately outside the StoragePool's
+//    byte-budget accounting.
 //  - M blocks are partitioned across the intra-op pool (parallel_for):
 //    B panels are packed once by the caller, then each task packs its own
 //    A block and writes a disjoint row range of C.
@@ -47,6 +48,17 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 void gemm_reference(bool trans_a, bool trans_b, int64_t m, int64_t n,
                     int64_t k, const float* a, const float* b, float* c,
                     const GemmEpilogue& epilogue = {});
+
+// Raw batched product over contiguous slabs: for bi in [0, batch),
+//   C[bi·c_stride..] = op(A[bi·a_stride..]) · op(B[bi·b_stride..])
+// with per-matrix dims m×n×k. A stride of 0 broadcasts that operand across
+// the batch. Batch elements are partitioned across the intra-op pool; used
+// by batched_matmul and replayed directly by the plan executor
+// (DESIGN.md §14) so both paths run the identical kernel.
+void batched_gemm(bool trans_a, bool trans_b, int64_t batch, int64_t m,
+                  int64_t n, int64_t k, const float* a, int64_t a_stride,
+                  const float* b, int64_t b_stride, float* c,
+                  int64_t c_stride);
 
 // --- tensor entry points -----------------------------------------------------
 // 2-D × 2-D with logical transposes: out = op(a) · op(b). Shapes are

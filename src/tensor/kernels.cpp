@@ -1,0 +1,156 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/parallel.h"
+
+namespace yollo::kernels {
+
+namespace {
+
+// Outer-slice count below which an axis kernel is not worth the pool; each
+// outer slice owns a disjoint output range, so partitioning over `outer`
+// is deterministic at any thread count.
+constexpr int64_t kOuterGrain = 8;
+
+}  // namespace
+
+void permute_into(const float* src, float* dst, int64_t rank,
+                  const int64_t* out_shape, const int64_t* perm_strides,
+                  int64_t numel) {
+  if (numel == 0) return;
+  if (rank == 0) {
+    dst[0] = src[0];
+    return;
+  }
+  if (rank > kMaxPermuteRank) {
+    throw std::invalid_argument("permute_into: rank " + std::to_string(rank) +
+                                " exceeds " + std::to_string(kMaxPermuteRank));
+  }
+  // Specialised innermost loop: the odometer only advances per run of the
+  // last output dimension, and a stride-1 run (permutation keeps the input's
+  // innermost axis last) degenerates to a straight copy.
+  const int64_t inner = out_shape[rank - 1];
+  const int64_t inner_stride = perm_strides[rank - 1];
+  int64_t coords[kMaxPermuteRank] = {0};
+  int64_t offset = 0;
+  for (int64_t flat = 0; flat < numel; flat += inner) {
+    if (inner_stride == 1) {
+      std::copy(src + offset, src + offset + inner, dst + flat);
+    } else {
+      for (int64_t i = 0; i < inner; ++i) {
+        dst[flat + i] = src[offset + i * inner_stride];
+      }
+    }
+    for (int64_t d = rank - 2; d >= 0; --d) {
+      ++coords[d];
+      offset += perm_strides[d];
+      if (coords[d] < out_shape[d]) break;
+      offset -= perm_strides[d] * out_shape[d];
+      coords[d] = 0;
+    }
+  }
+}
+
+void copy_rows(const float* src, int64_t src_off, int64_t src_stride,
+               float* dst, int64_t dst_off, int64_t dst_stride, int64_t rows,
+               int64_t run) {
+  const float* s = src + src_off;
+  float* d = dst + dst_off;
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy(s, s + run, d);
+    s += src_stride;
+    d += dst_stride;
+  }
+}
+
+void gather_rows_into(const float* src, int64_t extent, int64_t inner,
+                      const int64_t* ids, int64_t count, float* dst) {
+  for (int64_t j = 0; j < count; ++j) {
+    const int64_t idx = ids[j];
+    if (idx < 0 || idx >= extent) {
+      throw std::out_of_range("gather_rows: index " + std::to_string(idx) +
+                              " out of range for extent " +
+                              std::to_string(extent));
+    }
+    const float* s = src + idx * inner;
+    std::copy(s, s + inner, dst + j * inner);
+  }
+}
+
+void sum_axis_into(const float* src, float* dst, int64_t outer, int64_t extent,
+                   int64_t inner) {
+  parallel_for(0, outer, kOuterGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      float* orow = dst + o * inner;
+      std::fill(orow, orow + inner, 0.0f);
+      for (int64_t e = 0; e < extent; ++e) {
+        const float* row = src + (o * extent + e) * inner;
+        for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+      }
+    }
+  });
+}
+
+void softmax_into(const float* src, float* dst, int64_t outer, int64_t extent,
+                  int64_t inner) {
+  parallel_for(0, outer, kOuterGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        float m = -std::numeric_limits<float>::infinity();
+        for (int64_t e = 0; e < extent; ++e) {
+          m = std::max(m, src[(o * extent + e) * inner + i]);
+        }
+        float z = 0.0f;
+        for (int64_t e = 0; e < extent; ++e) {
+          const int64_t idx = (o * extent + e) * inner + i;
+          dst[idx] = std::exp(src[idx] - m);
+          z += dst[idx];
+        }
+        const float inv = 1.0f / z;
+        for (int64_t e = 0; e < extent; ++e) {
+          dst[(o * extent + e) * inner + i] *= inv;
+        }
+      }
+    }
+  });
+}
+
+void fill_coord_channels(const float* images, float* dst, int64_t b, int64_t h,
+                         int64_t w) {
+  const int64_t plane = h * w;
+  for (int64_t bi = 0; bi < b; ++bi) {
+    std::copy(images + bi * 3 * plane, images + (bi + 1) * 3 * plane,
+              dst + bi * 5 * plane);
+    float* xs = dst + (bi * 5 + 3) * plane;
+    float* ys = dst + (bi * 5 + 4) * plane;
+    for (int64_t y = 0; y < h; ++y) {
+      const float yv = static_cast<float>(y) / static_cast<float>(h - 1);
+      for (int64_t x = 0; x < w; ++x) {
+        xs[y * w + x] = static_cast<float>(x) / static_cast<float>(w - 1);
+        ys[y * w + x] = yv;
+      }
+    }
+  }
+}
+
+void fill_pair_mask(const int64_t* tokens, int64_t b, int64_t m, int64_t n,
+                    float* dst) {
+  const int64_t k = m + n;
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const int64_t* toks = tokens + bi * n;
+    for (int64_t r = 0; r < k; ++r) {
+      const float rv = r < m ? 1.0f : (toks[r - m] == 0 ? 0.0f : 1.0f);
+      float* row = dst + (bi * k + r) * k;
+      for (int64_t c = 0; c < k; ++c) {
+        row[c] = rv * (c < m ? 1.0f : (toks[c - m] == 0 ? 0.0f : 1.0f));
+      }
+    }
+  }
+}
+
+}  // namespace yollo::kernels

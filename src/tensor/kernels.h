@@ -1,0 +1,65 @@
+// Raw pointer-level kernels shared by the eager Tensor wrappers and the
+// plan executor (src/plan/, DESIGN.md §14).
+//
+// The planned forward's bitwise-identity contract is enforced structurally:
+// each data-movement / reduction op has exactly one loop-nest implementation
+// here, the eager wrapper calls it after allocating its output, and the plan
+// executor calls it on pre-resolved arena pointers with the geometry frozen
+// at record time. Neither path re-implements the arithmetic, so they cannot
+// drift. All kernels write every element of their output (callers may pass
+// uninitialized storage) and allocate nothing.
+#pragma once
+
+#include <cstdint>
+
+namespace yollo::kernels {
+
+// dst[coords] = src[sum coords[d]·perm_strides[d]] over the row-major
+// iteration of out_shape (rank dims, `numel` total elements). perm_strides
+// are the source's contiguous strides permuted into output order — exactly
+// what Tensor::permute computes. Serial (matches the eager kernel). rank
+// must be <= kMaxPermuteRank.
+inline constexpr int64_t kMaxPermuteRank = 16;
+void permute_into(const float* src, float* dst, int64_t rank,
+                  const int64_t* out_shape, const int64_t* perm_strides,
+                  int64_t numel);
+
+// Strided row copy: for r in [0, rows):
+//   dst[dst_off + r·dst_stride .. +run) = src[src_off + r·src_stride .. +run)
+// Covers narrow (contiguous dst, strided src) and per-part concat writes
+// (contiguous src, strided dst).
+void copy_rows(const float* src, int64_t src_off, int64_t src_stride,
+               float* dst, int64_t dst_off, int64_t dst_stride, int64_t rows,
+               int64_t run);
+
+// Row gather from a [extent, inner] table: dst[j] = src[ids[j]] rows.
+// Throws std::out_of_range on an out-of-range id (dispatch-level only;
+// never called from parallel bodies).
+void gather_rows_into(const float* src, int64_t extent, int64_t inner,
+                      const int64_t* ids, int64_t count, float* dst);
+
+// Axis sum over a (outer, extent, inner) split: dst rows are zeroed then
+// accumulated in ascending-e order (the historical accumulation order, so
+// results are bitwise stable). Parallel over `outer`.
+void sum_axis_into(const float* src, float* dst, int64_t outer, int64_t extent,
+                   int64_t inner);
+
+// Numerically-stable softmax along the split axis. Parallel over `outer`.
+void softmax_into(const float* src, float* dst, int64_t outer, int64_t extent,
+                  int64_t inner);
+
+// The CoordConv input prologue of YolloModel::forward: copy the [b,3,h,w]
+// image into channels 0..2 of dst [b,5,h,w] and fill channels 3/4 with the
+// normalised x/y coordinate planes. Lives here so the recorded plan's input
+// binding and the dynamic path run the identical fill.
+void fill_coord_channels(const float* images, float* dst, int64_t b, int64_t h,
+                         int64_t w);
+
+// The Rel2Att PAD pair-mask prologue: dst is [b, m+n, m+n] where
+// dst[bi,r,c] = valid(r)·valid(c), image positions (index < m) always valid
+// and word position j valid iff tokens[bi·n + j] != 0 (0 == Vocab::kPad).
+// Shared by YolloModel::forward and the plan's input prologue.
+void fill_pair_mask(const int64_t* tokens, int64_t b, int64_t m, int64_t n,
+                    float* dst);
+
+}  // namespace yollo::kernels

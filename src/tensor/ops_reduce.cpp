@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/kernels.h"
 #include "tensor/parallel.h"
 #include "tensor/tensor.h"
 
@@ -55,18 +56,10 @@ Tensor sum(const Tensor& a) {
 Tensor sum(const Tensor& a, int64_t axis, bool keepdim) {
   const int64_t ax = normalize_axis(axis, a.ndim());
   const AxisSplit s = split_axis(a.shape(), ax);
-  Tensor out(reduced_shape(a.shape(), ax, keepdim));
-  const float* src = a.data();
-  float* dst = out.data();
-  parallel_for(0, s.outer, kOuterGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t o = lo; o < hi; ++o) {
-      for (int64_t e = 0; e < s.extent; ++e) {
-        const float* row = src + (o * s.extent + e) * s.inner;
-        float* orow = dst + o * s.inner;
-        for (int64_t i = 0; i < s.inner; ++i) orow[i] += row[i];
-      }
-    }
-  });
+  // The shared kernel zeroes each output row itself (ascending-e
+  // accumulation order preserved), so the output skips the pool's zero-fill.
+  Tensor out = Tensor::uninitialized(reduced_shape(a.shape(), ax, keepdim));
+  kernels::sum_axis_into(a.data(), out.data(), s.outer, s.extent, s.inner);
   return out;
 }
 
@@ -150,29 +143,8 @@ int64_t argmax_flat(const Tensor& a) {
 Tensor softmax(const Tensor& a, int64_t axis) {
   const int64_t ax = normalize_axis(axis, a.ndim());
   const AxisSplit s = split_axis(a.shape(), ax);
-  Tensor out(a.shape());
-  const float* src = a.data();
-  float* dst = out.data();
-  parallel_for(0, s.outer, kOuterGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t o = lo; o < hi; ++o) {
-      for (int64_t i = 0; i < s.inner; ++i) {
-        float m = -std::numeric_limits<float>::infinity();
-        for (int64_t e = 0; e < s.extent; ++e) {
-          m = std::max(m, src[(o * s.extent + e) * s.inner + i]);
-        }
-        float z = 0.0f;
-        for (int64_t e = 0; e < s.extent; ++e) {
-          const int64_t idx = (o * s.extent + e) * s.inner + i;
-          dst[idx] = std::exp(src[idx] - m);
-          z += dst[idx];
-        }
-        const float inv = 1.0f / z;
-        for (int64_t e = 0; e < s.extent; ++e) {
-          dst[(o * s.extent + e) * s.inner + i] *= inv;
-        }
-      }
-    }
-  });
+  Tensor out = Tensor::uninitialized(a.shape());
+  kernels::softmax_into(a.data(), out.data(), s.outer, s.extent, s.inner);
   return out;
 }
 
@@ -221,7 +193,7 @@ Tensor concat(const std::vector<Tensor>& parts, int64_t axis) {
     total += t.size(ax);
   }
   out_shape[static_cast<size_t>(ax)] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::uninitialized(out_shape);
 
   int64_t outer = 1;
   for (int64_t i = 0; i < ax; ++i) outer *= out_shape[static_cast<size_t>(i)];
@@ -234,11 +206,8 @@ Tensor concat(const std::vector<Tensor>& parts, int64_t axis) {
   int64_t offset = 0;
   for (const Tensor& t : parts) {
     const int64_t extent = t.size(ax);
-    const float* src = t.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      std::copy(src + o * extent * inner, src + (o + 1) * extent * inner,
-                dst + (o * total + offset) * inner);
-    }
+    kernels::copy_rows(t.data(), 0, extent * inner, dst, offset * inner,
+                       total * inner, outer, extent * inner);
     offset += extent;
   }
   return out;

@@ -14,6 +14,8 @@
 namespace yollo {
 namespace {
 
+using detail::ParallelBody;
+
 // True on pool worker threads: a nested parallel_for must not re-enter the
 // pool (the workers it would wait on are busy running it).
 thread_local bool t_in_worker = false;
@@ -34,9 +36,11 @@ struct Pool {
   std::condition_variable cv_done;  // caller: all participants finished
 
   // Job slot, valid while a job is in flight. Workers copy what they need
-  // under the lock before releasing it.
+  // under the lock before releasing it. The body is a non-owning pair into
+  // the dispatching caller's frame, which stays alive: run() does not
+  // return until `running` drops to zero.
   uint64_t job_id = 0;
-  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  ParallelBody body{nullptr, nullptr};
   int64_t begin = 0, end = 0, chunk = 1;
   // The dispatching thread's ExecContext (or null): workers poll it at
   // chunk boundaries so a cancelled job stops claiming work.
@@ -52,20 +56,20 @@ struct Pool {
     t_in_worker = true;
     uint64_t seen = 0;
     for (;;) {
-      const std::function<void(int64_t, int64_t)>* body;
+      ParallelBody job_body;
       int64_t b, e, c;
       ExecContext* job_ctx;
       {
         std::unique_lock<std::mutex> lock(mu);
         cv_job.wait(lock, [&] { return job_id != seen; });
         seen = job_id;
-        body = fn;
+        job_body = body;
         b = begin;
         e = end;
         c = chunk;
         job_ctx = ctx;
       }
-      drain(*body, b, e, c, job_ctx);
+      drain(job_body, b, e, c, job_ctx);
       {
         std::lock_guard<std::mutex> lock(mu);
         if (--running == 0) cv_done.notify_all();
@@ -73,8 +77,8 @@ struct Pool {
     }
   }
 
-  void drain(const std::function<void(int64_t, int64_t)>& body, int64_t b,
-             int64_t e, int64_t c, ExecContext* job_ctx) {
+  void drain(ParallelBody job_body, int64_t b, int64_t e, int64_t c,
+             ExecContext* job_ctx) {
     for (;;) {
       // Checkpoint before every claim: a cancelled job abandons whatever
       // chunks are still unclaimed (the in-flight ones finish via their
@@ -83,19 +87,19 @@ struct Pool {
       const int64_t i = next_chunk.fetch_add(1, std::memory_order_relaxed);
       const int64_t lo = b + i * c;
       if (lo >= e) return;
-      body(lo, std::min(e, lo + c));
+      job_body.invoke(job_body.ctx, lo, std::min(e, lo + c));
     }
   }
 
-  void run(const std::function<void(int64_t, int64_t)>& body, int64_t b,
-           int64_t e, int64_t c, int want_workers, ExecContext* job_ctx) {
+  void run(ParallelBody job_body, int64_t b, int64_t e, int64_t c,
+           int want_workers, ExecContext* job_ctx) {
     std::lock_guard<std::mutex> run_lock(run_mu);
     {
       std::lock_guard<std::mutex> lock(mu);
       while (static_cast<int>(workers.size()) < want_workers) {
         workers.emplace_back(&Pool::worker_loop, this);
       }
-      fn = &body;
+      body = job_body;
       begin = b;
       end = e;
       chunk = c;
@@ -109,11 +113,11 @@ struct Pool {
     // a nested parallel_for (e.g. gemm inside a batched loop) runs serially
     // instead of re-entering the busy pool.
     t_in_worker = true;
-    drain(body, b, e, c, job_ctx);
+    drain(job_body, b, e, c, job_ctx);
     t_in_worker = false;
     std::unique_lock<std::mutex> lock(mu);
     cv_done.wait(lock, [&] { return running == 0; });
-    fn = nullptr;
+    body = ParallelBody{nullptr, nullptr};
   }
 };
 
@@ -141,14 +145,16 @@ void set_num_threads(int n) {
   g_num_threads.store(n >= 1 ? n : 1, std::memory_order_relaxed);
 }
 
-void parallel_for(int64_t begin, int64_t end, int64_t grain,
-                  const std::function<void(int64_t, int64_t)>& fn) {
+namespace detail {
+
+void parallel_for_impl(int64_t begin, int64_t end, int64_t grain,
+                       ParallelBody body) {
   const int64_t range = end - begin;
   if (range <= 0) return;
   if (grain < 1) grain = 1;
   const int threads = t_in_worker ? 1 : num_threads();
   if (threads <= 1 || range <= grain) {
-    fn(begin, end);
+    body.invoke(body.ctx, begin, end);
     return;
   }
   // Chunk size is a function of (range, grain) only — never of `threads` —
@@ -161,14 +167,16 @@ void parallel_for(int64_t begin, int64_t end, int64_t grain,
   const int want_workers =
       static_cast<int>(std::min<int64_t>(threads - 1, nchunks - 1));
   if (want_workers <= 0) {
-    fn(begin, end);
+    body.invoke(body.ctx, begin, end);
     return;
   }
   // Span only on the pool-dispatch branch: the serial fast path above must
   // stay one integer compare, even with observability enabled.
   OBS_SPAN("parallel_for");
-  pool().run(fn, begin, end, chunk, want_workers, ExecContext::current());
+  pool().run(body, begin, end, chunk, want_workers, ExecContext::current());
 }
+
+}  // namespace detail
 
 bool in_parallel_region() { return t_in_worker; }
 

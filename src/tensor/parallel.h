@@ -14,10 +14,16 @@
 //  - TSan-clean: job hand-off uses one mutex + two condition variables;
 //    chunk claiming is a single atomic counter. A parallel_for issued from
 //    inside a worker (nested parallelism) runs serially on that worker.
+//  - Allocation-free dispatch: the body is passed as a non-owning
+//    {context, trampoline} pair (parallel_for blocks until the job drains,
+//    so the caller's stack frame outlives every use). Capturing lambdas
+//    therefore never round-trip through std::function's heap storage —
+//    a requirement of the zero-allocation planned forward (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace yollo {
 
@@ -30,6 +36,20 @@ int num_threads();
 // handing chunks to the extras.
 void set_num_threads(int n);
 
+namespace detail {
+
+// Non-owning reference to the loop body. Valid only while the issuing
+// parallel_for is blocked in parallel_for_impl.
+struct ParallelBody {
+  void* ctx;
+  void (*invoke)(void* ctx, int64_t lo, int64_t hi);
+};
+
+void parallel_for_impl(int64_t begin, int64_t end, int64_t grain,
+                       ParallelBody body);
+
+}  // namespace detail
+
 // Run fn(chunk_begin, chunk_end) over a disjoint cover of [begin, end).
 // Chunks are at least `grain` long (the last may be shorter) and are fixed
 // by (begin, end, grain) alone. Blocks until every chunk has run. The body
@@ -38,8 +58,16 @@ void set_num_threads(int n);
 // Cancellation: when the dispatching thread has an ExecContext installed,
 // unclaimed chunks are abandoned once the context reports cancelled — the
 // output is then garbage and the caller must discard it (DESIGN.md §13).
-void parallel_for(int64_t begin, int64_t end, int64_t grain,
-                  const std::function<void(int64_t, int64_t)>& fn);
+template <typename F>
+inline void parallel_for(int64_t begin, int64_t end, int64_t grain, F&& fn) {
+  using Body = std::remove_reference_t<F>;
+  detail::ParallelBody body{
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+      [](void* ctx, int64_t lo, int64_t hi) {
+        (*static_cast<Body*>(ctx))(lo, hi);
+      }};
+  detail::parallel_for_impl(begin, end, grain, body);
+}
 
 // True while the calling thread is executing a parallel_for body — on a
 // pool worker, or on the dispatching thread while it drains chunks. Used

@@ -120,6 +120,43 @@ std::shared_ptr<std::vector<float>> acquire_storage(int64_t n, bool zeroed) {
       new std::vector<float>(count, 0.0f), PoolDeleter{state});
 }
 
+namespace {
+
+// Keepalive handed to charge_external_bytes callers: releases the byte
+// charge when the external allocation (the plan arena) dies. weak_ptr so an
+// arena outliving its pool scope releases against nothing.
+struct ExternalCharge {
+  std::weak_ptr<PoolState> pool;
+  int64_t bytes = 0;
+  ~ExternalCharge() {
+    if (std::shared_ptr<PoolState> state = pool.lock()) {
+      state->outstanding_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<void> charge_external_bytes(int64_t bytes) {
+  const std::shared_ptr<PoolState>& state = t_active_pool;
+  if (!state || bytes <= 0) return nullptr;
+  // Same enforcement rules as the allocation miss path: budget checks are
+  // owner-thread, dispatch-level only.
+  if (state->budget_bytes > 0 && !in_parallel_region()) {
+    const int64_t outstanding =
+        state->outstanding_bytes.load(std::memory_order_relaxed);
+    if (outstanding + bytes > state->budget_bytes) {
+      ++state->stats.budget_rejected;
+      throw PoolBudgetExceeded(bytes, outstanding, state->budget_bytes);
+    }
+  }
+  state->outstanding_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  auto charge = std::make_shared<ExternalCharge>();
+  charge->pool = state;
+  charge->bytes = bytes;
+  return charge;
+}
+
 }  // namespace detail
 
 PoolScope::PoolScope() {

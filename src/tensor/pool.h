@@ -62,6 +62,15 @@ struct PoolState;
 // way).
 std::shared_ptr<std::vector<float>> acquire_storage(int64_t n,
                                                     bool zeroed = true);
+
+// Charge `bytes` of externally-owned memory (the plan arena,
+// tensor/arena.h) against the calling thread's active pool budget, exactly
+// once: the returned handle releases the charge when destroyed, so a plan
+// rebuild that drops the old arena before allocating the new one never
+// double-counts. Returns a null handle when no PoolScope is active (nothing
+// to charge against). Throws PoolBudgetExceeded when the charge would push
+// outstanding bytes past the budget.
+std::shared_ptr<void> charge_external_bytes(int64_t bytes);
 }  // namespace detail
 
 struct PoolStats {

@@ -5,34 +5,60 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tensor/kernels.h"
 #include "tensor/pool.h"
 
 namespace yollo {
 
 Tensor::Tensor() = default;
 
+namespace {
+
+// Bind a pool-acquired storage vector as (data, owner).
+inline void adopt_storage(std::shared_ptr<std::vector<float>> storage,
+                          float*& data, std::shared_ptr<void>& owner) {
+  data = storage->data();
+  owner = std::move(storage);
+}
+
+}  // namespace
+
 Tensor::Tensor(Shape shape)
-    : storage_(detail::acquire_storage(yollo::numel(shape))),
-      shape_(std::move(shape)),
-      numel_(yollo::numel(shape_)) {}
+    : shape_(std::move(shape)), numel_(yollo::numel(shape_)) {
+  adopt_storage(detail::acquire_storage(numel_), data_, owner_);
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : storage_(std::make_shared<std::vector<float>>(std::move(values))),
-      shape_(std::move(shape)),
-      numel_(yollo::numel(shape_)) {
-  if (static_cast<int64_t>(storage_->size()) != numel_) {
+    : shape_(std::move(shape)), numel_(yollo::numel(shape_)) {
+  if (static_cast<int64_t>(values.size()) != numel_) {
     throw std::invalid_argument("Tensor: value count " +
-                                std::to_string(storage_->size()) +
+                                std::to_string(values.size()) +
                                 " does not match shape " +
                                 shape_to_string(shape_));
   }
+  adopt_storage(std::make_shared<std::vector<float>>(std::move(values)),
+                data_, owner_);
 }
 
 Tensor Tensor::uninitialized(Shape shape) {
   Tensor t;
   t.numel_ = yollo::numel(shape);
-  t.storage_ = detail::acquire_storage(t.numel_, /*zeroed=*/false);
+  adopt_storage(detail::acquire_storage(t.numel_, /*zeroed=*/false), t.data_,
+                t.owner_);
   t.shape_ = std::move(shape);
+  return t;
+}
+
+Tensor Tensor::from_external(Shape shape, float* data,
+                             std::shared_ptr<void> owner) {
+  Tensor t;
+  t.numel_ = yollo::numel(shape);
+  t.shape_ = std::move(shape);
+  t.data_ = data;
+  t.owner_ = std::move(owner);
+  if (!t.owner_) {
+    throw std::invalid_argument("from_external: owner must be non-null");
+  }
   return t;
 }
 
@@ -48,7 +74,7 @@ Tensor Tensor::full(Shape shape, float value) {
 
 Tensor Tensor::scalar(float value) {
   Tensor t{Shape{}};
-  (*t.storage_)[0] = value;
+  t.data_[0] = value;
   return t;
 }
 
@@ -89,26 +115,24 @@ void Tensor::check_defined(const char* op) const {
 
 float* Tensor::data() {
   check_defined("data");
-  return storage_->data();
+  return data_;
 }
 
 const float* Tensor::data() const {
   check_defined("data");
-  return storage_->data();
+  return data_;
 }
 
-float& Tensor::operator[](int64_t flat) { return (*storage_)[static_cast<size_t>(flat)]; }
+float& Tensor::operator[](int64_t flat) { return data_[flat]; }
 
-float Tensor::operator[](int64_t flat) const {
-  return (*storage_)[static_cast<size_t>(flat)];
-}
+float Tensor::operator[](int64_t flat) const { return data_[flat]; }
 
 float& Tensor::at(std::initializer_list<int64_t> coords) {
   const Strides strides = contiguous_strides(shape_);
   int64_t offset = 0;
   size_t i = 0;
   for (int64_t c : coords) offset += c * strides[i++];
-  return (*storage_)[static_cast<size_t>(offset)];
+  return data_[offset];
 }
 
 float Tensor::at(std::initializer_list<int64_t> coords) const {
@@ -121,7 +145,7 @@ float Tensor::item() const {
     throw std::logic_error("item: tensor has " + std::to_string(numel_) +
                            " elements, expected 1");
   }
-  return (*storage_)[0];
+  return data_[0];
 }
 
 Tensor Tensor::reshape(Shape new_shape) const {
@@ -150,7 +174,8 @@ Tensor Tensor::reshape(Shape new_shape) const {
                                 " changes element count");
   }
   Tensor out;
-  out.storage_ = storage_;
+  out.data_ = data_;
+  out.owner_ = owner_;
   out.shape_ = std::move(new_shape);
   out.numel_ = numel_;
   return out;
@@ -158,9 +183,9 @@ Tensor Tensor::reshape(Shape new_shape) const {
 
 Tensor Tensor::clone() const {
   check_defined("clone");
-  // Route through Tensor(Shape) so the copy's storage is pool-eligible.
-  Tensor out(shape_);
-  std::copy(storage_->begin(), storage_->end(), out.storage_->begin());
+  // Route through uninitialized() so the copy's storage is pool-eligible.
+  Tensor out = uninitialized(shape_);
+  std::copy(data_, data_ + numel_, out.data_);
   return out;
 }
 
@@ -191,37 +216,8 @@ Tensor Tensor::permute(const std::vector<int64_t>& order) const {
     perm_strides[i] =
         in_strides[static_cast<size_t>(normalize_axis(order[i], rank))];
   }
-  const float* src = data();
-  float* dst = out.data();
-  if (rank == 0) {
-    dst[0] = src[0];
-    return out;
-  }
-  // Specialised innermost loop: the odometer only advances per run of the
-  // last output dimension, and a stride-1 run (permutation keeps the input's
-  // innermost axis last) degenerates to a straight copy.
-  const size_t last = static_cast<size_t>(rank - 1);
-  const int64_t inner = out_shape[last];
-  const int64_t inner_stride = perm_strides[last];
-  std::vector<int64_t> coords(static_cast<size_t>(rank), 0);
-  int64_t offset = 0;
-  for (int64_t flat = 0; flat < numel_; flat += inner) {
-    if (inner_stride == 1) {
-      std::copy(src + offset, src + offset + inner, dst + flat);
-    } else {
-      for (int64_t i = 0; i < inner; ++i) {
-        dst[flat + i] = src[offset + i * inner_stride];
-      }
-    }
-    for (int64_t d = rank - 2; d >= 0; --d) {
-      const size_t ud = static_cast<size_t>(d);
-      ++coords[ud];
-      offset += perm_strides[ud];
-      if (coords[ud] < out_shape[ud]) break;
-      offset -= perm_strides[ud] * out_shape[ud];
-      coords[ud] = 0;
-    }
-  }
+  kernels::permute_into(data(), out.data(), rank, out_shape.data(),
+                        perm_strides.data(), numel_);
   return out;
 }
 
@@ -237,7 +233,7 @@ Tensor Tensor::narrow(int64_t axis, int64_t start, int64_t length) const {
   }
   Shape out_shape = shape_;
   out_shape[static_cast<size_t>(ax)] = length;
-  Tensor out(out_shape);
+  Tensor out = uninitialized(out_shape);
   if (out.numel() == 0) return out;
 
   int64_t outer = 1;
@@ -246,13 +242,8 @@ Tensor Tensor::narrow(int64_t axis, int64_t start, int64_t length) const {
   for (int64_t i = ax + 1; i < ndim(); ++i)
     inner *= shape_[static_cast<size_t>(i)];
 
-  const float* src = data();
-  float* dst = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* s = src + (o * extent + start) * inner;
-    float* d = dst + o * length * inner;
-    std::copy(s, s + length * inner, d);
-  }
+  kernels::copy_rows(data(), start * inner, extent * inner, out.data(), 0,
+                     length * inner, outer, length * inner);
   return out;
 }
 
@@ -338,7 +329,7 @@ Tensor Tensor::broadcast_to(const Shape& target) const {
 
 void Tensor::fill(float value) {
   check_defined("fill");
-  std::fill(storage_->begin(), storage_->end(), value);
+  std::fill(data_, data_ + numel_, value);
 }
 
 void Tensor::copy_from(const Tensor& src) {
@@ -357,7 +348,7 @@ Tensor Tensor::map(const std::function<float(float)>& fn) const {
 
 std::vector<float> Tensor::to_vector() const {
   check_defined("to_vector");
-  return *storage_;
+  return std::vector<float>(data_, data_ + numel_);
 }
 
 std::string Tensor::to_string(int64_t max_per_dim) const {
@@ -367,7 +358,7 @@ std::string Tensor::to_string(int64_t max_per_dim) const {
   const int64_t show = std::min<int64_t>(numel_, max_per_dim * max_per_dim);
   for (int64_t i = 0; i < show; ++i) {
     if (i > 0) os << ", ";
-    os << (*storage_)[static_cast<size_t>(i)];
+    os << data_[i];
   }
   if (show < numel_) os << ", ...";
   os << "}";

@@ -51,8 +51,15 @@ class Tensor {
   static Tensor rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
   static Tensor from_vector(const std::vector<float>& values);  // shape [n]
 
+  // View over externally-owned memory: the tensor aliases `data` (which must
+  // hold numel(shape) floats) and holds `owner` alive for its lifetime. Used
+  // by the plan arena (tensor/arena.h) to hand out slot-backed tensors
+  // without per-tensor allocations.
+  static Tensor from_external(Shape shape, float* data,
+                              std::shared_ptr<void> owner);
+
   // --- introspection -------------------------------------------------------
-  bool defined() const { return storage_ != nullptr; }
+  bool defined() const { return owner_ != nullptr; }
   const Shape& shape() const { return shape_; }
   int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
   int64_t size(int64_t axis) const;
@@ -129,7 +136,13 @@ class Tensor {
   std::string to_string(int64_t max_per_dim = 8) const;
 
  private:
-  std::shared_ptr<std::vector<float>> storage_;
+  // Raw element pointer + type-erased keepalive. For pool-backed tensors the
+  // owner is the recycled storage vector (with its pool-parking deleter); a
+  // reshape view shares the source's owner; an arena-backed plan tensor
+  // holds the arena keepalive. data_ is null only for undefined or
+  // zero-element tensors.
+  float* data_ = nullptr;
+  std::shared_ptr<void> owner_;
   Shape shape_;
   int64_t numel_ = 0;
 
