@@ -26,7 +26,7 @@
 //
 // Alongside the latency JSON this writes METRICS_infer.json — a yollo::obs
 // snapshot merging the global registry (gemm/conv/autograd counters when
-// YOLLO_OBS=1) with both serve bursts' registries — and, when YOLLO_OBS=1,
+// YOLLO_OBS=1) with the serve bursts' registries — and, when YOLLO_OBS=1,
 // TRACE_infer.json with chrome://tracing spans for the kernel and serve
 // stages.
 #include <algorithm>
@@ -36,6 +36,8 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common.h"
@@ -100,17 +102,44 @@ struct ServePoint {
   int64_t answered = 0;
   int64_t batches = 0;
   int64_t max_batch = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double cache_hit_ratio = 0.0;  // hits / lookups; 0 when the cache is off
+  // p50 batch-formation latency (enqueue of the batch head to dispatch)
+  // per formed batch size, from the serve.formation_ms_b<k> histograms.
+  std::vector<std::pair<int64_t, double>> formation_p50_ms;
   obs::MetricsSnapshot metrics;  // the service's registry after stop()
 };
 
+// Block until every worker reports warmed (plans compiled). The throughput
+// clock must start after this: charging plan compilation to the measured
+// window penalises whichever configuration compiles more per-size plans —
+// that artefact is what made batch_max 8 read as 0.78x of batch_max 1.
+void wait_for_warm(serve::InferenceService& service, int64_t workers) {
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::seconds(120);
+  while (service.counters().workers_warmed < workers &&
+         Clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// `cache_mb` stays 0 for the batching comparison: the cache favours small
+// batch_max on a repeat-heavy burst (a solo request probes late enough to
+// hit; a deep batch probes its repeats while the first sighting is still
+// in flight and misses), so enabling it on both sides would confound the
+// batch_max 1 vs 8 headline. The cached configuration runs separately.
 ServePoint run_serve_burst(core::YolloModel& model, const data::Vocab& vocab,
                            const std::vector<data::GroundingSample>& samples,
-                           int64_t batch_max, int64_t num_requests) {
+                           int64_t batch_max, int64_t num_requests,
+                           int64_t cache_mb) {
   serve::ServeConfig sc;
   sc.num_workers = 4;
   sc.queue_capacity = num_requests;  // admit the whole burst: same offered
   sc.batch_max = batch_max;          // load reaches the workers either way
+  sc.feature_cache_mb = cache_mb;
   serve::InferenceService service(model, vocab, sc, nullptr);
+  wait_for_warm(service, sc.num_workers);
 
   const Clock::time_point start = Clock::now();
   std::vector<std::future<serve::GroundResponse>> futures;
@@ -141,6 +170,20 @@ ServePoint run_serve_burst(core::YolloModel& model, const data::Vocab& vocab,
       serve::counters_from_snapshot(point.metrics);
   point.batches = counters.batches_coalesced;
   point.max_batch = counters.max_batch;
+  point.cache_hits = counters.cache_hits;
+  point.cache_misses = counters.cache_misses;
+  const int64_t lookups = point.cache_hits + point.cache_misses;
+  point.cache_hit_ratio =
+      lookups > 0 ? static_cast<double>(point.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  for (int64_t k = 1; k <= batch_max; ++k) {
+    const obs::HistogramSnapshot* h = point.metrics.histogram(
+        "serve.formation_ms_b" + std::to_string(k));
+    if (h != nullptr && h->count > 0) {
+      point.formation_p50_ms.emplace_back(k, h->quantile(0.50));
+    }
+  }
   point.throughput =
       static_cast<double>(point.answered) / std::max(point.wall_sec, 1e-9);
   std::sort(latencies.begin(), latencies.end());
@@ -263,13 +306,26 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n== Serve burst: batch_max 1 vs %lld (4 workers, %lld "
-              "requests) ==\n",
+              "requests, best of 3 interleaved trials) ==\n",
               static_cast<long long>(batch),
               static_cast<long long>(serve_requests));
-  const ServePoint serve1 =
-      run_serve_burst(model, vocab, dataset.train(), 1, serve_requests);
-  const ServePoint serve8 =
-      run_serve_burst(model, vocab, dataset.train(), batch, serve_requests);
+  // Four workers time-sharing this box swing single-trial throughput by
+  // ±20%; interleaved trials with best-of-3 per configuration keep a
+  // scheduler hiccup from landing on one side of the comparison.
+  ServePoint serve1, serve8;
+  for (int trial = 0; trial < 3; ++trial) {
+    ServePoint b1 =
+        run_serve_burst(model, vocab, dataset.train(), 1, serve_requests, 0);
+    ServePoint b8 = run_serve_burst(model, vocab, dataset.train(), batch,
+                                    serve_requests, 0);
+    if (b1.throughput > serve1.throughput) serve1 = std::move(b1);
+    if (b8.throughput > serve8.throughput) serve8 = std::move(b8);
+  }
+  // Third configuration: same burst with the backbone feature cache on,
+  // for the hit ratio the repeat-heavy workload earns (the burst cycles
+  // the dataset, so roughly every later repeat of an image can hit).
+  const ServePoint serve8c = run_serve_burst(
+      model, vocab, dataset.train(), batch, serve_requests, 32);
   std::printf(
       "  batch_max=1: %6.1f req/s  p50 %7.2f ms  p95 %7.2f ms\n"
       "  batch_max=%lld: %6.1f req/s  p50 %7.2f ms  p95 %7.2f ms  "
@@ -280,6 +336,16 @@ int main(int argc, char** argv) {
       serve8.p95, static_cast<long long>(serve8.batches),
       static_cast<long long>(serve8.max_batch),
       serve8.throughput / std::max(serve1.throughput, 1e-9));
+  std::printf("  batch_max=%lld + feature cache: %6.1f req/s  p50 %7.2f ms"
+              "  (cache hit ratio %.1f%%)\n",
+              static_cast<long long>(batch), serve8c.throughput, serve8c.p50,
+              serve8c.cache_hit_ratio * 100.0);
+  std::printf("  formation p50 by batch size (batch_max=%lld run):",
+              static_cast<long long>(batch));
+  for (const std::pair<int64_t, double>& f : serve8.formation_p50_ms) {
+    std::printf("  b%lld %.3fms", static_cast<long long>(f.first), f.second);
+  }
+  std::printf("\n");
   if (have_baseline && baseline_rps > 0.0) {
     std::printf("  vs prev-revision service (%.1f req/s): %.2fx\n", baseline_rps,
                 serve8.throughput / baseline_rps);
@@ -333,15 +399,24 @@ int main(int argc, char** argv) {
     std::fprintf(json,
                  "    \"%s\": {\"throughput_rps\": %.2f, \"p50_ms\": %.3f, "
                  "\"p95_ms\": %.3f, \"answered\": %lld, "
-                 "\"coalesced_forwards\": %lld, \"max_batch\": %lld}%s\n",
+                 "\"coalesced_forwards\": %lld, \"max_batch\": %lld, "
+                 "\"cache_hit_ratio\": %.4f, \"formation_p50_ms\": {",
                  name, point.throughput, point.p50, point.p95,
                  static_cast<long long>(point.answered),
                  static_cast<long long>(point.batches),
-                 static_cast<long long>(point.max_batch), tail);
+                 static_cast<long long>(point.max_batch),
+                 point.cache_hit_ratio);
+    for (size_t i = 0; i < point.formation_p50_ms.size(); ++i) {
+      std::fprintf(json, "%s\"b%lld\": %.4f", i == 0 ? "" : ", ",
+                   static_cast<long long>(point.formation_p50_ms[i].first),
+                   point.formation_p50_ms[i].second);
+    }
+    std::fprintf(json, "}}%s\n", tail);
   };
   std::fprintf(json, "  \"serve_burst\": {\n");
   emit_serve("batch_max_1", serve1, ",");
   emit_serve("batch_max_8", serve8, ",");
+  emit_serve("batch_max_8_cached", serve8c, ",");
   std::fprintf(json, "    \"requests\": %lld,\n    \"workers\": 4,\n"
                "    \"throughput_gain_vs_batch_max_1\": %.3f",
                static_cast<long long>(serve_requests),
@@ -365,6 +440,7 @@ int main(int argc, char** argv) {
   obs::MetricsSnapshot metrics = obs::MetricsRegistry::global().snapshot();
   metrics.merge(serve1.metrics);
   metrics.merge(serve8.metrics);
+  metrics.merge(serve8c.metrics);
   const std::string metrics_path = out_dir + "METRICS_infer.json";
   if (metrics.write_json(metrics_path)) {
     std::printf("wrote %s\n", metrics_path.c_str());

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Build and run the performance benchmarks, writing BENCH_gemm.json and
-# BENCH_infer.json at the repo root. bench_infer_latency also writes
+# Build and run the performance benchmarks, writing BENCH_gemm.json,
+# BENCH_infer.json, BENCH_plan.json, BENCH_serve_batch.json, and
+# BENCH_serve_shard.json at the repo root. bench_infer_latency also writes
 # METRICS_infer.json (a yollo::obs metrics snapshot: serve counters and
 # latency histograms, plus kernel counters when profiling is on) next to
 # BENCH_infer.json, and TRACE_infer.json (chrome://tracing spans) when the
@@ -28,7 +29,8 @@ BASELINE_REV="${YOLLO_BASELINE_REV-05c8f6177aaa74578863d644996955595649245e}"
 # Pin Release: latency numbers from a Debug/RelWithDebInfo tree are noise.
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" -j --target bench_infer_latency --target bench_gemm \
-  --target bench_serve_shard --target bench_plan > /dev/null
+  --target bench_serve_shard --target bench_serve_batch \
+  --target bench_plan > /dev/null
 
 # GEMM kernel throughput (naive vs blocked vs fused, 1 vs N threads).
 "$BUILD/bench/bench_gemm" "$ROOT/BENCH_gemm.json"
@@ -69,6 +71,12 @@ fi
 
 # shellcheck disable=SC2086  # word-splitting of BASELINE_ARGS is intended
 "$BUILD/bench/bench_infer_latency" "$ROOT/BENCH_infer.json" $BASELINE_ARGS
+
+# Continuous batching + feature cache (DESIGN.md §15): burst throughput at
+# batch_max 1 vs 8 (single worker, warm-waited, interleaved best-of-3) and
+# the smart-gallery cold/warm cache comparison. Exits non-zero if the
+# five-term accounting invariant breaks in any snapshot.
+"$BUILD/bench/bench_serve_batch" "$ROOT/BENCH_serve_batch.json"
 
 # Sharded serving: open-loop Poisson sweep (latency knee + SLO line, 1 vs 3
 # shards) and the chaos legs (kill / poison / slow one shard mid-run; zero

@@ -52,6 +52,17 @@ run_mode() {
       echo "  YOLLO_NUM_THREADS=4 YOLLO_OBS=1 $t"
       YOLLO_NUM_THREADS=4 YOLLO_OBS=1 "$dir/tests/$t"
     done
+    # Continuous batching + feature cache: batch formation mutates scheduler
+    # state under the service lock while workers note forward outcomes, and
+    # the shared cache is hit/inserted/evicted from every worker (plus an
+    # invalidating thread). Re-run both suites with a real worker pool so
+    # TSan watches the EWMA updates, the LRU splices, and the pinned-view
+    # handoff between eviction and a concurrent reader.
+    echo "re-running batching + cache suites with YOLLO_NUM_THREADS=4 ..."
+    for t in serve_batch_test feature_cache_test; do
+      echo "  YOLLO_NUM_THREADS=4 YOLLO_OBS=1 $t"
+      YOLLO_NUM_THREADS=4 YOLLO_OBS=1 "$dir/tests/$t"
+    done
     # Cancellation + supervision: checkpoints fire from pool workers while
     # arm()/cancel()/the watchdog write from other threads, and the
     # watchdog reap races worker settlement. Re-run with a real worker

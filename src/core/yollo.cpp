@@ -57,6 +57,7 @@ void YolloModel::init_word_embeddings(const Tensor& embeddings) {
         shape_to_string(embeddings.shape()));
   }
   word_emb_.weight.value().copy_from(embeddings);
+  weights_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 YolloModel::Output YolloModel::forward(const Tensor& images,
@@ -68,8 +69,11 @@ YolloModel::Output YolloModel::forward(const Tensor& images,
                                 std::to_string(tokens.size()) + " != B*n = " +
                                 std::to_string(b * n));
   }
-  const int64_t m = config_.num_regions();
-  const int64_t c = config_.backbone.out_channels();
+  return fuse_features(encode_images(images), tokens);
+}
+
+ag::Variable YolloModel::encode_images(const Tensor& images) {
+  const int64_t b = images.size(0);
 
   // §3.1 feature encoder — image side: dense grid features. Two normalised
   // coordinate channels ride along with the RGB input (CoordConv): location
@@ -82,7 +86,15 @@ YolloModel::Output YolloModel::forward(const Tensor& images,
   kernels::fill_coord_channels(images.data(), with_coords.data(), b, ih, iw);
   // The plan prologue refills this slot per execution with the same kernel.
   ag::trace::note_input("with_coords", with_coords);
-  ag::Variable feat = backbone_.forward(ag::Variable::constant(with_coords));
+  return backbone_.forward(ag::Variable::constant(with_coords));
+}
+
+YolloModel::Output YolloModel::fuse_features(
+    const ag::Variable& feat, const std::vector<int64_t>& tokens) {
+  const int64_t b = feat.size(0);
+  const int64_t n = config_.max_query_len;
+  const int64_t m = config_.num_regions();
+  const int64_t c = config_.backbone.out_channels();
   ag::Variable v = ag::transpose(ag::reshape(feat, {b, c, m}), 1, 2);
 
   // §3.1 feature encoder — text side: word + absolute position embeddings.
@@ -118,6 +130,7 @@ YolloModel::Output YolloModel::forward(const Tensor& images,
   DetectionHead::Output head_out = head_.forward(m_tilde);
   out.scores = head_out.scores;
   out.deltas = head_out.deltas;
+  out.feat = feat;
   return out;
 }
 
@@ -160,7 +173,7 @@ YolloModel::Losses YolloModel::compute_loss(
 
 YolloModel::ForwardDecode YolloModel::forward_and_decode(
     const Tensor& images, const std::vector<int64_t>& tokens,
-    bool apply_fault_hooks) {
+    bool apply_fault_hooks, bool capture_features) {
   if (yollo::plan::enabled()) {
     if (std::shared_ptr<yollo::plan::Plan> p = planned_for(images, tokens)) {
       yollo::plan::Plan::ExecGuard g = p->try_execute(images, tokens);
@@ -173,7 +186,17 @@ YolloModel::ForwardDecode YolloModel::forward_and_decode(
             g.scores_shape(), const_cast<float*>(g.scores()), p));
         out.deltas = ag::Variable::constant(Tensor::from_external(
             g.deltas_shape(), const_cast<float*>(g.deltas()), p));
-        return decode_and_scan(out, images, apply_fault_hooks);
+        ForwardDecode fd = decode_and_scan(out, images.size(3), images.size(2),
+                                           apply_fault_hooks);
+        if (capture_features && g.has_features()) {
+          // Clone while the guard is held — releasing it would let another
+          // execution overwrite the feature region under the copy.
+          fd.features =
+              Tensor::from_external(g.features_shape(),
+                                    const_cast<float*>(g.features()), p)
+                  .clone();
+        }
+        return fd;
       }
       {
         std::lock_guard<std::mutex> lk(plan_mu_);
@@ -185,11 +208,15 @@ YolloModel::ForwardDecode YolloModel::forward_and_decode(
     }
   }
   Output out = forward(images, tokens);
-  return decode_and_scan(out, images, apply_fault_hooks);
+  ForwardDecode fd =
+      decode_and_scan(out, images.size(3), images.size(2), apply_fault_hooks);
+  if (capture_features) fd.features = out.feat.value().clone();
+  return fd;
 }
 
 YolloModel::ForwardDecode YolloModel::decode_and_scan(Output& out,
-                                                      const Tensor& images,
+                                                      int64_t img_w,
+                                                      int64_t img_h,
                                                       bool apply_fault_hooks) {
   ForwardDecode fd;
   if (apply_fault_hooks &&
@@ -238,9 +265,8 @@ YolloModel::ForwardDecode YolloModel::decode_and_scan(Output& out,
     }
     // decode_top1 clips against the config; re-clip against the actual
     // image so the invariant is local and survives refactors upstream.
-    fd.boxes[static_cast<size_t>(e)] =
-        vision::clip_box(box, static_cast<float>(images.size(3)),
-                         static_cast<float>(images.size(2)));
+    fd.boxes[static_cast<size_t>(e)] = vision::clip_box(
+        box, static_cast<float>(img_w), static_cast<float>(img_h));
   }
   if (bad > 0) {
     fd.error = InferError::kNonFinite;
@@ -263,7 +289,11 @@ std::shared_ptr<yollo::plan::Plan> YolloModel::build_plan(
     ag::trace::Scope scope(&rec);
     out = forward(images, tokens);
   }
-  return rec.compile(out.scores.value(), out.deltas.value(), why);
+  // Features ride along as a third plan output so serving can populate the
+  // feature cache straight from the arena — no second forward, no dynamic
+  // fallback just to capture them.
+  return rec.compile(out.scores.value(), out.deltas.value(), why,
+                     &out.feat.value());
 }
 
 std::shared_ptr<yollo::plan::Plan> YolloModel::planned_for(
@@ -373,6 +403,9 @@ bool YolloModel::planned(int64_t batch) {
 }
 
 void YolloModel::invalidate_plans() {
+  // Model-reload signal: parameter storage may have been rebound, so any
+  // cached backbone features derived from the old weights are stale too.
+  weights_generation_.fetch_add(1, std::memory_order_acq_rel);
   std::lock_guard<std::mutex> lk(plan_mu_);
   // Reset in place instead of erasing: a concurrent build holds references
   // to its entry across the cache unlock.
@@ -460,7 +493,8 @@ std::vector<vision::Box> YolloModel::predict(
 }
 
 YolloModel::InferOutcome YolloModel::infer(
-    const Tensor& images, const std::vector<int64_t>& tokens) noexcept {
+    const Tensor& images, const std::vector<int64_t>& tokens,
+    bool capture_features) noexcept {
   InferOutcome outcome;
   const auto fail = [&outcome](InferError error, std::string message) {
     outcome.error = error;
@@ -517,8 +551,8 @@ YolloModel::InferOutcome YolloModel::infer(
     // else the env-driven process-wide instance.
     runtime::FaultInjector::active().check_forward();
 
-    ForwardDecode fd =
-        forward_and_decode(images, tokens, /*apply_fault_hooks=*/true);
+    ForwardDecode fd = forward_and_decode(
+        images, tokens, /*apply_fault_hooks=*/true, capture_features);
     // A context cancelled on the *last* kernel has no later dispatch
     // checkpoint to throw from, and the abandoned kernel's partial output
     // can look finite — so the cancelled flag always wins over whatever
@@ -531,10 +565,100 @@ YolloModel::InferOutcome YolloModel::infer(
     }
     outcome.element_errors = std::move(fd.element_errors);
     outcome.element_boxes = std::move(fd.boxes);
+    outcome.features = std::move(fd.features);
     if (!fd.all_ok()) {
       outcome.error = fd.error;
       outcome.message = std::move(fd.message);
       outcome.boxes.clear();  // all-or-nothing view; per-element data stays
+      return outcome;
+    }
+    outcome.boxes = outcome.element_boxes;
+    return outcome;
+  } catch (const ExecCancelled& e) {
+    return fail(InferError::kCancelled, e.what());
+  } catch (const PoolBudgetExceeded& e) {
+    return fail(InferError::kResourceExhausted, e.what());
+  } catch (const std::exception& e) {
+    return fail(InferError::kFault, e.what());
+  } catch (...) {
+    return fail(InferError::kFault, "unknown exception during forward");
+  }
+}
+
+YolloModel::InferOutcome YolloModel::infer_from_features(
+    const Tensor& features, const std::vector<int64_t>& tokens) noexcept {
+  InferOutcome outcome;
+  const auto fail = [&outcome](InferError error, std::string message) {
+    outcome.error = error;
+    outcome.message = std::move(message);
+    outcome.boxes.clear();
+    return outcome;
+  };
+
+  try {
+    const int64_t c = config_.backbone.out_channels();
+    if (!features.defined() || features.ndim() != 4 || features.size(0) < 1 ||
+        features.size(1) != c || features.size(2) != config_.grid_h() ||
+        features.size(3) != config_.grid_w()) {
+      return fail(InferError::kInvalidInput,
+                  "expected features [B," + std::to_string(c) + "," +
+                      std::to_string(config_.grid_h()) + "," +
+                      std::to_string(config_.grid_w()) + "], got " +
+                      (features.defined() ? shape_to_string(features.shape())
+                                          : std::string("<undefined>")));
+    }
+    const int64_t b = features.size(0);
+    if (static_cast<int64_t>(tokens.size()) != b * config_.max_query_len) {
+      return fail(InferError::kInvalidInput,
+                  "token count " + std::to_string(tokens.size()) +
+                      " != B*max_query_len = " +
+                      std::to_string(b * config_.max_query_len));
+    }
+    const int64_t vocab = word_emb_.weight.size(0);
+    for (const int64_t token : tokens) {
+      if (token < 0 || token >= vocab) {
+        return fail(InferError::kInvalidInput,
+                    "token id " + std::to_string(token) +
+                        " outside vocabulary [0, " + std::to_string(vocab) +
+                        ")");
+      }
+    }
+    const float* values = features.data();
+    for (int64_t i = 0; i < features.numel(); ++i) {
+      if (!std::isfinite(values[i])) {
+        return fail(InferError::kInvalidInput,
+                    "non-finite feature at flat index " + std::to_string(i));
+      }
+    }
+
+    ag::NoGradGuard no_grad;
+    nn::EvalModeGuard eval_mode(*this);
+    PoolScope pool;
+
+    // Same per-forward fault hook as infer(): a cached-path forward is one
+    // attempt exactly like an uncached one, so retry/chaos accounting (and
+    // the slow/fail/wedge shot counters) cannot drift between the paths.
+    runtime::FaultInjector::active().check_forward();
+
+    // The cached path runs the fusion half dynamically: per-batch-size
+    // static plans span the full forward (backbone included), and a second
+    // plan family per batch size is not worth the arena memory for a stage
+    // that is already a fraction of the full pass (DESIGN.md §15).
+    Output out = fuse_features(ag::Variable::constant(features), tokens);
+    ForwardDecode fd = decode_and_scan(out, config_.img_w, config_.img_h,
+                                       /*apply_fault_hooks=*/true);
+    if (ExecContext* ctx = ExecContext::current();
+        ctx != nullptr && ctx->cancelled()) {
+      return fail(InferError::kCancelled,
+                  std::string("forward cancelled: ") +
+                      cancel_cause_name(ctx->cause()));
+    }
+    outcome.element_errors = std::move(fd.element_errors);
+    outcome.element_boxes = std::move(fd.boxes);
+    if (!fd.all_ok()) {
+      outcome.error = fd.error;
+      outcome.message = std::move(fd.message);
+      outcome.boxes.clear();
       return outcome;
     }
     outcome.boxes = outcome.element_boxes;

@@ -8,6 +8,7 @@
 // (eq. 9); inference takes the single top-scored anchor's refined box.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,10 +43,26 @@ class YolloModel : public nn::Module {
     // all of them (deep supervision — each stacked module is pushed toward
     // the target region, which speeds up convergence markedly).
     std::vector<ag::Variable> att_v_all;
+    // Backbone grid features [B, C, grid_h, grid_w] as produced by
+    // encode_images() — everything query-independent. The serve-layer
+    // feature cache stores these per image so repeat queries against the
+    // same pixels skip the backbone entirely (fuse_features alone).
+    ag::Variable feat;
   };
 
   // images: [B, 3, img_h, img_w]; tokens: row-major [B * max_query_len].
+  // forward() == fuse_features(encode_images(images), tokens): the split
+  // exists because encode_images depends only on the pixels (cacheable per
+  // image) while fuse_features carries all the query-dependent work.
   Output forward(const Tensor& images, const std::vector<int64_t>& tokens);
+
+  // CoordConv fill + backbone: the query-independent half of forward().
+  ag::Variable encode_images(const Tensor& images);
+
+  // Rel2Att stack + detection head over precomputed backbone features
+  // ([B, C, grid_h, grid_w]): the query-dependent half of forward().
+  Output fuse_features(const ag::Variable& feat,
+                       const std::vector<int64_t>& tokens);
 
   struct Losses {
     ag::Variable total;
@@ -81,6 +98,12 @@ class YolloModel : public nn::Module {
     InferError error = InferError::kNone;
     std::string message;
     std::vector<vision::Box> boxes;  // one per batch element when ok
+    // Backbone features [B, C, grid_h, grid_w], cloned out of the forward
+    // when infer() was asked to capture them (undefined otherwise, and on
+    // batch-level failures). Valid even for elements whose head outputs
+    // were poisoned — the features are produced upstream of the fault
+    // hooks, so the cache may keep them.
+    Tensor features;
     // Per-element verdicts for batched forwards: sized B once the forward
     // ran (empty on batch-level failures — invalid input or a thrown
     // fault). A non-finite element poisons only its own slot:
@@ -101,9 +124,30 @@ class YolloModel : public nn::Module {
   // every box to the input image bounds so a degenerate or out-of-frame box
   // can never escape. Never throws; all failures surface as a typed
   // InferError with a message. Like predict(), installs NoGradGuard +
-  // EvalModeGuard + PoolScope internally.
-  InferOutcome infer(const Tensor& images,
-                     const std::vector<int64_t>& tokens) noexcept;
+  // EvalModeGuard + PoolScope internally. `capture_features` additionally
+  // clones the backbone feature map into InferOutcome::features (from the
+  // plan arena on the planned path) so the caller can populate a feature
+  // cache without a second forward.
+  InferOutcome infer(const Tensor& images, const std::vector<int64_t>& tokens,
+                     bool capture_features = false) noexcept;
+
+  // infer() for precomputed backbone features ([B, C, grid_h, grid_w], as
+  // captured by a previous infer(..., true)): skips the backbone and runs
+  // only the Rel2Att stack + head on the dynamic path. Same guard stack,
+  // fault hooks, per-element verdicts, and cancellation semantics as
+  // infer() — one FaultInjector::check_forward() per call, so retry and
+  // chaos accounting cannot drift between the cached and uncached paths.
+  InferOutcome infer_from_features(const Tensor& features,
+                                   const std::vector<int64_t>& tokens) noexcept;
+
+  // Monotonic generation of the parameter state, bumped whenever weights
+  // may have been replaced wholesale (init_word_embeddings) or plan-visible
+  // storage was rebound (invalidate_plans — the model-reload signal). The
+  // serve feature cache keys entries by it so stale features can never be
+  // served across a reload.
+  uint64_t weights_generation() const {
+    return weights_generation_.load(std::memory_order_acquire);
+  }
 
   // Softmax image-attention map of one batch element as [grid_h, grid_w]
   // (the masks visualised in the paper's Figure 5).
@@ -174,16 +218,19 @@ class YolloModel : public nn::Module {
     std::string message;
     std::vector<InferError> element_errors;  // [B]
     std::vector<vision::Box> boxes;          // [B]; valid where element ok
+    Tensor features;  // cloned backbone features when capture was requested
     bool all_ok() const { return error == InferError::kNone; }
   };
   ForwardDecode forward_and_decode(const Tensor& images,
                                    const std::vector<int64_t>& tokens,
-                                   bool apply_fault_hooks);
+                                   bool apply_fault_hooks,
+                                   bool capture_features = false);
 
   // Finiteness scan + top-1 decode + clipping over a forward's outputs.
-  // On the planned path the Output wraps arena-backed views, so the caller
-  // must hold the plan's ExecGuard across this call.
-  ForwardDecode decode_and_scan(Output& out, const Tensor& images,
+  // Boxes are clipped to [img_w, img_h] (the config geometry for every
+  // admitted input). On the planned path the Output wraps arena-backed
+  // views, so the caller must hold the plan's ExecGuard across this call.
+  ForwardDecode decode_and_scan(Output& out, int64_t img_w, int64_t img_h,
                                 bool apply_fault_hooks);
 
   // Plan cache (keyed by batch size; image dims and query length are fixed
@@ -206,6 +253,8 @@ class YolloModel : public nn::Module {
   std::map<int64_t, PlanEntry> plan_cache_;
   PlanCacheStats plan_stats_;  // guarded by plan_mu_ (entries/arena_bytes
                                // recomputed on read)
+
+  std::atomic<uint64_t> weights_generation_{0};
 
   YolloConfig config_;
   vision::Backbone backbone_;

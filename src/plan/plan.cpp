@@ -299,6 +299,20 @@ const Shape& Plan::ExecGuard::deltas_shape() const {
   return plan_->deltas_shape_;
 }
 
+bool Plan::ExecGuard::has_features() const {
+  return plan_ != nullptr && plan_->feat_slot_ >= 0;
+}
+
+const float* Plan::ExecGuard::features() const {
+  if (plan_->feat_slot_ < 0) return nullptr;
+  return plan_->arena_->base() +
+         plan_->slots_[static_cast<size_t>(plan_->feat_slot_)].offset;
+}
+
+const Shape& Plan::ExecGuard::features_shape() const {
+  return plan_->feat_shape_;
+}
+
 std::vector<Plan::SlotExtent> Plan::arena_layout() const {
   std::vector<SlotExtent> out;
   for (const Slot& s : slots_) {
@@ -312,7 +326,8 @@ std::vector<Plan::SlotExtent> Plan::arena_layout() const {
 
 std::shared_ptr<Plan> Recorder::compile(const Tensor& scores,
                                         const Tensor& deltas,
-                                        std::string* why) {
+                                        std::string* why,
+                                        const Tensor* features) {
   OBS_SPAN("plan.compile");
   auto fail = [&](const std::string& r) -> std::shared_ptr<Plan> {
     if (why != nullptr) *why = r;
@@ -331,6 +346,15 @@ std::shared_ptr<Plan> Recorder::compile(const Tensor& scores,
   if (slots_[static_cast<size_t>(scores_slot)].external ||
       slots_[static_cast<size_t>(deltas_slot)].external) {
     return fail("forward outputs are not op results");
+  }
+  int32_t feat_slot = -1;
+  if (features != nullptr) {
+    const auto fi = by_ptr_.find(features->data());
+    if (fi == by_ptr_.end() ||
+        slots_[static_cast<size_t>(fi->second)].external) {
+      return fail("feature output was not recorded as an op result");
+    }
+    feat_slot = fi->second;
   }
 
   const size_t n_slots = slots_.size();
@@ -352,6 +376,7 @@ std::shared_ptr<Plan> Recorder::compile(const Tensor& scores,
   }
   ++uses[static_cast<size_t>(scores_slot)];
   ++uses[static_cast<size_t>(deltas_slot)];
+  if (feat_slot >= 0) ++uses[static_cast<size_t>(feat_slot)];
 
   std::vector<char> dead(ops.size(), 0);
 
@@ -449,6 +474,7 @@ std::shared_ptr<Plan> Recorder::compile(const Tensor& scores,
     std::vector<uint8_t> live(n_slots, 0);
     live[static_cast<size_t>(scores_slot)] = 1;
     live[static_cast<size_t>(deltas_slot)] = 1;
+    if (feat_slot >= 0) live[static_cast<size_t>(feat_slot)] = 1;
     std::vector<Op> kept;
     kept.reserve(final_ops.size());
     for (size_t i = final_ops.size(); i-- > 0;) {
@@ -479,6 +505,11 @@ std::shared_ptr<Plan> Recorder::compile(const Tensor& scores,
   plan->deltas_slot_ = deltas_slot;
   plan->scores_shape_ = scores.shape();
   plan->deltas_shape_ = deltas.shape();
+  if (feat_slot >= 0) {
+    plan->slots_[static_cast<size_t>(feat_slot)].is_output = true;
+    plan->feat_slot_ = feat_slot;
+    plan->feat_shape_ = features->shape();
+  }
 
   // --- liveness --------------------------------------------------------------
   const int32_t num_ops = static_cast<int32_t>(plan->ops_.size());

@@ -182,6 +182,12 @@ class Plan {
     const float* deltas() const;
     const Shape& scores_shape() const;
     const Shape& deltas_shape() const;
+    // Backbone features captured as a third plan output (when the plan was
+    // compiled with one): the serve feature cache clones them out of the
+    // arena while the guard is held. null/empty when the plan carries none.
+    bool has_features() const;
+    const float* features() const;
+    const Shape& features_shape() const;
 
    private:
     friend class Plan;
@@ -229,7 +235,9 @@ class Plan {
   float* coords_ptr_ = nullptr;      // CoordConv input slot (may be null)
   float* mask_ptr_ = nullptr;        // pair-mask input slot (may be null)
   int32_t scores_slot_ = -1, deltas_slot_ = -1;
+  int32_t feat_slot_ = -1;  // optional third output (backbone features)
   Shape scores_shape_, deltas_shape_;  // output view shapes (post-reshape)
+  Shape feat_shape_;
 };
 
 // --- the recorder ------------------------------------------------------------
@@ -249,11 +257,15 @@ class Recorder final : public ag::trace::Sink {
   void set_tokens(const std::vector<int64_t>& tokens);
 
   // Compiles the recorded trace. `scores`/`deltas` are the forward's output
-  // tensors (their storage must be recorded op results). Returns nullptr
-  // with `*why` filled when the trace was unplannable; throws
-  // PoolBudgetExceeded when the arena charge is refused.
+  // tensors (their storage must be recorded op results). `features`, when
+  // non-null, pins a third output (the backbone feature map) so executions
+  // can serve the feature cache straight from the arena; it must also be a
+  // recorded op result. Returns nullptr with `*why` filled when the trace
+  // was unplannable; throws PoolBudgetExceeded when the arena charge is
+  // refused.
   std::shared_ptr<Plan> compile(const Tensor& scores, const Tensor& deltas,
-                                std::string* why);
+                                std::string* why,
+                                const Tensor* features = nullptr);
 
   bool unplannable() const { return unplannable_; }
   const std::string& reason() const { return reason_; }

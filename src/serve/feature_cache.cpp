@@ -1,0 +1,156 @@
+#include "serve/feature_cache.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "serve/router.h"
+#include "tensor/pool.h"
+
+namespace yollo::serve {
+
+namespace {
+// Distinct seed from the router's locality hash so a cache key can never
+// collide with a ring position by construction.
+constexpr uint64_t kImageSeed = 0xfeedfacecafebeefull;
+
+uint64_t mix64(uint64_t x) {
+  // splitmix64 finaliser — same avalanche the ring uses.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+FeatureCache::FeatureCache(obs::MetricsRegistry& metrics, int64_t budget_bytes)
+    : budget_bytes_(budget_bytes),
+      c_hits_(metrics.counter("serve.cache_hits")),
+      c_misses_(metrics.counter("serve.cache_misses")),
+      c_evictions_(metrics.counter("serve.cache_evictions")),
+      g_bytes_(metrics.gauge("serve.cache_bytes")) {}
+
+uint64_t FeatureCache::hash_image(const Tensor& image) {
+  if (!image.defined() || image.numel() == 0) return mix64(kImageSeed);
+  return HashRing::hash_bytes(
+      image.data(), static_cast<size_t>(image.numel()) * sizeof(float),
+      kImageSeed ^ static_cast<uint64_t>(image.numel()));
+}
+
+uint64_t FeatureCache::make_key(uint64_t image_hash,
+                                uint64_t weights_generation) const {
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_;
+  }
+  // Mix, don't xor-concatenate: generation and epoch are small integers and
+  // a plain xor would put every reload one bit-flip away from the previous
+  // key space.
+  return mix64(image_hash ^ mix64(weights_generation) ^ mix64(~epoch));
+}
+
+Tensor FeatureCache::lookup(uint64_t key) {
+  if (!enabled()) return Tensor();
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      c_misses_.inc();
+      return Tensor();
+    }
+    entry = it->second;
+    lru_.splice(lru_.begin(), lru_, entry->lru_pos);  // touch
+    c_hits_.inc();
+  }
+  // The shared_ptr<Entry> owner pins the buffer: even if another worker
+  // evicts this key before the caller finishes the forward, the view stays
+  // valid and the memory is freed when the last view drops.
+  return Tensor::from_external(entry->shape, entry->data.data(), entry);
+}
+
+bool FeatureCache::insert(uint64_t key, const Tensor& features) {
+  if (!enabled() || !features.defined() || features.numel() == 0) return false;
+  const int64_t bytes =
+      features.numel() * static_cast<int64_t>(sizeof(float));
+  if (bytes > budget_bytes_) return false;  // could never fit
+
+  // A poisoned forward must not be immortalised: a cached non-finite map
+  // would turn one transient fault into a permanent one for this image.
+  const float* src = features.data();
+  for (int64_t i = 0; i < features.numel(); ++i) {
+    if (!std::isfinite(src[i])) return false;
+  }
+
+  auto entry = std::make_shared<Entry>();
+  entry->shape = features.shape();
+  entry->bytes = bytes;
+  entry->data.assign(src, src + features.numel());
+
+  // Charge the inserting worker's pool budget for the copy. Outside any
+  // PoolScope the handle is null (nothing to charge against); a refused
+  // charge degrades to uncached — the entry is simply dropped.
+  try {
+    entry->charge = detail::charge_external_bytes(bytes);
+  } catch (const PoolBudgetExceeded&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++budget_refused_;
+    return false;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    // Somebody else cached this image while we were copying; theirs is as
+    // good as ours (content-addressed), keep it and drop the duplicate.
+    lru_.splice(lru_.begin(), lru_, it->second->lru_pos);
+    return true;
+  }
+  while (bytes_ + bytes > budget_bytes_ && !lru_.empty()) evict_one_locked();
+  lru_.push_front(key);
+  entry->lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  bytes_ += bytes;
+  g_bytes_.set(static_cast<double>(bytes_));
+  return true;
+}
+
+void FeatureCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Entries with outstanding lookup views stay alive through their
+  // shared_ptr owners; everything else frees (and releases its pool charge)
+  // here.
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  ++epoch_;
+  ++invalidations_;
+  g_bytes_.set(0.0);
+}
+
+FeatureCache::Stats FeatureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.entries = static_cast<int64_t>(entries_.size());
+  s.bytes = bytes_;
+  s.hits = static_cast<int64_t>(c_hits_.value());
+  s.misses = static_cast<int64_t>(c_misses_.value());
+  s.evictions = static_cast<int64_t>(c_evictions_.value());
+  s.budget_refused = budget_refused_;
+  s.invalidations = invalidations_;
+  return s;
+}
+
+void FeatureCache::evict_one_locked() {
+  const uint64_t victim = lru_.back();
+  lru_.pop_back();
+  auto it = entries_.find(victim);
+  if (it != entries_.end()) {
+    bytes_ -= it->second->bytes;
+    entries_.erase(it);
+    c_evictions_.inc();
+  }
+  g_bytes_.set(static_cast<double>(bytes_));
+}
+
+}  // namespace yollo::serve

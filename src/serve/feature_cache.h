@@ -1,0 +1,127 @@
+// Content-addressed backbone feature cache (DESIGN.md §15).
+//
+// The YOLLO pipeline splits cleanly into a query-independent half (CoordConv
+// + backbone over the pixels) and a query-dependent half (Rel2Att stack +
+// detection head over the resulting [C, grid_h, grid_w] feature map). The
+// backbone dominates the forward, so the smart_gallery pattern — one image
+// interrogated by many queries — re-pays the expensive half for every query
+// today. This cache stores backbone features keyed by the *content* of the
+// image, so repeat queries against the same pixels skip the backbone
+// entirely and run only fuse_features (YolloModel::infer_from_features).
+//
+// Keying: FNV-1a over every image byte, finalised through splitmix64
+// (HashRing::hash_bytes — the same family the router uses for shard
+// locality, but over the full buffer: the router only needs placement
+// stability, the cache needs content identity), then mixed with the model's
+// weights_generation() and an internal invalidation epoch. A model reload
+// or invalidate_plans() bumps the generation, so stale features can never
+// be served across a weight swap even if invalidate() is missed.
+//
+// Memory: entries are plain heap vectors (never pool-backed — the cache is
+// shared across worker threads while the storage pool is thread-local) with
+// the byte cost charged against the inserting worker's active PoolScope via
+// detail::charge_external_bytes, exactly like the plan arenas. Eviction is
+// byte-budgeted LRU; an insert the budget refuses (PoolBudgetExceeded) is
+// simply dropped and the request proceeds uncached — the cache is an
+// accelerator, never a correctness dependency.
+//
+// Thread safety: one mutex over the map + LRU list. lookup() returns a
+// Tensor view whose owner handle pins the entry's shared_ptr, so a hit
+// stays valid even if another worker evicts the entry a nanosecond later.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tensor/tensor.h"
+
+namespace yollo::serve {
+
+class FeatureCache {
+ public:
+  // `metrics` is the owning service's registry; the cache registers
+  // serve.cache_hits / serve.cache_misses / serve.cache_evictions counters
+  // and the serve.cache_bytes gauge there. `budget_bytes` <= 0 disables the
+  // cache entirely (every lookup misses without counting, every insert is
+  // refused) — the zero-cost default for deployments that never repeat
+  // images.
+  FeatureCache(obs::MetricsRegistry& metrics, int64_t budget_bytes);
+
+  FeatureCache(const FeatureCache&) = delete;
+  FeatureCache& operator=(const FeatureCache&) = delete;
+
+  bool enabled() const { return budget_bytes_ > 0; }
+  int64_t budget_bytes() const { return budget_bytes_; }
+
+  // Content hash of an image tensor: FNV-1a/splitmix64 over every byte of
+  // the float buffer (not the router's 4 KiB locality prefix — content
+  // identity must cover the whole image).
+  static uint64_t hash_image(const Tensor& image);
+
+  // Full cache key: content hash mixed with the model weights generation
+  // (stale-across-reload protection) and this cache's invalidation epoch.
+  uint64_t make_key(uint64_t image_hash, uint64_t weights_generation) const;
+
+  // Hit: a [C, grid_h, grid_w] view aliasing the cached entry, pinned by
+  // the view's owner handle so concurrent eviction cannot free it. Miss:
+  // an undefined Tensor. Counts hits/misses (no-op miss when disabled).
+  Tensor lookup(uint64_t key);
+
+  // Copy a single image's feature map into the cache under `key`. Evicts
+  // LRU entries until the new one fits, then charges the caller's active
+  // PoolScope budget for the bytes. Returns false — and caches nothing —
+  // when the cache is disabled, the entry alone exceeds the whole cache
+  // budget, the features contain non-finite values (poisoned forwards must
+  // not be immortalised), or the pool budget refuses the charge
+  // (degrade-to-uncached, counted in stats().budget_refused).
+  bool insert(uint64_t key, const Tensor& features);
+
+  // Drop every entry and bump the epoch so in-flight make_key() results go
+  // stale. Called on invalidate_plans() / model reload.
+  void invalidate();
+
+  struct Stats {
+    int64_t entries = 0;
+    int64_t bytes = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t budget_refused = 0;  // inserts dropped by PoolBudgetExceeded
+    int64_t invalidations = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::vector<float> data;
+    Shape shape;
+    int64_t bytes = 0;
+    std::shared_ptr<void> charge;  // PoolScope external-bytes handle
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  // Remove the least-recently-used entry. Caller holds mu_.
+  void evict_one_locked();
+
+  const int64_t budget_bytes_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;
+  std::list<uint64_t> lru_;  // front = most recent, back = next victim
+  int64_t bytes_ = 0;
+  uint64_t epoch_ = 0;
+  int64_t budget_refused_ = 0;
+  int64_t invalidations_ = 0;
+
+  obs::Counter& c_hits_;
+  obs::Counter& c_misses_;
+  obs::Counter& c_evictions_;
+  obs::Gauge& g_bytes_;
+};
+
+}  // namespace yollo::serve

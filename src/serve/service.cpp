@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "nn/module.h"
 #include "obs/trace.h"
@@ -29,6 +30,25 @@ int64_t env_int(const char* name, int64_t fallback) {
   if (!value || !*value) return fallback;
   return std::strtoll(value, nullptr, 10);
 }
+
+// Feature-cache budget in bytes from the config / YOLLO_FEATURE_CACHE_MB
+// (resolved before the constructor body because the cache is a member).
+int64_t resolve_cache_bytes(const ServeConfig& config) {
+  int64_t mb = config.feature_cache_mb;
+  if (mb < 0) mb = env_int("YOLLO_FEATURE_CACHE_MB", 0);
+  return mb > 0 ? mb * 1024 * 1024 : 0;
+}
+
+// Formation slack margin: a follower joins only when the riders' worst
+// slack covers the predicted batched cost with this much headroom, so a
+// prediction that runs 20% hot still meets the deadline.
+constexpr double kSlackMargin = 1.2;
+// Shrink when a batch of k costs more than k * solo * this ratio — at that
+// point batching is amortising nothing and only adds head-of-line latency.
+constexpr double kShrinkRatio = 1.25;
+// Clean forwards required after a target change before growth is considered
+// (hysteresis: don't oscillate on one good forward).
+constexpr int64_t kGrowPatience = 4;
 
 }  // namespace
 
@@ -87,8 +107,13 @@ InferenceService::InferenceService(core::YolloModel& model,
       c_workers_lost_(metrics_.counter("serve.workers_lost")),
       c_workers_spawned_(metrics_.counter("serve.workers_spawned")),
       c_pool_rejected_(metrics_.counter("serve.pool_rejected")),
+      c_solo_dispatches_(metrics_.counter("serve.solo_dispatches")),
+      c_sched_shrinks_(metrics_.counter("serve.sched_shrinks")),
+      c_sched_grows_(metrics_.counter("serve.sched_grows")),
       g_queue_high_water_(metrics_.gauge("serve.queue_high_water")),
       g_max_batch_(metrics_.gauge("serve.max_batch")),
+      g_batch_target_(metrics_.gauge("serve.batch_target")),
+      g_workers_warmed_(metrics_.gauge("serve.workers_warmed")),
       h_queue_depth_(metrics_.histogram(
           "serve.queue_depth",
           obs::depth_bounds(std::max<int64_t>(1, config.queue_capacity)))),
@@ -100,6 +125,7 @@ InferenceService::InferenceService(core::YolloModel& model,
           metrics_.histogram("serve.latency_ms", obs::latency_ms_bounds())),
       h_cancel_latency_ms_(metrics_.histogram("serve.cancel_latency_ms",
                                               obs::latency_ms_bounds())),
+      cache_(metrics_, resolve_cache_bytes(config)),
       fallback_lock_(fallback_mutex != nullptr ? fallback_mutex
                                                : &fallback_mutex_) {
   config_.num_workers = std::max<int64_t>(1, config_.num_workers);
@@ -114,6 +140,23 @@ InferenceService::InferenceService(core::YolloModel& model,
   // The watchdog judges progress by ExecContext heartbeats, which only
   // tick when cancellation arms the contexts.
   if (!config_.enable_cancellation) config_.watchdog_interval_ms = 0;
+  if (env_int("YOLLO_BATCH_ADAPTIVE", 1) == 0) {
+    config_.adaptive_batching = false;
+  }
+  // Normalise for introspection: config().feature_cache_mb reflects what
+  // the cache actually resolved to (env included).
+  config_.feature_cache_mb = cache_.budget_bytes() / (1024 * 1024);
+  // The adaptive target starts at batch_max, not 1: a cold service under
+  // sudden backlog must coalesce immediately (the legacy behaviour); the
+  // target only steps down once live costs prove batching is hurting.
+  batch_target_ = config_.batch_max;
+  g_batch_target_.set(static_cast<double>(batch_target_));
+  batch_cost_ewma_.assign(static_cast<size_t>(config_.batch_max) + 1, 0.0);
+  formation_hists_.push_back(nullptr);  // slot 0 unused
+  for (int64_t k = 1; k <= config_.batch_max; ++k) {
+    formation_hists_.push_back(&metrics_.histogram(
+        "serve.formation_ms_b" + std::to_string(k), obs::latency_ms_bounds()));
+  }
   config_.watchdog_stall_intervals =
       std::max<int64_t>(1, config_.watchdog_stall_intervals);
   config_.watchdog_grace_intervals =
@@ -200,6 +243,11 @@ std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
         std::move(query.normalised));
   }
 
+  // Content hash for the feature cache, computed once at admission (outside
+  // the lock — it is O(pixels), like the validation scan above).
+  const uint64_t image_hash =
+      cache_.enabled() ? FeatureCache::hash_image(request.image) : 0;
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     c_submitted_.inc();
@@ -232,6 +280,7 @@ std::future<GroundResponse> InferenceService::submit(GroundRequest request) {
     job.submitted_at = now;
     job.deadline = deadline;
     job.cancel = std::move(request.cancel);
+    job.image_hash = image_hash;
     job.state = std::make_shared<JobState>();
     job.state->promise = std::move(promise);
     queue_.push_back(std::move(job));
@@ -282,6 +331,16 @@ void InferenceService::worker_loop(Worker* self) {
       }
     }
   }
+  // Signal warm-up completion (set even when warm_plans is off, so callers
+  // can always gate on it): benchmarks wait for this gauge to reach
+  // num_workers before starting their clocks, otherwise a batch_max-8
+  // service is measured while its workers are still compiling eight plans
+  // each — the very skew behind the BENCH_infer serve_burst regression.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++warmed_workers_;
+    g_workers_warmed_.set(static_cast<double>(warmed_workers_));
+  }
   for (;;) {
     std::vector<Job> batch;
     {
@@ -294,24 +353,49 @@ void InferenceService::worker_loop(Worker* self) {
       // owns this slot's share of the pool now.
       if (self->lost.load(std::memory_order_relaxed)) return;
       if (queue_.empty()) return;  // stopping_ and fully drained
-      // Micro-batching: coalesce whatever compatible work is already
-      // queued, up to batch_max — never hold the queue waiting for a batch
-      // to fill. All admitted jobs share the model's image geometry
+      // Continuous-batching formation (DESIGN.md §15): the front request
+      // always dispatches — never hold the queue waiting for a batch to
+      // fill. Followers join one at a time, only while every rider's
+      // deadline slack still covers the predicted cost of the grown batch
+      // (live per-size cost EWMAs) with margin — so a near-deadline
+      // straggler runs solo instead of paying a stranger's batch tax, and
+      // a deadline-free backlog coalesces greedily up to the adaptive
+      // target. All admitted jobs share the model's image geometry
       // (admission validates against the config), so every queued job is
       // batch-compatible.
-      int64_t take =
-          std::min(config_.batch_max, static_cast<int64_t>(queue_.size()));
-      // Deadline-aware coalescing: a batch of k is slower than a batch of
-      // 1, so a near-deadline request must not be serialised into a batched
-      // forward behind strangers. When the oldest queued request's slack is
-      // below the observed model-stage p95, it runs solo.
-      if (take > 1 &&
-          queue_.front().deadline != Clock::time_point::max()) {
-        const double slack_ms =
-            std::chrono::duration<double, std::milli>(queue_.front().deadline -
-                                                      Clock::now())
-                .count();
-        if (slack_ms < h_model_ms_.snapshot().quantile(0.95)) take = 1;
+      const Clock::time_point now = Clock::now();
+      maybe_grow_target_locked();
+      const int64_t limit = std::min(
+          {config_.batch_max, batch_target_,
+           static_cast<int64_t>(queue_.size())});
+      const auto slack_of = [&now](const Job& job) {
+        if (job.deadline == Clock::time_point::max()) {
+          return std::numeric_limits<double>::infinity();
+        }
+        return std::chrono::duration<double, std::milli>(job.deadline - now)
+            .count();
+      };
+      int64_t take = 1;
+      double min_slack = slack_of(queue_.front());
+      while (take < limit) {
+        const double joined = std::min(
+            min_slack, slack_of(queue_[static_cast<size_t>(take)]));
+        if (joined < predicted_cost_locked(take + 1) * kSlackMargin) break;
+        min_slack = joined;
+        ++take;
+      }
+      if (take == 1 && limit > 1 && std::isfinite(min_slack)) {
+        // Slack-forced solo with company in the queue: the scheduler chose
+        // latency over amortisation for this request.
+        c_solo_dispatches_.inc();
+      }
+      // Formation latency: how old the batch's first rider is at dispatch,
+      // attributed to the size actually formed.
+      if (take < static_cast<int64_t>(formation_hists_.size())) {
+        formation_hists_[static_cast<size_t>(take)]->observe(
+            std::chrono::duration<double, std::milli>(
+                now - queue_.front().submitted_at)
+                .count());
       }
       batch.reserve(static_cast<size_t>(take));
       for (int64_t i = 0; i < take; ++i) {
@@ -400,10 +484,10 @@ void InferenceService::process_batch(Worker& self, std::vector<Job>& batch) {
   }
 }
 
-void InferenceService::run_single(Worker& self, Job& job) {
+void InferenceService::run_single(Worker& self, Job& job, CacheProbe probe) {
   GroundResponse response;
   response.normalised_query = job.normalised_query;
-  if (run_model_tier(self, job, response)) {
+  if (run_model_tier(self, job, response, std::move(probe))) {
     finish(job, std::move(response));
     return;
   }
@@ -422,16 +506,76 @@ void InferenceService::run_single(Worker& self, Job& job) {
 
 void InferenceService::run_batched_model_tier(Worker& self,
                                               const std::vector<Job*>& jobs) {
+  if (!cache_.enabled()) {
+    run_batch_group(self, jobs, std::vector<CacheProbe>(jobs.size()),
+                    /*cached_path=*/false);
+    return;
+  }
+  // Partition by cache disposition: a hit rides a fuse-only forward over
+  // its pinned features, a miss runs the full pass (capturing features for
+  // insertion). Mixing them in one forward is impossible — the two paths
+  // enter the model at different layers.
+  const uint64_t generation = self.replica->weights_generation();
+  std::vector<Job*> hit_jobs, miss_jobs;
+  std::vector<CacheProbe> hit_probes, miss_probes;
+  for (Job* job : jobs) {
+    CacheProbe probe;
+    probe.probed = true;
+    probe.key = cache_.make_key(job->image_hash, generation);
+    probe.features = cache_.lookup(probe.key);
+    if (probe.features.defined()) {
+      hit_jobs.push_back(job);
+      hit_probes.push_back(std::move(probe));
+    } else {
+      miss_jobs.push_back(job);
+      miss_probes.push_back(std::move(probe));
+    }
+  }
+  // Groups of one are not batches: they run the single pipeline with their
+  // already-resolved probe (no second lookup, no skewed counters).
+  if (hit_jobs.size() == 1) {
+    run_single(self, *hit_jobs.front(), std::move(hit_probes.front()));
+  } else if (!hit_jobs.empty()) {
+    run_batch_group(self, hit_jobs, std::move(hit_probes),
+                    /*cached_path=*/true);
+  }
+  if (miss_jobs.size() == 1) {
+    run_single(self, *miss_jobs.front(), std::move(miss_probes.front()));
+  } else if (!miss_jobs.empty()) {
+    run_batch_group(self, miss_jobs, std::move(miss_probes),
+                    /*cached_path=*/false);
+  }
+}
+
+void InferenceService::run_batch_group(Worker& self,
+                                       const std::vector<Job*>& jobs,
+                                       std::vector<CacheProbe> probes,
+                                       bool cached_path) {
   const int64_t k = static_cast<int64_t>(jobs.size());
-  const int64_t plane = 3 * model_config_.img_h * model_config_.img_w;
-  Tensor batched({k, 3, model_config_.img_h, model_config_.img_w});
   std::vector<int64_t> tokens;
   tokens.reserve(static_cast<size_t>(k * model_config_.max_query_len));
-  float* dst = batched.data();
-  for (int64_t i = 0; i < k; ++i) {
-    const Job& job = *jobs[static_cast<size_t>(i)];
-    std::copy(job.image.data(), job.image.data() + plane, dst + i * plane);
-    tokens.insert(tokens.end(), job.tokens.begin(), job.tokens.end());
+  Tensor batched;
+  if (cached_path) {
+    // Assemble [k, C, grid_h, grid_w] from the pinned per-image views.
+    const int64_t c = model_config_.backbone.out_channels();
+    const int64_t plane = c * model_config_.grid_h() * model_config_.grid_w();
+    batched = Tensor({k, c, model_config_.grid_h(), model_config_.grid_w()});
+    float* dst = batched.data();
+    for (int64_t i = 0; i < k; ++i) {
+      const Tensor& feat = probes[static_cast<size_t>(i)].features;
+      std::copy(feat.data(), feat.data() + plane, dst + i * plane);
+      const Job& job = *jobs[static_cast<size_t>(i)];
+      tokens.insert(tokens.end(), job.tokens.begin(), job.tokens.end());
+    }
+  } else {
+    const int64_t plane = 3 * model_config_.img_h * model_config_.img_w;
+    batched = Tensor({k, 3, model_config_.img_h, model_config_.img_w});
+    float* dst = batched.data();
+    for (int64_t i = 0; i < k; ++i) {
+      const Job& job = *jobs[static_cast<size_t>(i)];
+      std::copy(job.image.data(), job.image.data() + plane, dst + i * plane);
+      tokens.insert(tokens.end(), job.tokens.begin(), job.tokens.end());
+    }
   }
 
   {
@@ -453,11 +597,25 @@ void InferenceService::run_batched_model_tier(Worker& self,
     self.ctx.arm(min_deadline);
   }
 
+  const Clock::time_point started = Clock::now();
   const core::YolloModel::InferOutcome outcome = [&] {
     obs::ScopedTimer timer(h_model_ms_);
     OBS_SPAN("serve.batch_forward");
-    return self.replica->infer(batched, tokens);
+    return cached_path
+               ? self.replica->infer_from_features(batched, tokens)
+               : self.replica->infer(batched, tokens,
+                                     /*capture_features=*/cache_.enabled());
   }();
+  const double forward_ms = ms_since(started);
+
+  // Salvage probes never reuse a cached feature view (a cached-path batch
+  // failure retries on the full path) but keep their key so a healthy
+  // retry still populates the cache.
+  const auto salvage_probe = [&probes](int64_t i) {
+    CacheProbe probe = std::move(probes[static_cast<size_t>(i)]);
+    probe.features = Tensor();
+    return probe;
+  };
 
   if (outcome.element_errors.size() != static_cast<size_t>(k)) {
     // Batch-level failure (thrown fault, invalid input, cancellation,
@@ -466,22 +624,57 @@ void InferenceService::run_batched_model_tier(Worker& self,
     // verdicts, and degradation, exactly as if it had never been coalesced.
     // The failed batch attempt itself does not feed the breaker; the
     // per-request salvage runs below do.
-    for (Job* job : jobs) run_single(self, *job);
+    for (int64_t i = 0; i < k; ++i) {
+      run_single(self, *jobs[static_cast<size_t>(i)], salvage_probe(i));
+    }
     return;
   }
+
+  // The forward ran to completion: feed the scheduler's cost model. A
+  // rider answered past its deadline is the batch tax made visible — the
+  // shrink rule reacts to it.
+  const Clock::time_point after = Clock::now();
+  bool deadline_missed = false;
+  for (const Job* job : jobs) {
+    if (after >= job->deadline) {
+      deadline_missed = true;
+      break;
+    }
+  }
+  note_batch_outcome(k, forward_ms, deadline_missed);
 
   if (outcome.ok()) {
     std::lock_guard<std::mutex> lock(mutex_);
     consecutive_failures_ = 0;
   }
 
+  // Populate the cache from the healthy elements of a full-path batch
+  // (poisoned elements are never inserted — their features may be fine,
+  // but a request that is about to retry should not trust this pass).
+  if (!cached_path && cache_.enabled() && outcome.features.defined()) {
+    const int64_t c = model_config_.backbone.out_channels();
+    const int64_t gh = model_config_.grid_h();
+    const int64_t gw = model_config_.grid_w();
+    const int64_t plane = c * gh * gw;
+    for (int64_t i = 0; i < k; ++i) {
+      if (!outcome.element_ok(i)) continue;
+      // Zero-copy view into the captured block; insert() makes its own
+      // copy, the dummy owner only needs to outlive this call.
+      cache_.insert(probes[static_cast<size_t>(i)].key,
+                    Tensor::from_external(
+                        {c, gh, gw},
+                        const_cast<float*>(outcome.features.data()) + i * plane,
+                        std::make_shared<int>(0)));
+    }
+  }
+
   // Answer the healthy elements first (a poisoned batch mate must not delay
   // them further), then salvage the poisoned ones individually.
-  std::vector<Job*> salvage;
+  std::vector<int64_t> salvage;
   for (int64_t i = 0; i < k; ++i) {
     Job& job = *jobs[static_cast<size_t>(i)];
     if (!outcome.element_ok(i)) {
-      salvage.push_back(&job);
+      salvage.push_back(i);
       continue;
     }
     GroundResponse response;
@@ -495,11 +688,14 @@ void InferenceService::run_batched_model_tier(Worker& self,
     }
     finish(job, std::move(response));
   }
-  for (Job* job : salvage) run_single(self, *job);
+  for (int64_t i : salvage) {
+    run_single(self, *jobs[static_cast<size_t>(i)], salvage_probe(i));
+  }
 }
 
 bool InferenceService::run_model_tier(Worker& self, Job& job,
-                                      GroundResponse& response) {
+                                      GroundResponse& response,
+                                      CacheProbe probe) {
   const Tensor batched =
       job.image.reshape({1, 3, model_config_.img_h, model_config_.img_w});
   const int64_t attempts = 1 + std::max<int64_t>(0, config_.max_retries);
@@ -514,6 +710,19 @@ bool InferenceService::run_model_tier(Worker& self, Job& job,
       return true;
     }
     if (attempt > 0) ++response.retries;
+    // Resolve the feature cache on the first attempt only: a cached-path
+    // failure (injected fault, poison, cancel) retries on the full path so
+    // a request can never be starved by its own cache entry.
+    Tensor cached;
+    if (attempt == 0 && cache_.enabled()) {
+      if (!probe.probed) {
+        probe.probed = true;
+        probe.key = cache_.make_key(job.image_hash,
+                                    self.replica->weights_generation());
+        probe.features = cache_.lookup(probe.key);
+      }
+      cached = probe.features;
+    }
     // Arm the worker's context for this attempt: an expired deadline or an
     // external cancel now aborts the forward at its next kernel checkpoint.
     // The client token (if any) binds to this context generation, so a
@@ -529,11 +738,22 @@ bool InferenceService::run_model_tier(Worker& self, Job& job,
         return true;
       }
     }
+    const Clock::time_point started = Clock::now();
     const core::YolloModel::InferOutcome outcome = [&] {
       obs::ScopedTimer timer(h_model_ms_);
       OBS_SPAN("serve.model_forward");
-      return self.replica->infer(batched, job.tokens);
+      if (cached.defined()) {
+        // Hit: skip the backbone, run only the query-dependent half over
+        // the pinned [C, grid_h, grid_w] view (reshape aliases storage, so
+        // the entry stays pinned through the forward).
+        const Shape& s = cached.shape();
+        return self.replica->infer_from_features(
+            cached.reshape({1, s[0], s[1], s[2]}), job.tokens);
+      }
+      return self.replica->infer(batched, job.tokens,
+                                 /*capture_features=*/probe.probed);
     }();
+    const double forward_ms = ms_since(started);
     if (config_.enable_cancellation && job.cancel != nullptr) {
       job.cancel->detach();
     }
@@ -561,6 +781,22 @@ bool InferenceService::run_model_tier(Worker& self, Job& job,
       continue;
     }
     last_resource = false;
+    // A forward that ran to completion (healthy or merely non-finite)
+    // feeds the scheduler's solo cost EWMA — the baseline every batched
+    // prediction scales from.
+    if (outcome.error == core::YolloModel::InferError::kNone ||
+        outcome.error == core::YolloModel::InferError::kNonFinite) {
+      note_batch_outcome(1, forward_ms, Clock::now() >= job.deadline);
+    }
+    // Populate the cache from a healthy full-path forward (the captured
+    // features are upstream of the head, but only a clean pass earns an
+    // entry; a refused insert just means this request ran uncached).
+    if (!cached.defined() && probe.probed && outcome.element_ok(0) &&
+        outcome.features.defined()) {
+      const Shape& fs = outcome.features.shape();  // [1, C, gh, gw]
+      cache_.insert(probe.key,
+                    outcome.features.reshape({fs[1], fs[2], fs[3]}));
+    }
     if (outcome.ok()) {
       // ...and after it: a slow forward that ate the budget is a deadline
       // miss even though it produced a box.
@@ -578,6 +814,8 @@ bool InferenceService::run_model_tier(Worker& self, Job& job,
       return true;
     }
     last_error = outcome.message;
+    // Never ride the cached path into a retry.
+    probe.features = Tensor();
   }
 
   // Tier failed. Pool-budget refusals do not feed the circuit breaker —
@@ -684,6 +922,65 @@ Status InferenceService::map_cancelled(Worker& self) {
         "deadline expired mid-forward (cancelled at a kernel checkpoint)");
   }
   return Status::cancelled("cancelled mid-forward at a kernel checkpoint");
+}
+
+double InferenceService::predicted_cost_locked(int64_t k) const {
+  if (k <= 0) return 0.0;
+  const int64_t n = static_cast<int64_t>(batch_cost_ewma_.size());
+  if (k < n && batch_cost_ewma_[static_cast<size_t>(k)] > 0.0) {
+    return batch_cost_ewma_[static_cast<size_t>(k)];
+  }
+  // Nearest size with live data, scaled linearly: batched cost is close to
+  // linear in k on this CPU path, and linear extrapolation errs high from
+  // small sizes (the amortised fixed cost shrinks with k) — a conservative
+  // bias for a join decision.
+  int64_t best = 0;
+  for (int64_t j = 1; j < n; ++j) {
+    if (batch_cost_ewma_[static_cast<size_t>(j)] <= 0.0) continue;
+    if (best == 0 || std::llabs(j - k) < std::llabs(best - k)) best = j;
+  }
+  if (best > 0) {
+    return batch_cost_ewma_[static_cast<size_t>(best)] *
+           static_cast<double>(k) / static_cast<double>(best);
+  }
+  // Cold start: the model-stage p95 (0 before the first forward, which
+  // makes a cold scheduler batch as greedily as the legacy one did).
+  return h_model_ms_.snapshot().quantile(0.95);
+}
+
+void InferenceService::note_batch_outcome(int64_t k, double forward_ms,
+                                          bool deadline_missed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (k <= 0 || k >= static_cast<int64_t>(batch_cost_ewma_.size())) return;
+  double& ewma = batch_cost_ewma_[static_cast<size_t>(k)];
+  ewma = ewma > 0.0 ? 0.7 * ewma + 0.3 * forward_ms : forward_ms;
+  ++forwards_since_change_;
+  if (!config_.adaptive_batching || k <= 1 || batch_target_ <= 1) return;
+  const double solo = batch_cost_ewma_[1];
+  const bool superlinear =
+      solo > 0.0 && ewma > solo * static_cast<double>(k) * kShrinkRatio;
+  if (deadline_missed || superlinear) {
+    // Step down from the size that hurt, not from wherever the target
+    // drifted: one bad batch of 3 under a target of 8 should land at 2.
+    batch_target_ = std::max<int64_t>(1, std::min(batch_target_, k) - 1);
+    c_sched_shrinks_.inc();
+    forwards_since_change_ = 0;
+    g_batch_target_.set(static_cast<double>(batch_target_));
+  }
+}
+
+void InferenceService::maybe_grow_target_locked() {
+  if (!config_.adaptive_batching) return;
+  if (batch_target_ >= config_.batch_max) return;
+  // Grow only under sustained pressure (a queue deeper than twice the
+  // target) after enough clean forwards since the last change — one good
+  // forward must not undo a shrink the next batch would re-learn.
+  if (static_cast<int64_t>(queue_.size()) < 2 * batch_target_) return;
+  if (forwards_since_change_ < kGrowPatience) return;
+  ++batch_target_;
+  c_sched_grows_.inc();
+  forwards_since_change_ = 0;
+  g_batch_target_.set(static_cast<double>(batch_target_));
 }
 
 void InferenceService::finish(Job& job, GroundResponse response) {
@@ -945,6 +1242,16 @@ ServiceCounters counters_from_snapshot(const obs::MetricsSnapshot& snapshot) {
   c.queue_high_water =
       static_cast<int64_t>(snapshot.gauge("serve.queue_high_water"));
   c.max_batch = static_cast<int64_t>(snapshot.gauge("serve.max_batch"));
+  c.solo_dispatches = snapshot.counter("serve.solo_dispatches");
+  c.sched_shrinks = snapshot.counter("serve.sched_shrinks");
+  c.sched_grows = snapshot.counter("serve.sched_grows");
+  c.batch_target = static_cast<int64_t>(snapshot.gauge("serve.batch_target"));
+  c.workers_warmed =
+      static_cast<int64_t>(snapshot.gauge("serve.workers_warmed"));
+  c.cache_hits = snapshot.counter("serve.cache_hits");
+  c.cache_misses = snapshot.counter("serve.cache_misses");
+  c.cache_evictions = snapshot.counter("serve.cache_evictions");
+  c.cache_bytes = static_cast<int64_t>(snapshot.gauge("serve.cache_bytes"));
   return c;
 }
 

@@ -60,6 +60,7 @@
 #include "core/yollo.h"
 #include "data/vocab.h"
 #include "obs/metrics.h"
+#include "serve/feature_cache.h"
 #include "serve/status.h"
 #include "serve/validation.h"
 #include "tensor/exec.h"
@@ -98,18 +99,33 @@ class CancelToken {
 struct ServeConfig {
   int64_t num_workers = 4;
   int64_t queue_capacity = 32;
-  // Micro-batching: a worker coalesces up to this many already-queued
-  // compatible requests into one batched forward. Never waits for a batch
-  // to fill — under light load this degenerates to single-image serving;
-  // under backlog the per-op fixed costs amortise across the batch.
-  // Per-request deadlines and per-element finiteness/clipping checks are
-  // preserved: a poisoned element degrades only that request. 1 disables.
-  // Coalescing is deadline-aware: when the oldest queued request's deadline
-  // slack is below the observed model-stage p95, it runs solo instead of
-  // being serialised into a batched forward behind strangers (a batch of k
-  // is slower than a batch of 1, and the near-deadline request pays that
-  // difference with budget it does not have).
+  // Continuous batching (DESIGN.md §15): a worker coalesces up to this many
+  // already-queued compatible requests into one batched forward. Never
+  // waits for a batch to fill — under light load this degenerates to
+  // single-image serving; under backlog the per-op fixed costs amortise
+  // across the batch. Per-request deadlines and per-element
+  // finiteness/clipping checks are preserved: a poisoned element degrades
+  // only that request. 1 disables.
+  // Formation is slack-aware: the front request always dispatches, and a
+  // follower joins only while every rider's deadline slack covers the
+  // predicted cost of the grown batch (live per-batch-size cost EWMAs,
+  // seeded from the model-stage p95) with margin — so a near-deadline
+  // request runs solo instead of being serialised into a batched forward
+  // behind strangers whose batch tax it cannot afford.
   int64_t batch_max = 4;
+  // Adaptive batch-size target: the formation cap starts at batch_max,
+  // shrinks when a batched forward misses a rider's deadline or its cost
+  // EWMA goes superlinear versus solo forwards (p95 pressure), and grows
+  // back one step at a time while the queue stays deeper than twice the
+  // target. false — or YOLLO_BATCH_ADAPTIVE=0 at construction — pins the
+  // target at batch_max (slack-aware formation still applies).
+  bool adaptive_batching = true;
+  // Content-addressed backbone feature cache budget in MiB (see
+  // serve/feature_cache.h): a request whose image bytes were seen before
+  // skips the backbone and runs only the query-dependent half. -1 reads
+  // YOLLO_FEATURE_CACHE_MB at construction; <= 0 disables (the default —
+  // deployments that never repeat images pay nothing).
+  int64_t feature_cache_mb = -1;
   // Deadline applied to requests that do not carry their own (deadline_ms
   // < 0). <= 0 disables the default deadline.
   int64_t default_deadline_ms = 0;
@@ -212,6 +228,17 @@ struct ServiceCounters {
   int64_t batches_coalesced = 0;  // coalesced (>= 2 requests) forwards
   int64_t batched_requests = 0;   // requests that rode a coalesced forward
   int64_t max_batch = 0;          // largest coalesced batch so far
+  // Continuous-batching scheduler visibility (no effect on the invariant).
+  int64_t solo_dispatches = 0;  // slack-forced solo runs with company queued
+  int64_t sched_shrinks = 0;    // adaptive target steps down (p95 pressure)
+  int64_t sched_grows = 0;      // adaptive target steps back up (deep queue)
+  int64_t batch_target = 0;     // current adaptive formation cap (gauge)
+  int64_t workers_warmed = 0;   // workers past plan warm-up (gauge)
+  // Feature-cache visibility (no effect on the invariant).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_bytes = 0;  // resident feature bytes (gauge)
 };
 
 struct HealthSnapshot {
@@ -274,6 +301,11 @@ class InferenceService {
   // 0 until the first request completes.
   double latency_p95_ms() const;
 
+  // The backbone feature cache (disabled unless feature_cache_mb > 0 or
+  // YOLLO_FEATURE_CACHE_MB is set). Exposed for warm-up probes, reload
+  // invalidation, and tests; thread-safe.
+  FeatureCache& feature_cache() { return cache_; }
+
   const ServeConfig& config() const { return config_; }
   const core::YolloConfig& model_config() const { return model_config_; }
 
@@ -296,6 +328,26 @@ class InferenceService {
     Clock::time_point deadline;  // Clock::time_point::max() == none
     std::shared_ptr<CancelToken> cancel;  // null = not cancellable
     std::shared_ptr<JobState> state;
+    // Content hash of `image` (FeatureCache::hash_image), computed once at
+    // admission so workers never re-scan the pixels. 0 when the cache is
+    // disabled.
+    uint64_t image_hash = 0;
+  };
+
+  // One job's resolved cache state, threaded through the pipeline so a
+  // request is looked up at most once no matter how it is routed (solo,
+  // batched hit group, batched miss group, salvage). `features` defined ==
+  // hit (a pinned [C, grid_h, grid_w] view); probed with undefined
+  // features == known miss, insert under `key` after a healthy full-path
+  // forward.
+  struct CacheProbe {
+    // Explicit constructor (not NSDMIs): this type appears as a defaulted
+    // argument of enclosing-class members, where GCC requires the default
+    // member initializers to be complete before the class closes.
+    CacheProbe() : probed(false), key(0) {}
+    bool probed;
+    uint64_t key;
+    Tensor features;
   };
 
   // One worker slot: thread + replica + supervision state. Slots are
@@ -333,16 +385,25 @@ class InferenceService {
   // Full single-request pipeline: model tier (retries) then fallback tier;
   // always finishes the job. Also the salvage path for an element that
   // failed inside a coalesced forward.
-  void run_single(Worker& self, Job& job);
-  // One batched forward over >= 2 jobs with per-element failure isolation:
-  // healthy elements are answered from the batch, poisoned ones are retried
-  // and degraded individually.
+  void run_single(Worker& self, Job& job, CacheProbe probe = CacheProbe());
+  // Batched dispatch for >= 2 jobs: partitions into a cache-hit group
+  // (batched fuse-only forward over the pinned features) and a miss group
+  // (full batched forward, features captured and inserted per healthy
+  // element); groups of one fall through to run_single with their probe.
   void run_batched_model_tier(Worker& self, const std::vector<Job*>& jobs);
+  // One batched forward over >= 2 jobs of the same cache disposition, with
+  // per-element failure isolation: healthy elements are answered from the
+  // batch, poisoned ones are retried and degraded individually.
+  void run_batch_group(Worker& self, const std::vector<Job*>& jobs,
+                       std::vector<CacheProbe> probes, bool cached_path);
   // Model tier for one job on this worker's replica: deadline-checked,
-  // cancellation-armed attempts with retry. Returns true when `response`
-  // is final (answered, deadline, or cancelled); false when the tier
-  // failed and the job should degrade.
-  bool run_model_tier(Worker& self, Job& job, GroundResponse& response);
+  // cancellation-armed attempts with retry. The first attempt rides the
+  // feature cache when `probe` (or a fresh lookup) hits; failures retry on
+  // the full path. Returns true when `response` is final (answered,
+  // deadline, or cancelled); false when the tier failed and the job should
+  // degrade.
+  bool run_model_tier(Worker& self, Job& job, GroundResponse& response,
+                      CacheProbe probe = CacheProbe());
   // Baseline tier; always produces a final response (kDegraded or error).
   void run_fallback_tier(Worker& self, Job& job, const std::string& reason,
                          GroundResponse& response);
@@ -356,6 +417,21 @@ class InferenceService {
   // Map a cancelled forward outcome to its terminal status and observe the
   // cancel->observed latency histogram.
   Status map_cancelled(Worker& self);
+
+  // --- continuous-batching scheduler (all under mutex_) --------------------
+  // Predicted wall cost (ms) of a batched forward of size k: the live
+  // per-size EWMA when known, the nearest known size scaled linearly
+  // otherwise, and the model-stage p95 as the cold-start seed (0 until the
+  // first forward completes, so a cold service batches exactly as greedily
+  // as the legacy scheduler did).
+  double predicted_cost_locked(int64_t k) const;
+  // Feed one completed forward into the cost model and apply the shrink
+  // rule: a batched forward that missed a rider's deadline, or whose cost
+  // EWMA went superlinear versus solo forwards, steps the target down.
+  void note_batch_outcome(int64_t k, double forward_ms, bool deadline_missed);
+  // Applied at formation time: step the target back up when the queue has
+  // stayed deep and recent forwards have been clean.
+  void maybe_grow_target_locked();
 
   static Clock::time_point resolve_deadline(const GroundRequest& request,
                                             int64_t default_ms,
@@ -402,8 +478,13 @@ class InferenceService {
   obs::Counter& c_workers_lost_;
   obs::Counter& c_workers_spawned_;
   obs::Counter& c_pool_rejected_;
+  obs::Counter& c_solo_dispatches_;
+  obs::Counter& c_sched_shrinks_;
+  obs::Counter& c_sched_grows_;
   obs::Gauge& g_queue_high_water_;
   obs::Gauge& g_max_batch_;
+  obs::Gauge& g_batch_target_;
+  obs::Gauge& g_workers_warmed_;
   obs::Histogram& h_queue_depth_;
   obs::Histogram& h_queue_wait_ms_;
   obs::Histogram& h_model_ms_;
@@ -411,6 +492,20 @@ class InferenceService {
   // Cancel signal -> first checkpoint that observed it, in ms: the
   // "worker freed within one checkpoint interval" claim, measured.
   obs::Histogram& h_cancel_latency_ms_;
+  // Per-batch-size formation latency ("serve.formation_ms_b<k>"): age of a
+  // batch's oldest rider at dispatch, indexed by the formed size k (slot 0
+  // unused). Created eagerly in the constructor — registry refs are stable.
+  std::vector<obs::Histogram*> formation_hists_;
+
+  // Content-addressed backbone feature cache (registers its serve.cache_*
+  // metrics in metrics_, so declared after it).
+  FeatureCache cache_;
+
+  // Continuous-batching scheduler state (guarded by mutex_).
+  int64_t batch_target_ = 1;           // adaptive formation cap
+  std::vector<double> batch_cost_ewma_;  // [batch_max + 1]; 0 == unknown
+  int64_t forwards_since_change_ = 0;  // grow patience accumulator
+  int64_t warmed_workers_ = 0;         // workers past plan warm-up
 
   // Watchdog lifecycle (separate mutex: the watchdog must be able to poll
   // while mutex_ is busy with queue traffic).

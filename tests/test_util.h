@@ -1,13 +1,19 @@
 // Shared helpers for the yollo test suites.
 #pragma once
 
+#include <chrono>
 #include <functional>
+#include <future>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
+#include "runtime/fault.h"
+#include "serve/service.h"
 #include "tensor/tensor.h"
 
 namespace yollo::testing {
@@ -55,6 +61,159 @@ inline void check_gradients(
           << "leaf " << li << " element " << i;
     }
   }
+}
+
+// --- serving scenario fixture ----------------------------------------------
+//
+// One table of named configurations, one runner, shared assertions — the
+// config-map pattern: each serving suite instantiates TEST_P over
+// serve_scenario_table() and layers its own expectations on the common
+// outcome instead of hand-rolling a harness per combination. Everything here
+// is inline and header-only; only translation units that link yollo_serve
+// should instantiate it.
+
+struct ServeScenario {
+  const char* name;     // gtest parameter name ([A-Za-z0-9_] only)
+  bool warm_cache;      // enable the feature cache and pre-warm every image
+  int64_t batch_max;    // continuous-batching formation cap
+  bool tight_deadline;  // per-request deadline that real queueing can miss
+  bool fault;           // a few transient model-tier faults mid-run
+  bool baseline_tier;   // every model forward faults: the two-stage tier
+                        // (or typed errors, when no fallback) answers
+};
+
+inline std::vector<ServeScenario> serve_scenario_table() {
+  return {
+      //  name                       warm   bmax  tight  fault  baseline
+      {"cold_b1_loose_clean", false, 1, false, false, false},
+      {"cold_b8_loose_clean", false, 8, false, false, false},
+      {"warm_b1_loose_clean", true, 1, false, false, false},
+      {"warm_b8_loose_clean", true, 8, false, false, false},
+      {"cold_b8_tight_clean", false, 8, true, false, false},
+      {"warm_b8_tight_clean", true, 8, true, false, false},
+      {"cold_b8_loose_faulty", false, 8, false, true, false},
+      {"warm_b8_loose_faulty", true, 8, false, true, false},
+      {"baseline_b1_loose_clean", false, 1, false, false, true},
+      {"baseline_b8_loose_clean", false, 8, false, false, true},
+  };
+}
+
+struct ServeScenarioOutcome {
+  serve::ServiceCounters counters;
+  serve::FeatureCache::Stats cache;
+  int64_t resolved = 0;  // futures that came back (must equal submissions)
+  int64_t answered = 0;  // kOk + kDegraded responses
+  int64_t errors = 0;    // typed non-answered responses
+  double elapsed_ms = 0.0;
+};
+
+// The five-term accounting invariant, exact once every future has resolved.
+inline void expect_serve_invariant(const serve::ServiceCounters& c) {
+  EXPECT_EQ(c.submitted, c.served + c.rejected + c.deadline_exceeded +
+                             c.failed + c.cancelled)
+      << "five-term invariant broken: submitted=" << c.submitted
+      << " served=" << c.served << " rejected=" << c.rejected
+      << " deadline_exceeded=" << c.deadline_exceeded
+      << " failed=" << c.failed << " cancelled=" << c.cancelled;
+}
+
+// Drive `requests` submissions over `distinct_images` images through a
+// service configured from the scenario row. `time_scale` stretches the
+// deadline constants for sanitizer builds. The injector is scoped (never
+// the process-wide one) so scenario faults cannot leak between tests.
+inline ServeScenarioOutcome run_serve_scenario(
+    core::YolloModel& model, const data::Vocab& vocab,
+    baseline::TwoStagePipeline* fallback, const ServeScenario& scenario,
+    int64_t requests = 24, int64_t distinct_images = 4,
+    int64_t time_scale = 1) {
+  using Clock = std::chrono::steady_clock;
+
+  runtime::FaultInjector injector;  // declared before the service: workers
+                                    // must stop before their injector dies
+  if (scenario.baseline_tier) {
+    runtime::FaultInjector::Config fc;
+    fc.fail_forward_count = requests * 16;  // every attempt, every retry
+    injector.configure(fc);
+  }
+
+  serve::ServeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.queue_capacity = requests;  // admission never rejects for capacity
+  cfg.batch_max = scenario.batch_max;
+  cfg.feature_cache_mb = scenario.warm_cache ? 16 : 0;
+  cfg.max_retries = 1;
+  cfg.fault_injector = &injector;
+  serve::InferenceService service(model, vocab, cfg, fallback);
+
+  const int64_t img_h = service.model_config().img_h;
+  const int64_t img_w = service.model_config().img_w;
+  std::vector<Tensor> images;
+  for (int64_t i = 0; i < distinct_images; ++i) {
+    Rng rng(static_cast<uint64_t>(1000 + i));
+    images.push_back(Tensor::rand({3, img_h, img_w}, rng));
+  }
+
+  if (scenario.warm_cache) {
+    // Pre-warm: one loose-deadline pass over every distinct image, so the
+    // measured workload starts with the cache populated.
+    for (const Tensor& img : images) {
+      serve::GroundRequest req;
+      req.image = img;
+      req.query = "red circle";
+      req.deadline_ms = 0;
+      (void)service.ground(std::move(req));
+    }
+  }
+
+  if (scenario.fault && !scenario.baseline_tier) {
+    runtime::FaultInjector::Config fc;
+    fc.fail_forward_count = 3;  // transient: retries/degradation absorb it
+    injector.configure(fc);
+  }
+
+  const char* queries[] = {"red circle", "blue square", "the green thing"};
+  const auto start = Clock::now();
+  std::vector<std::future<serve::GroundResponse>> futures;
+  futures.reserve(static_cast<size_t>(requests));
+  for (int64_t i = 0; i < requests; ++i) {
+    serve::GroundRequest req;
+    req.image = images[static_cast<size_t>(i % distinct_images)];
+    req.query = queries[i % 3];
+    req.deadline_ms = scenario.tight_deadline ? 150 * time_scale : 0;
+    futures.push_back(service.submit(std::move(req)));
+  }
+
+  ServeScenarioOutcome out;
+  for (auto& f : futures) {
+    const serve::GroundResponse resp = f.get();
+    ++out.resolved;
+    if (resp.status.answered()) {
+      ++out.answered;
+    } else {
+      ++out.errors;
+    }
+  }
+  out.elapsed_ms = std::chrono::duration<double, std::milli>(
+                       Clock::now() - start)
+                       .count();
+  service.stop();
+  out.counters = service.counters();
+  out.cache = service.feature_cache().stats();
+
+  // Row-independent guarantees: every submission resolves exactly once and
+  // the accounting invariant is exact.
+  EXPECT_EQ(out.resolved, requests);
+  expect_serve_invariant(out.counters);
+  // Loose-deadline rows additionally answer everything: nothing expires,
+  // nothing is rejected (capacity == request count), faults degrade rather
+  // than fail. Fault rows need the baseline tier for that guarantee —
+  // without a fallback a twice-faulted forward is a typed kInternalError.
+  if (!scenario.tight_deadline &&
+      (fallback != nullptr ||
+       (!scenario.fault && !scenario.baseline_tier))) {
+    EXPECT_EQ(out.answered, requests) << "scenario " << scenario.name;
+  }
+  return out;
 }
 
 }  // namespace yollo::testing
